@@ -1,0 +1,95 @@
+//! Centralized collection — every raw tuple is shipped to the base station.
+//!
+//! This is the "transfer all tuples to the querying node" strawman of the paper's
+//! introduction: no in-network aggregation at all, every node relays every raw reading
+//! of its subtree towards the sink, and the sink computes the grouping, aggregation and
+//! ranking locally.  It is exact and maximally expensive, bounding the other strategies
+//! from above.
+
+use crate::result::TopKResult;
+use crate::snapshot::{exact_reference, SnapshotAlgorithm, SnapshotSpec};
+use kspot_net::{Network, PhaseTag, Reading};
+
+/// Raw tuple collection with sink-side processing.
+#[derive(Debug, Clone)]
+pub struct CentralizedCollection {
+    spec: SnapshotSpec,
+}
+
+impl CentralizedCollection {
+    /// Creates the executor.
+    pub fn new(spec: SnapshotSpec) -> Self {
+        Self { spec }
+    }
+}
+
+impl SnapshotAlgorithm for CentralizedCollection {
+    fn name(&self) -> &'static str {
+        "centralized collection"
+    }
+
+    fn execute_epoch(&mut self, net: &mut Network, readings: &[Reading]) -> TopKResult {
+        let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+        // Every node transmits one raw tuple for itself plus one for every descendant it
+        // relays; the subtree size is exactly that count.
+        for node in net.tree().post_order() {
+            let tuples = net.tree().subtree(node).len() as u32;
+            net.charge_cpu(node, tuples);
+            net.send_report_to_parent(node, epoch, tuples, 0, PhaseTag::Update);
+        }
+        // The sink has every raw reading, so its answer is the exact reference.
+        exact_reference(&self.spec, readings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::exact_reference;
+    use crate::tag::TagTopK;
+    use kspot_net::types::ValueDomain;
+    use kspot_net::{Deployment, NetworkConfig, Workload};
+    use kspot_query::AggFunc;
+
+    #[test]
+    fn centralized_is_exact_and_counts_relayed_tuples() {
+        let d = Deployment::figure1();
+        let readings = Workload::figure1(&d).next_epoch();
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let spec = SnapshotSpec::new(2, AggFunc::Avg, ValueDomain::percentage());
+        let result = CentralizedCollection::new(spec).execute_epoch(&mut net, &readings);
+        let reference = exact_reference(&spec, &readings);
+        assert!(result.same_ranking(&reference));
+        // Node 7 relays itself + nodes 4, 8, 9 = 4 raw tuples.
+        assert_eq!(net.metrics().node(7).tuples_sent, 4);
+        assert_eq!(net.metrics().node(9).tuples_sent, 1);
+        // Total raw tuples on the air = sum of subtree sizes = sum of node depths:
+        // three nodes at depth 1, five at depth 2 and one (s9) at depth 3.
+        let total: u64 = net.metrics().totals().tuples;
+        assert_eq!(total, 3 + 5 * 2 + 3);
+    }
+
+    #[test]
+    fn centralized_is_never_cheaper_than_tag() {
+        let d = Deployment::clustered_rooms(5, 4, 20.0, 3);
+        let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
+        let readings = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            kspot_net::RoomModelParams::default(),
+            3,
+        )
+        .next_epoch();
+
+        let mut central_net = Network::new(d.clone(), NetworkConfig::ideal());
+        CentralizedCollection::new(spec).execute_epoch(&mut central_net, &readings);
+        let mut tag_net = Network::new(d, NetworkConfig::ideal());
+        TagTopK::new(spec).execute_epoch(&mut tag_net, &readings);
+
+        assert!(
+            central_net.metrics().totals().tuples >= tag_net.metrics().totals().tuples,
+            "raw collection must ship at least as many tuples as aggregation"
+        );
+        assert_eq!(central_net.metrics().totals().messages, tag_net.metrics().totals().messages);
+    }
+}

@@ -1,0 +1,300 @@
+//! Historic Top-K queries over locally buffered sliding windows.
+//!
+//! A historic query addresses readings the sensors buffered locally ("the K time
+//! instances with the highest average temperature during the last 3 months").  The data
+//! is *vertically fragmented*: every node holds one column (its own readings) of every
+//! object (epoch), so no node can prune on its own — the pruning only becomes possible
+//! once information from all nodes is combined, which is exactly what TJA's phased
+//! protocol does.
+//!
+//! This module provides the shared scaffolding: the query spec, the distributed dataset
+//! ([`HistoricDataset`], one sliding window per node), the omniscient reference answer,
+//! the [`HistoricAlgorithm`] trait and the two straightforward strategies — shipping the
+//! complete windows to the sink ([`CentralizedHistoric`]) and the horizontally
+//! fragmented local-filter variant of Section III-B ([`LocalAggregateHistoric`]).
+
+use crate::agg::exact_aggregate;
+use crate::result::{RankedItem, TopKResult};
+use crate::snapshot::SnapshotSpec;
+use crate::tag::{convergecast_full, rank_view};
+use kspot_net::types::ValueDomain;
+use kspot_net::{Epoch, Network, NodeId, PhaseTag, Reading, SlidingWindow, Workload};
+use kspot_query::AggFunc;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters of a historic (vertically fragmented) Top-K query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistoricSpec {
+    /// Number of ranked epochs to return.
+    pub k: usize,
+    /// The aggregate that scores an epoch across nodes.  The threshold algebra of
+    /// TJA/TPUT requires a sum-decomposable aggregate, so only [`AggFunc::Avg`] and
+    /// [`AggFunc::Sum`] are accepted.
+    pub func: AggFunc,
+    /// The value domain of the buffered modality.
+    pub domain: ValueDomain,
+    /// The length of the sliding window, in epochs.
+    pub window: usize,
+}
+
+impl HistoricSpec {
+    /// Creates a spec, rejecting parameters the historic algorithms cannot honour.
+    pub fn new(k: usize, func: AggFunc, domain: ValueDomain, window: usize) -> Self {
+        assert!(k > 0, "historic Top-K requires k > 0");
+        assert!(window > 0, "the history window must be non-empty");
+        assert!(
+            matches!(func, AggFunc::Avg | AggFunc::Sum),
+            "historic ranking requires a sum-decomposable aggregate (AVG or SUM), got {func}"
+        );
+        assert!(
+            domain.min >= 0.0,
+            "the threshold algebra of TJA/TPUT assumes non-negative sensed values"
+        );
+        Self { k, func, domain, window }
+    }
+}
+
+/// The distributed historic dataset: one sliding window per sensor node.
+#[derive(Debug, Clone)]
+pub struct HistoricDataset {
+    windows: BTreeMap<NodeId, SlidingWindow>,
+    epochs: Vec<Epoch>,
+}
+
+impl HistoricDataset {
+    /// Fills every node's window by running `workload` for `window` epochs — the
+    /// buffering each KSpot client performs during normal operation before the historic
+    /// query arrives.
+    pub fn collect(workload: &mut Workload, window: usize) -> Self {
+        assert!(window > 0, "cannot collect an empty window");
+        let mut windows: BTreeMap<NodeId, SlidingWindow> = BTreeMap::new();
+        let mut epochs = Vec::with_capacity(window);
+        for _ in 0..window {
+            let readings = workload.next_epoch();
+            if let Some(first) = readings.first() {
+                epochs.push(first.epoch);
+            }
+            for r in readings {
+                windows
+                    .entry(r.node)
+                    .or_insert_with(|| SlidingWindow::new(window))
+                    .push(r.epoch, r.value);
+            }
+        }
+        Self { windows, epochs }
+    }
+
+    /// Number of nodes holding a window.
+    pub fn num_nodes(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The epochs covered by the window, oldest first.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Mutable access to one node's window (storage reads are accounted inside).
+    pub fn window_mut(&mut self, node: NodeId) -> &mut SlidingWindow {
+        self.windows.get_mut(&node).unwrap_or_else(|| panic!("node {node} holds no window"))
+    }
+
+    /// The value node `node` buffered for `epoch`, if still in its window.
+    pub fn value_at(&mut self, node: NodeId, epoch: Epoch) -> Option<f64> {
+        self.windows.get_mut(&node).and_then(|w| w.get(epoch))
+    }
+
+    /// Node identifiers holding windows, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.windows.keys().copied().collect()
+    }
+
+    /// Omniscient reference answer: the exact Top-K epochs under the spec's aggregate.
+    pub fn exact_reference(&self, spec: &HistoricSpec) -> TopKResult {
+        let mut per_epoch: BTreeMap<Epoch, Vec<f64>> = BTreeMap::new();
+        for window in self.windows.values() {
+            for (e, v) in window.iter() {
+                per_epoch.entry(e).or_default().push(v);
+            }
+        }
+        let items = per_epoch
+            .into_iter()
+            .filter_map(|(e, vals)| exact_aggregate(spec.func, &vals).map(|v| RankedItem::new(e, v)))
+            .collect();
+        let mut result = TopKResult::new(*self.epochs.last().unwrap_or(&0), items);
+        result.items.truncate(spec.k);
+        result
+    }
+}
+
+/// A one-shot historic Top-K execution strategy.
+pub trait HistoricAlgorithm {
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Executes the query over the distributed dataset, moving traffic through `net`,
+    /// and returns the ranked answer available at the sink.
+    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult;
+}
+
+/// Ships every node's entire window to the sink — the no-pruning upper bound.
+#[derive(Debug, Clone)]
+pub struct CentralizedHistoric {
+    spec: HistoricSpec,
+}
+
+impl CentralizedHistoric {
+    /// Creates the executor.
+    pub fn new(spec: HistoricSpec) -> Self {
+        Self { spec }
+    }
+}
+
+impl HistoricAlgorithm for CentralizedHistoric {
+    fn name(&self) -> &'static str {
+        "centralized window collection"
+    }
+
+    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
+        let epoch = *data.epochs().last().unwrap_or(&0);
+        // Each node transmits its own window plus every descendant's window it relays.
+        for node in net.tree().post_order() {
+            let own = data.window_mut(node).len();
+            let relayed: usize =
+                net.tree().subtree(node).iter().filter(|&&n| n != node).map(|&n| data.window_mut(n).len()).sum();
+            let tuples = (own + relayed) as u32;
+            net.charge_cpu(node, tuples);
+            net.send_report_to_parent(node, epoch, tuples, 0, PhaseTag::Update);
+        }
+        data.exact_reference(&self.spec)
+    }
+}
+
+/// The horizontally fragmented historic strategy of Section III-B: each node first
+/// aggregates its *own* window locally (a cheap flash scan instead of radio traffic) and
+/// only the per-node aggregate enters a single in-network round.
+///
+/// The returned ranking is over groups (rooms), scored by the aggregate of their
+/// members' window aggregates, which for AVG over equal-length windows equals the
+/// group's exact window average.
+#[derive(Debug, Clone)]
+pub struct LocalAggregateHistoric {
+    spec: SnapshotSpec,
+}
+
+impl LocalAggregateHistoric {
+    /// Creates the executor; the spec describes the group ranking (like a snapshot).
+    pub fn new(spec: SnapshotSpec) -> Self {
+        Self { spec }
+    }
+
+    /// Executes the query: local window aggregation followed by one TAG-style round over
+    /// the per-node aggregates.
+    pub fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
+        let epoch = *data.epochs().last().unwrap_or(&0);
+        let mut readings = Vec::new();
+        for node in data.node_ids() {
+            let values: Vec<f64> = data.window_mut(node).iter().map(|(_, v)| v).collect();
+            net.charge_cpu(node, values.len() as u32);
+            if let Some(v) = exact_aggregate(self.spec.func, &values) {
+                readings.push(Reading::new(node, net.deployment().group_of(node), epoch, v));
+            }
+        }
+        let sink_view = convergecast_full(net, &readings, &self.spec, PhaseTag::Update, |_, _| {});
+        rank_view(&sink_view, self.spec.k, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspot_net::{Deployment, NetworkConfig, RoomModelParams};
+
+    fn dataset(window: usize, seed: u64) -> (Deployment, HistoricDataset) {
+        let d = Deployment::clustered_rooms(4, 4, 20.0, seed);
+        let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), seed);
+        let data = HistoricDataset::collect(&mut w, window);
+        (d, data)
+    }
+
+    #[test]
+    fn dataset_collects_one_window_per_node() {
+        let (d, mut data) = dataset(32, 3);
+        assert_eq!(data.num_nodes(), d.num_nodes());
+        assert_eq!(data.epochs().len(), 32);
+        for node in d.node_ids() {
+            assert_eq!(data.window_mut(node).len(), 32);
+        }
+        assert!(data.value_at(1, 5).is_some());
+        assert!(data.value_at(1, 999).is_none());
+    }
+
+    #[test]
+    fn exact_reference_ranks_epochs_by_network_average() {
+        let (_, data) = dataset(16, 7);
+        let spec = HistoricSpec::new(3, AggFunc::Avg, ValueDomain::percentage(), 16);
+        let reference = data.exact_reference(&spec);
+        assert_eq!(reference.items.len(), 3);
+        // Best-first ordering.
+        assert!(reference.items[0].value >= reference.items[1].value);
+        assert!(reference.items[1].value >= reference.items[2].value);
+        // Keys are epochs inside the window.
+        for item in &reference.items {
+            assert!(data.epochs().contains(&item.key));
+        }
+    }
+
+    #[test]
+    fn centralized_historic_is_exact_and_ships_whole_windows() {
+        let (d, mut data) = dataset(16, 9);
+        let spec = HistoricSpec::new(2, AggFunc::Avg, ValueDomain::percentage(), 16);
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let result = CentralizedHistoric::new(spec).execute(&mut net, &mut data);
+        assert!(result.same_ranking(&data.exact_reference(&spec)));
+        // Every node sends at least its own 16 samples.
+        for id in net.deployment().node_ids() {
+            assert!(net.metrics().node(id).tuples_sent >= 16);
+        }
+    }
+
+    #[test]
+    fn local_aggregate_historic_matches_group_window_averages() {
+        let (d, mut data) = dataset(24, 11);
+        let spec = SnapshotSpec::new(2, AggFunc::Avg, ValueDomain::percentage());
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let result = LocalAggregateHistoric::new(spec).execute(&mut net, &mut data);
+
+        // Omniscient group averages over the whole window.
+        let mut per_group: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        for node in d.node_ids() {
+            let vals: Vec<f64> = data.window_mut(node).iter().map(|(_, v)| v).collect();
+            per_group.entry(u64::from(d.group_of(node))).or_default().extend(vals);
+        }
+        let mut expected: Vec<RankedItem> = per_group
+            .into_iter()
+            .map(|(g, vals)| RankedItem::new(g, vals.iter().sum::<f64>() / vals.len() as f64))
+            .collect();
+        expected.sort_by(|a, b| kspot_net::types::cmp_value(b.value, a.value).then(a.key.cmp(&b.key)));
+        expected.truncate(2);
+
+        assert_eq!(result.keys(), expected.iter().map(|i| i.key).collect::<Vec<_>>());
+        for (got, want) in result.items.iter().zip(expected.iter()) {
+            assert!((got.value - want.value).abs() < 1e-9);
+        }
+        // Only one tuple per node entered the network, far below the 24-sample windows.
+        assert!(net.metrics().totals().tuples < (24 * d.num_nodes()) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum-decomposable")]
+    fn historic_spec_rejects_max() {
+        let _ = HistoricSpec::new(3, AggFunc::Max, ValueDomain::percentage(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn historic_spec_rejects_zero_k() {
+        let _ = HistoricSpec::new(0, AggFunc::Avg, ValueDomain::percentage(), 8);
+    }
+}

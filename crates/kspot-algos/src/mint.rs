@@ -1,0 +1,538 @@
+//! MINT views — the in-network snapshot Top-K algorithm of KSpot.
+//!
+//! The paper (Section III-A) describes MINT as three phases over an in-network hierarchy
+//! of materialized views, where ancestor nodes maintain a superset view of their
+//! descendants:
+//!
+//! 1. **Creation** — the first acquisition round builds the distributed views `V_i`
+//!    bottom-up, giving the sink the complete view `V_0`;
+//! 2. **Pruning** — each node derives `V'_i ⊆ V_i`, keeping only tuples that can still
+//!    be among the final top-k; the pruning is powered by a set of descriptors `γ` that
+//!    bound the attributes in `V_0` from above;
+//! 3. **Update** — once per epoch each node sends `V'_i` to its parent.
+//!
+//! ### How this reproduction realises the bounding framework
+//!
+//! The γ framework is realised with per-group *upper-bound descriptors*: because the
+//! cluster configuration fixes how many members every group has (the Configuration
+//! Panel), a node holding a partial aggregate over `m` of a group's `M` members can
+//! bound the group's final value from above by letting the `M − m` unseen members take
+//! the maximum of the value domain.  After the Creation phase the sink broadcasts a
+//! ranking threshold `τ` (the current k-th value minus a configurable slack); in every
+//! later epoch a node prunes a group from its view exactly when that upper bound falls
+//! below `τ` — the tuple provably cannot matter.  Nodes whose pruned view is empty stay
+//! silent, which is where the message-count savings come from.
+//!
+//! Answers stay **exact** regardless of how values drift: the sink only certifies an
+//! epoch when the k-th exact value among completely-reported groups is at least `τ`
+//! (every tuple pruned anywhere is provably below `τ`, so nothing pruned can belong to
+//! the answer).  If certification fails — which only happens when readings drifted past
+//! the slack — the sink probes the affected groups directly and re-broadcasts a fresh
+//! threshold.  The probe and re-broadcast counts are exposed so the E9 ablation can show
+//! the trade-off.
+
+use crate::agg::AggState;
+use crate::result::{RankedItem, TopKResult};
+use crate::snapshot::{SnapshotAlgorithm, SnapshotSpec};
+use crate::tag::{convergecast_full, rank_view};
+use crate::view::GroupView;
+use kspot_net::{Epoch, GroupId, Network, NodeId, PhaseTag, Reading, SINK};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tunables of the MINT executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MintConfig {
+    /// Slack δ subtracted from the current k-th value before broadcasting it as the
+    /// pruning threshold.  A larger slack tolerates more per-epoch drift before probes
+    /// are needed, at the cost of weaker pruning.
+    pub threshold_slack: f64,
+    /// The threshold is re-broadcast only when the desired value differs from the
+    /// currently installed one by more than this tolerance, so stable workloads do not
+    /// pay a flood every epoch.
+    pub rebroadcast_tolerance: f64,
+}
+
+impl Default for MintConfig {
+    fn default() -> Self {
+        Self { threshold_slack: 2.0, rebroadcast_tolerance: 1.0 }
+    }
+}
+
+/// Counters describing how much corrective work MINT had to do — the numbers behind the
+/// E9 temporal-correlation ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MintStats {
+    /// Number of Creation phases executed (1 unless the executor is reset).
+    pub creations: u64,
+    /// Number of epochs in which the sink could not certify the answer from the pruned
+    /// views alone and had to probe.
+    pub probe_epochs: u64,
+    /// Number of groups probed in total.
+    pub probed_groups: u64,
+    /// Number of threshold re-broadcasts after the initial one.
+    pub rebroadcasts: u64,
+}
+
+/// The MINT views executor.
+#[derive(Debug, Clone)]
+pub struct MintViews {
+    spec: SnapshotSpec,
+    config: MintConfig,
+    /// The threshold currently installed in the network (`None` before Creation).
+    tau: Option<f64>,
+    /// The k-th exact value of the previous epoch (for volatility tracking).
+    last_kth: Option<f64>,
+    /// Recent per-epoch downward movements of the k-th value; the adaptive slack covers
+    /// twice the recent maximum so that ordinary drift never invalidates the installed
+    /// threshold (which is what would force probes).
+    recent_drops: std::collections::VecDeque<f64>,
+    stats: MintStats,
+}
+
+impl MintViews {
+    /// Creates a MINT executor with default tunables.
+    pub fn new(spec: SnapshotSpec) -> Self {
+        Self::with_config(spec, MintConfig::default())
+    }
+
+    /// Creates a MINT executor with explicit tunables.
+    pub fn with_config(spec: SnapshotSpec, config: MintConfig) -> Self {
+        assert!(config.threshold_slack >= 0.0, "threshold slack must be non-negative");
+        assert!(config.rebroadcast_tolerance >= 0.0, "rebroadcast tolerance must be non-negative");
+        Self {
+            spec,
+            config,
+            tau: None,
+            last_kth: None,
+            recent_drops: std::collections::VecDeque::new(),
+            stats: MintStats::default(),
+        }
+    }
+
+    /// The slack currently applied below the k-th value when choosing the broadcast
+    /// threshold: the configured base plus an adaptive term covering twice the largest
+    /// recent per-epoch drop of the k-th value.
+    fn effective_slack(&self) -> f64 {
+        let recent = self.recent_drops.iter().copied().fold(0.0, f64::max);
+        self.config.threshold_slack + 2.0 * recent
+    }
+
+    /// Records the k-th value observed this epoch and updates the volatility window.
+    fn observe_kth(&mut self, kth: f64) {
+        if let Some(prev) = self.last_kth {
+            self.recent_drops.push_back((prev - kth).max(0.0));
+            if self.recent_drops.len() > 8 {
+                self.recent_drops.pop_front();
+            }
+        }
+        self.last_kth = Some(kth);
+    }
+
+    /// The corrective-work counters accumulated so far.
+    pub fn stats(&self) -> MintStats {
+        self.stats
+    }
+
+    /// The threshold currently installed in the network, if the Creation phase has run.
+    pub fn installed_threshold(&self) -> Option<f64> {
+        self.tau
+    }
+
+    fn group_sizes(net: &Network) -> BTreeMap<GroupId, u32> {
+        net.deployment()
+            .group_members()
+            .into_iter()
+            .map(|(g, members)| (g, members.len() as u32))
+            .collect()
+    }
+
+    /// The k-th best exact value of a ranked list, or the domain minimum when fewer than
+    /// k groups are known exactly.
+    fn kth_value(&self, ranked: &[RankedItem]) -> f64 {
+        if ranked.len() >= self.spec.k {
+            ranked[self.spec.k - 1].value
+        } else {
+            self.spec.domain.min
+        }
+    }
+
+    /// Creation phase: a full TAG-style convergecast followed by the first threshold
+    /// broadcast.
+    fn creation_phase(&mut self, net: &mut Network, readings: &[Reading]) -> TopKResult {
+        let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+        let sink_view = convergecast_full(net, readings, &self.spec, PhaseTag::Creation, |_, _| {});
+        let full_ranking = rank_view(&sink_view, usize::MAX, epoch);
+        let result = TopKResult::new(epoch, full_ranking.items.iter().take(self.spec.k).copied().collect());
+        let kth = self.kth_value(&result.items);
+        self.observe_kth(kth);
+        let tau = (kth - self.config.threshold_slack).max(self.spec.domain.min);
+        net.flood_down(epoch, 1, PhaseTag::Control);
+        self.tau = Some(tau);
+        self.stats.creations += 1;
+        result
+    }
+
+    /// Pruning + Update phases of one epoch, returning the merged (possibly incomplete)
+    /// sink view.
+    fn pruned_convergecast(
+        &mut self,
+        net: &mut Network,
+        readings: &[Reading],
+        group_sizes: &BTreeMap<GroupId, u32>,
+        tau: f64,
+        epoch: Epoch,
+    ) -> GroupView {
+        let reading_of: BTreeMap<NodeId, &Reading> = readings.iter().map(|r| (r.node, r)).collect();
+        let mut inbox: BTreeMap<NodeId, Vec<GroupView>> = BTreeMap::new();
+        for node in net.tree().post_order() {
+            let mut view = GroupView::new(self.spec.func);
+            if let Some(r) = reading_of.get(&node) {
+                view.add_reading(r.group, r.value);
+            }
+            if let Some(children_views) = inbox.remove(&node) {
+                for cv in &children_views {
+                    view.merge(cv);
+                }
+            }
+            net.charge_cpu(node, view.len() as u32);
+            // Pruning phase: a group stays in V'_i only if, even with every unseen
+            // member at the top of the domain, it could still reach the *effective*
+            // threshold.  The effective threshold is the broadcast τ or, when the node's
+            // own view already contains k groups whose lower bounds beat τ, the k-th of
+            // those local lower bounds — the purely local part of the γ framework, which
+            // lets interior nodes prune even while the broadcast threshold is stale.
+            let func = self.spec.func;
+            let domain_max = self.spec.domain.max;
+            let domain_min = self.spec.domain.min;
+            let mut local_lbs: Vec<f64> = view
+                .iter()
+                .map(|(g, state)| {
+                    let total = group_sizes.get(&g).copied().unwrap_or_else(|| state.count());
+                    state.lower_bound(func, total.saturating_sub(state.count()), domain_min)
+                })
+                .collect();
+            local_lbs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            let local_tau = local_lbs.get(self.spec.k - 1).copied().unwrap_or(f64::NEG_INFINITY);
+            let effective_tau = tau.max(local_tau);
+            view.retain(|g, state| {
+                let total = group_sizes.get(&g).copied().unwrap_or_else(|| state.count());
+                let missing = total.saturating_sub(state.count());
+                state.upper_bound(func, missing, domain_max) >= effective_tau
+            });
+            // Update phase: silent when nothing survived the pruning.
+            if !view.is_empty() {
+                net.send_report_to_parent(node, epoch, view.len() as u32, 0, PhaseTag::Update);
+                inbox.entry(net.tree().parent(node)).or_default().push(view);
+            }
+        }
+        let mut sink_view = GroupView::new(self.spec.func);
+        if let Some(views) = inbox.remove(&SINK) {
+            for v in &views {
+                sink_view.merge(v);
+            }
+        }
+        sink_view
+    }
+
+    /// Probes every member of `group`, charging the probe traffic and returning the
+    /// group's exact aggregate recomputed from the members' raw readings.
+    fn probe_group(
+        &mut self,
+        net: &mut Network,
+        readings: &[Reading],
+        group: GroupId,
+        epoch: Epoch,
+    ) -> Option<f64> {
+        let members = net.deployment().group_members().get(&group).cloned().unwrap_or_default();
+        let mut state = AggState::empty(self.spec.func);
+        for member in members {
+            net.unicast_down(member, epoch, 1, PhaseTag::Probe);
+            net.unicast_up(member, epoch, 1, PhaseTag::Probe);
+            if let Some(r) = readings.iter().find(|r| r.node == member) {
+                state.add(r.value);
+            }
+        }
+        self.stats.probed_groups += 1;
+        state.partial_value(self.spec.func)
+    }
+}
+
+impl SnapshotAlgorithm for MintViews {
+    fn name(&self) -> &'static str {
+        "KSpot (MINT views)"
+    }
+
+    fn execute_epoch(&mut self, net: &mut Network, readings: &[Reading]) -> TopKResult {
+        let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+        let Some(tau) = self.tau else {
+            return self.creation_phase(net, readings);
+        };
+
+        let group_sizes = Self::group_sizes(net);
+        let sink_view = self.pruned_convergecast(net, readings, &group_sizes, tau, epoch);
+
+        // --- sink-side verification -------------------------------------------------
+        // Exact values are available for every group whose contributions all arrived.
+        let mut exact: BTreeMap<GroupId, f64> = BTreeMap::new();
+        for (g, state) in sink_view.iter() {
+            let total = group_sizes.get(&g).copied().unwrap_or(0);
+            if let Some(v) = state.exact_value(self.spec.func, total) {
+                exact.insert(g, v);
+            }
+        }
+
+        let rank_exact = |exact: &BTreeMap<GroupId, f64>| -> Vec<RankedItem> {
+            let mut items: Vec<RankedItem> =
+                exact.iter().map(|(g, v)| RankedItem::new(u64::from(*g), *v)).collect();
+            items.sort_by(|a, b| kspot_net::types::cmp_value(b.value, a.value).then(a.key.cmp(&b.key)));
+            items
+        };
+
+        let ranked = rank_exact(&exact);
+        let kappa = self.kth_value(&ranked);
+        let certified = ranked.len() >= self.spec.k && kappa >= tau;
+        let mut probed_this_epoch = false;
+
+        if !certified {
+            probed_this_epoch = true;
+            // Every group that is not exactly known might still matter; probe the ones
+            // whose upper bound reaches the best k-th value we currently have.
+            self.stats.probe_epochs += 1;
+            let candidate_groups: Vec<GroupId> = group_sizes
+                .keys()
+                .filter(|g| !exact.contains_key(g))
+                .copied()
+                .collect();
+            for g in candidate_groups {
+                let total = group_sizes[&g];
+                let ub = match sink_view.get(g) {
+                    Some(state) => state.upper_bound(
+                        self.spec.func,
+                        total.saturating_sub(state.count()),
+                        self.spec.domain.max,
+                    ),
+                    None => AggState::empty(self.spec.func).upper_bound(self.spec.func, total, self.spec.domain.max),
+                };
+                if ranked.len() < self.spec.k || ub >= kappa {
+                    if let Some(v) = self.probe_group(net, readings, g, epoch) {
+                        exact.insert(g, v);
+                    }
+                }
+            }
+        }
+
+        let mut final_items = rank_exact(&exact);
+        final_items.truncate(self.spec.k);
+        let result = TopKResult::new(epoch, final_items);
+
+        // --- threshold maintenance ---------------------------------------------------
+        // The threshold is only re-flooded when it has to be: after a probe epoch (the
+        // installed threshold was too high) or when the k-th value has risen enough that
+        // the installed threshold forfeits substantial pruning.  Ordinary downward drift
+        // is absorbed by the adaptive slack instead of per-epoch floods.
+        let new_kth = self.kth_value(&result.items);
+        self.observe_kth(new_kth);
+        let target = (new_kth - self.effective_slack()).max(self.spec.domain.min);
+        if probed_this_epoch || target > tau + self.config.rebroadcast_tolerance {
+            net.flood_down(epoch, 1, PhaseTag::Control);
+            self.tau = Some(target);
+            self.stats.rebroadcasts += 1;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{exact_reference, run_continuous};
+    use crate::tag::TagTopK;
+    use kspot_net::types::ValueDomain;
+    use kspot_net::{Deployment, NetworkConfig, RoomModelParams, Workload};
+    use kspot_query::AggFunc;
+
+    fn spec(k: usize) -> SnapshotSpec {
+        SnapshotSpec::new(k, AggFunc::Avg, ValueDomain::percentage())
+    }
+
+    #[test]
+    fn mint_answers_figure1_correctly_for_every_k() {
+        for k in 1..=4 {
+            let d = Deployment::figure1();
+            let mut workload = Workload::figure1(&d);
+            let mut net = Network::new(d, NetworkConfig::ideal());
+            let mut mint = MintViews::new(spec(k));
+            let mut reference_workload = Workload::figure1(&Deployment::figure1());
+            // Run three epochs: creation plus two pruned epochs.
+            let results = run_continuous(&mut mint, &mut net, &mut workload, 3);
+            for result in &results {
+                let reference = exact_reference(&spec(k), &reference_workload.next_epoch());
+                assert!(
+                    result.same_ranking(&reference),
+                    "k={k}: MINT ranking {result} differs from reference {reference}"
+                );
+                assert!(result.approx_eq(&reference, 1e-9), "k={k}: values must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn mint_matches_tag_on_drifting_workloads() {
+        let d = Deployment::clustered_rooms(6, 4, 20.0, 21);
+        let make_workload = || {
+            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 21)
+        };
+        let spec = spec(3);
+
+        let mut mint_net = Network::new(d.clone(), NetworkConfig::ideal());
+        let mut mint = MintViews::new(spec);
+        let mint_results = run_continuous(&mut mint, &mut mint_net, &mut make_workload(), 60);
+
+        let mut tag_net = Network::new(d.clone(), NetworkConfig::ideal());
+        let mut tag = TagTopK::new(spec);
+        let tag_results = run_continuous(&mut tag, &mut tag_net, &mut make_workload(), 60);
+
+        for (m, t) in mint_results.iter().zip(tag_results.iter()) {
+            assert!(m.same_ranking(t), "MINT must agree with TAG: {m} vs {t}");
+            assert!(m.approx_eq(t, 1e-9));
+        }
+    }
+
+    #[test]
+    fn mint_transmits_fewer_tuples_and_bytes_than_tag() {
+        let d = Deployment::clustered_rooms(9, 4, 20.0, 5);
+        let spec = spec(2);
+        let make_workload = || {
+            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 5)
+        };
+
+        let mut mint_net = Network::new(d.clone(), NetworkConfig::mica2());
+        let mut mint = MintViews::new(spec);
+        run_continuous(&mut mint, &mut mint_net, &mut make_workload(), 80);
+
+        let mut tag_net = Network::new(d.clone(), NetworkConfig::mica2());
+        run_continuous(&mut TagTopK::new(spec), &mut tag_net, &mut make_workload(), 80);
+
+        let mint_totals = mint_net.metrics().totals();
+        let tag_totals = tag_net.metrics().totals();
+        assert!(
+            mint_totals.tuples < tag_totals.tuples,
+            "MINT ({}) should ship fewer tuples than TAG ({})",
+            mint_totals.tuples,
+            tag_totals.tuples
+        );
+        assert!(mint_totals.bytes < tag_totals.bytes);
+        assert!(mint_totals.energy_uj < tag_totals.energy_uj);
+    }
+
+    #[test]
+    fn mint_saves_messages_through_silent_subtrees() {
+        // Clustered rooms with strongly separated activity levels: the quiet rooms'
+        // subtrees have nothing to report after the creation phase.
+        let d = Deployment::clustered_rooms(4, 4, 20.0, 7);
+        let trace: Vec<Vec<f64>> = (0..40)
+            .map(|_| {
+                (1..=16)
+                    .map(|node: u32| {
+                        let group = (node - 1) / 4;
+                        match group {
+                            0 => 90.0,
+                            1 => 85.0,
+                            _ => 15.0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let spec = spec(1);
+        let make_workload = || Workload::trace(&d, ValueDomain::percentage(), trace.clone());
+
+        let mut mint_net = Network::new(d.clone(), NetworkConfig::ideal());
+        run_continuous(&mut MintViews::new(spec), &mut mint_net, &mut make_workload(), 40);
+
+        let mut tag_net = Network::new(d.clone(), NetworkConfig::ideal());
+        run_continuous(&mut TagTopK::new(spec), &mut tag_net, &mut make_workload(), 40);
+
+        assert!(
+            mint_net.metrics().totals().messages < tag_net.metrics().totals().messages,
+            "quiet rooms should go silent under MINT ({} vs {} messages)",
+            mint_net.metrics().totals().messages,
+            tag_net.metrics().totals().messages
+        );
+    }
+
+    #[test]
+    fn mint_stays_exact_even_when_drift_exceeds_the_slack() {
+        // A hostile workload: values are redrawn uniformly every epoch, so the threshold
+        // is stale almost immediately.  MINT must fall back to probing and stay exact.
+        let d = Deployment::clustered_rooms(5, 3, 20.0, 13);
+        let spec = spec(2);
+        let make_workload = || Workload::uniform_iid(&d, ValueDomain::percentage(), 13);
+
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let mut mint = MintViews::new(spec);
+        let results = run_continuous(&mut mint, &mut net, &mut make_workload(), 30);
+
+        let mut reference_workload = make_workload();
+        for result in &results {
+            let reference = exact_reference(&spec, &reference_workload.next_epoch());
+            assert!(result.same_ranking(&reference), "exactness must survive hostile drift");
+        }
+        assert!(mint.stats().probe_epochs > 0, "the hostile workload should force probes");
+    }
+
+    #[test]
+    fn stable_workloads_need_no_probes_and_few_rebroadcasts() {
+        let d = Deployment::figure1();
+        let mut workload = Workload::figure1(&d);
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let mut mint = MintViews::new(spec(1));
+        run_continuous(&mut mint, &mut net, &mut workload, 20);
+        let stats = mint.stats();
+        assert_eq!(stats.creations, 1);
+        assert_eq!(stats.probe_epochs, 0, "constant readings never need probes");
+        assert_eq!(stats.rebroadcasts, 0, "constant readings never need new thresholds");
+        assert_eq!(net.metrics().phase(PhaseTag::Probe).messages, 0);
+    }
+
+    #[test]
+    fn creation_phase_floods_the_initial_threshold() {
+        let d = Deployment::figure1();
+        let readings = Workload::figure1(&d).next_epoch();
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let mut mint = MintViews::new(spec(1));
+        let result = mint.execute_epoch(&mut net, &readings);
+        assert_eq!(result.top().unwrap().key, 2);
+        assert!(mint.installed_threshold().is_some());
+        let tau = mint.installed_threshold().unwrap();
+        assert!((tau - (75.0 - MintConfig::default().threshold_slack)).abs() < 1e-9);
+        assert!(net.metrics().phase(PhaseTag::Control).messages > 0, "threshold flood is accounted");
+        assert!(net.metrics().phase(PhaseTag::Creation).messages > 0);
+    }
+
+    #[test]
+    fn mint_works_for_max_and_min_aggregates() {
+        for func in [AggFunc::Max, AggFunc::Min, AggFunc::Sum] {
+            let d = Deployment::clustered_rooms(5, 3, 20.0, 3);
+            let spec = SnapshotSpec::new(2, func, ValueDomain::percentage());
+            let make_workload = || {
+                Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 3)
+            };
+            let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+            let mut mint = MintViews::new(spec);
+            let results = run_continuous(&mut mint, &mut net, &mut make_workload(), 25);
+            let mut reference_workload = make_workload();
+            for result in &results {
+                let reference = exact_reference(&spec, &reference_workload.next_epoch());
+                assert!(result.same_ranking(&reference), "{func}: MINT must stay exact");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_slack_is_rejected() {
+        let _ = MintViews::with_config(spec(1), MintConfig { threshold_slack: -1.0, rebroadcast_tolerance: 0.0 });
+    }
+}

@@ -1,0 +1,170 @@
+//! TAG in-network aggregation with a sink-side Top-K operator.
+//!
+//! This is the strategy the paper describes as the natural extension of TinyDB: every
+//! node forwards `(group, partial aggregate)` tuples for *all* groups present in its
+//! subtree, partial states merge on the way up, and a new Top-K operator at the sink
+//! prunes the answer space centrally.  It is exact, and it is the baseline KSpot's
+//! System Panel measures its savings against.
+
+use crate::result::{RankedItem, TopKResult};
+use crate::snapshot::{SnapshotAlgorithm, SnapshotSpec};
+use crate::view::GroupView;
+use kspot_net::{Network, NodeId, PhaseTag, Reading, SINK};
+use std::collections::BTreeMap;
+
+/// TAG with a centralized Top-K operator at the sink.
+#[derive(Debug, Clone)]
+pub struct TagTopK {
+    spec: SnapshotSpec,
+}
+
+impl TagTopK {
+    /// Creates the executor.
+    pub fn new(spec: SnapshotSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec the executor runs.
+    pub fn spec(&self) -> &SnapshotSpec {
+        &self.spec
+    }
+}
+
+/// Runs one TAG convergecast: every node merges its reading with its children's views
+/// and forwards the complete merged view to its parent.  Returns the sink's merged view.
+///
+/// `phase` lets callers label the traffic (MINT reuses this helper for its Creation
+/// phase).  `shrink` is applied to each node's merged view right before transmission,
+/// which is how the naive strategy plugs in its local truncation; TAG passes a no-op.
+pub(crate) fn convergecast_full(
+    net: &mut Network,
+    readings: &[Reading],
+    spec: &SnapshotSpec,
+    phase: PhaseTag,
+    mut shrink: impl FnMut(NodeId, &mut GroupView),
+) -> GroupView {
+    let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+    let reading_of: BTreeMap<NodeId, &Reading> = readings.iter().map(|r| (r.node, r)).collect();
+    let mut inbox: BTreeMap<NodeId, Vec<GroupView>> = BTreeMap::new();
+    let order = net.tree().post_order();
+    for node in order {
+        let mut view = GroupView::new(spec.func);
+        if let Some(r) = reading_of.get(&node) {
+            view.add_reading(r.group, r.value);
+        }
+        if let Some(children_views) = inbox.remove(&node) {
+            for cv in &children_views {
+                view.merge(cv);
+            }
+        }
+        net.charge_cpu(node, view.len() as u32);
+        shrink(node, &mut view);
+        let parent = net.tree().parent(node);
+        if !view.is_empty() {
+            net.send_report_to_parent(node, epoch, view.len() as u32, 0, phase);
+            inbox.entry(parent).or_default().push(view);
+        }
+    }
+    let mut sink_view = GroupView::new(spec.func);
+    if let Some(views) = inbox.remove(&SINK) {
+        for v in &views {
+            sink_view.merge(v);
+        }
+    }
+    sink_view
+}
+
+/// Ranks a sink view by partial value and truncates to `k` (for TAG the sink view is
+/// complete, so partial values are exact).
+pub(crate) fn rank_view(view: &GroupView, k: usize, epoch: kspot_net::Epoch) -> TopKResult {
+    let items = view
+        .partial_values()
+        .into_iter()
+        .map(|(g, v)| RankedItem::new(u64::from(g), v))
+        .collect();
+    let mut result = TopKResult::new(epoch, items);
+    result.items.truncate(k);
+    result
+}
+
+impl SnapshotAlgorithm for TagTopK {
+    fn name(&self) -> &'static str {
+        "TAG + sink Top-K"
+    }
+
+    fn execute_epoch(&mut self, net: &mut Network, readings: &[Reading]) -> TopKResult {
+        let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+        let sink_view = convergecast_full(net, readings, &self.spec, PhaseTag::Update, |_, _| {});
+        rank_view(&sink_view, self.spec.k, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{exact_reference, run_continuous};
+    use kspot_net::types::ValueDomain;
+    use kspot_net::{Deployment, NetworkConfig, RoomModelParams, Workload};
+    use kspot_query::AggFunc;
+
+    fn figure1_net() -> (Network, Vec<Reading>) {
+        let d = Deployment::figure1();
+        let readings = Workload::figure1(&d).next_epoch();
+        (Network::new(d, NetworkConfig::ideal()), readings)
+    }
+
+    #[test]
+    fn tag_answers_figure1_correctly() {
+        let (mut net, readings) = figure1_net();
+        let spec = SnapshotSpec::new(1, AggFunc::Avg, ValueDomain::percentage());
+        let mut tag = TagTopK::new(spec);
+        let result = tag.execute_epoch(&mut net, &readings);
+        assert_eq!(result.top().unwrap().key, 2, "room C is the correct Top-1 answer");
+        assert!((result.top().unwrap().value - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_sends_one_message_per_node_per_epoch() {
+        let (mut net, readings) = figure1_net();
+        let spec = SnapshotSpec::new(1, AggFunc::Avg, ValueDomain::percentage());
+        TagTopK::new(spec).execute_epoch(&mut net, &readings);
+        assert_eq!(net.metrics().totals().messages, 9);
+        // Tuple counts follow subtree group diversity: leaves send 1 tuple, node 4 sends
+        // 2 (rooms B and D), node 7 sends 2 (it merges its D children with B from s4),
+        // node 2 sends 2 (rooms A and B).
+        assert_eq!(net.metrics().node(9).tuples_sent, 1);
+        assert_eq!(net.metrics().node(4).tuples_sent, 2);
+        assert_eq!(net.metrics().node(7).tuples_sent, 2);
+        assert_eq!(net.metrics().node(2).tuples_sent, 2);
+    }
+
+    #[test]
+    fn tag_matches_the_exact_reference_on_random_workloads() {
+        let d = Deployment::clustered_rooms(6, 4, 20.0, 42);
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
+        let mut workload =
+            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 42);
+        let mut reference_workload =
+            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 42);
+        let mut tag = TagTopK::new(spec);
+        let produced = run_continuous(&mut tag, &mut net, &mut workload, 20);
+        for result in &produced {
+            let readings = reference_workload.next_epoch();
+            let reference = exact_reference(&spec, &readings);
+            assert!(result.same_ranking(&reference), "TAG must be exact every epoch");
+            assert!(result.approx_eq(&reference, 1e-9));
+        }
+    }
+
+    #[test]
+    fn tag_works_for_every_aggregate_function() {
+        for func in [AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count] {
+            let (mut net, readings) = figure1_net();
+            let spec = SnapshotSpec::new(2, func, ValueDomain::percentage());
+            let result = TagTopK::new(spec).execute_epoch(&mut net, &readings);
+            let reference = exact_reference(&spec, &readings);
+            assert!(result.same_ranking(&reference), "{func} ranking mismatch");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! TJA — the Threshold Join Algorithm for historic Top-K queries.
+//!
+//! TJA (Zeinalipour-Yazti et al., DMSN 2005) answers vertically fragmented historic
+//! Top-K queries in three phases, exploiting the routing tree so that partial results
+//! are *unioned and joined hierarchically* instead of being shipped node-by-node to the
+//! sink (which is what TPUT, its flat competitor, does):
+//!
+//! 1. **Lower Bound (LB)** — every node contributes its local top-k epochs; the lists
+//!    are unioned on the way up, giving the sink `L_sink = {l_1, …, l_o}`, `o ≥ K`.
+//! 2. **Hierarchical Join (HJ)** — the sink disseminates `L_sink` together with the
+//!    elimination threshold derived from it; every node then forwards only the buffered
+//!    tuples that survive the threshold (or that complete the candidate epochs), and the
+//!    surviving tuples are joined (merged per epoch) hierarchically on the way up.
+//! 3. **Clean-Up** — the sink fetches the few missing values it still needs to turn the
+//!    candidate bounds into exact answers and reports the final Top-K.
+//!
+//! The elimination threshold is `θ = τ₁ / n`, where `τ₁` is the K-th highest partial
+//! sum after the LB phase: any epoch whose true network average reaches the true K-th
+//! value must have at least one node reading at or above `θ`, so no true answer can be
+//! eliminated, and every epoch never reported anywhere is provably below the K-th —
+//! which is what makes the final answer exact.
+
+use crate::historic::{HistoricAlgorithm, HistoricDataset, HistoricSpec};
+use crate::result::{RankedItem, TopKResult};
+use kspot_net::{Epoch, Network, NodeId, PhaseTag, SINK};
+use kspot_query::AggFunc;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-phase statistics of one TJA execution (used by the E6/E7 tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TjaStats {
+    /// Size of `L_sink` after the LB phase.
+    pub lsink_size: usize,
+    /// Candidate epochs examined after the HJ phase.
+    pub candidates: usize,
+    /// Individual `(node, epoch)` values pulled during Clean-Up.
+    pub cleanup_pulls: usize,
+}
+
+/// The TJA executor.
+#[derive(Debug, Clone)]
+pub struct Tja {
+    spec: HistoricSpec,
+    stats: TjaStats,
+}
+
+/// A partial per-epoch aggregate assembled at the sink: sum of the values received and
+/// the set of nodes they came from.
+#[derive(Debug, Clone, Default)]
+struct EpochPartial {
+    sum: f64,
+    contributors: BTreeSet<NodeId>,
+}
+
+impl Tja {
+    /// Creates the executor.
+    pub fn new(spec: HistoricSpec) -> Self {
+        Self { spec, stats: TjaStats::default() }
+    }
+
+    /// Statistics of the most recent execution.
+    pub fn stats(&self) -> TjaStats {
+        self.stats
+    }
+
+    fn score(&self, sum: f64, n: usize) -> f64 {
+        match self.spec.func {
+            AggFunc::Avg => sum / n as f64,
+            _ => sum,
+        }
+    }
+}
+
+impl HistoricAlgorithm for Tja {
+    fn name(&self) -> &'static str {
+        "TJA (hierarchical)"
+    }
+
+    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
+        let k = self.spec.k;
+        let n = data.num_nodes();
+        let query_epoch = *data.epochs().last().unwrap_or(&0);
+        let node_ids = data.node_ids();
+
+        // ------------------------------------------------------------------ LB phase
+        // Each node's local top-k list; lists are unioned (merged per epoch) on the way
+        // up, so a node transmits one tuple per distinct epoch in its subtree's union.
+        let mut local_topk: BTreeMap<NodeId, Vec<(Epoch, f64)>> = BTreeMap::new();
+        for &node in &node_ids {
+            let list = data.window_mut(node).local_top_k(k);
+            net.charge_cpu(node, list.len() as u32);
+            local_topk.insert(node, list);
+        }
+        let mut inbox: BTreeMap<NodeId, BTreeMap<Epoch, EpochPartial>> = BTreeMap::new();
+        for node in net.tree().post_order() {
+            let mut union: BTreeMap<Epoch, EpochPartial> = inbox.remove(&node).unwrap_or_default();
+            for &(e, v) in &local_topk[&node] {
+                let entry = union.entry(e).or_default();
+                entry.sum += v;
+                entry.contributors.insert(node);
+            }
+            net.send_report_to_parent(node, query_epoch, union.len() as u32, 0, PhaseTag::LowerBound);
+            let parent = net.tree().parent(node);
+            let parent_box = inbox.entry(parent).or_default();
+            for (e, partial) in union {
+                let slot = parent_box.entry(e).or_default();
+                slot.sum += partial.sum;
+                slot.contributors.extend(partial.contributors);
+            }
+        }
+        let mut assembled: BTreeMap<Epoch, EpochPartial> = inbox.remove(&SINK).unwrap_or_default();
+        self.stats.lsink_size = assembled.len();
+
+        // τ₁ = K-th highest partial sum over L_sink; θ = τ₁ / n.
+        let mut partial_sums: Vec<f64> = assembled.values().map(|p| p.sum).collect();
+        partial_sums.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let tau1 = partial_sums.get(k - 1).copied().unwrap_or(0.0);
+        let theta = (tau1 / n as f64).max(self.spec.domain.min);
+        let lsink: BTreeSet<Epoch> = assembled.keys().copied().collect();
+
+        // ------------------------------------------------------------------ HJ phase
+        // Disseminate L_sink and θ, then join the surviving tuples hierarchically.
+        net.flood_down(query_epoch, lsink.len() as u32 + 1, PhaseTag::HierarchicalJoin);
+        let mut hj_contrib: BTreeMap<NodeId, Vec<(Epoch, f64)>> = BTreeMap::new();
+        for &node in &node_ids {
+            let already: BTreeSet<Epoch> = local_topk[&node].iter().map(|&(e, _)| e).collect();
+            let window = data.window_mut(node);
+            let mut send: Vec<(Epoch, f64)> = Vec::new();
+            for (e, v) in window.iter() {
+                if already.contains(&e) {
+                    continue;
+                }
+                if v >= theta || lsink.contains(&e) {
+                    send.push((e, v));
+                }
+            }
+            net.charge_cpu(node, send.len() as u32);
+            hj_contrib.insert(node, send);
+        }
+        let mut inbox: BTreeMap<NodeId, BTreeMap<Epoch, EpochPartial>> = BTreeMap::new();
+        for node in net.tree().post_order() {
+            let mut joined: BTreeMap<Epoch, EpochPartial> = inbox.remove(&node).unwrap_or_default();
+            for &(e, v) in &hj_contrib[&node] {
+                let entry = joined.entry(e).or_default();
+                entry.sum += v;
+                entry.contributors.insert(node);
+            }
+            if !joined.is_empty() {
+                net.send_report_to_parent(node, query_epoch, joined.len() as u32, 0, PhaseTag::HierarchicalJoin);
+            }
+            let parent = net.tree().parent(node);
+            let parent_box = inbox.entry(parent).or_default();
+            for (e, partial) in joined {
+                let slot = parent_box.entry(e).or_default();
+                slot.sum += partial.sum;
+                slot.contributors.extend(partial.contributors);
+            }
+        }
+        if let Some(hj_at_sink) = inbox.remove(&SINK) {
+            for (e, partial) in hj_at_sink {
+                let slot = assembled.entry(e).or_default();
+                slot.sum += partial.sum;
+                slot.contributors.extend(partial.contributors);
+            }
+        }
+        self.stats.candidates = assembled.len();
+
+        // --------------------------------------------------------------- Clean-Up phase
+        // Bounds: a value still missing for a candidate epoch must be below θ (its owner
+        // would have reported it otherwise), so UB = sum + missing·θ, LB = sum +
+        // missing·domain.min.
+        let lower_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * self.spec.domain.min;
+        let upper_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * theta;
+        let mut lower_bounds: Vec<f64> = assembled.values().map(lower_of).collect();
+        lower_bounds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let kth_lower = lower_bounds.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY);
+
+        let to_resolve: Vec<Epoch> = assembled
+            .iter()
+            .filter(|(_, p)| p.contributors.len() < n && upper_of(p) >= kth_lower)
+            .map(|(e, _)| *e)
+            .collect();
+        for e in to_resolve {
+            let missing: Vec<NodeId> = node_ids
+                .iter()
+                .copied()
+                .filter(|node| !assembled[&e].contributors.contains(node))
+                .collect();
+            for node in missing {
+                net.unicast_down(node, query_epoch, 1, PhaseTag::CleanUp);
+                net.unicast_up(node, query_epoch, 1, PhaseTag::CleanUp);
+                self.stats.cleanup_pulls += 1;
+                if let Some(v) = data.value_at(node, e) {
+                    let slot = assembled.get_mut(&e).expect("candidate exists");
+                    slot.sum += v;
+                    slot.contributors.insert(node);
+                }
+            }
+        }
+
+        // Final ranking over the epochs now known exactly.
+        let items: Vec<RankedItem> = assembled
+            .iter()
+            .filter(|(_, p)| p.contributors.len() == n)
+            .map(|(e, p)| RankedItem::new(*e, self.score(p.sum, n)))
+            .collect();
+        let mut result = TopKResult::new(query_epoch, items);
+        result.items.truncate(k);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::historic::CentralizedHistoric;
+    use kspot_net::types::ValueDomain;
+    use kspot_net::{Deployment, NetworkConfig, RoomModelParams, Workload};
+
+    fn setup(nodes_side: usize, window: usize, seed: u64) -> (Deployment, HistoricDataset) {
+        let d = Deployment::grid(nodes_side, 10.0, Some(nodes_side));
+        let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), seed);
+        let data = HistoricDataset::collect(&mut w, window);
+        (d, data)
+    }
+
+    #[test]
+    fn tja_matches_the_exact_reference() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let (d, mut data) = setup(4, 64, seed);
+            let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 64);
+            let mut net = Network::new(d, NetworkConfig::ideal());
+            let result = Tja::new(spec).execute(&mut net, &mut data);
+            let reference = data.exact_reference(&spec);
+            assert!(
+                result.same_ranking(&reference),
+                "seed {seed}: TJA {result} must equal the reference {reference}"
+            );
+            assert!(result.approx_eq(&reference, 1e-9));
+        }
+    }
+
+    #[test]
+    fn tja_matches_reference_with_uniform_noise_too() {
+        let d = Deployment::grid(5, 10.0, Some(5));
+        let mut w = Workload::uniform_iid(&d, ValueDomain::percentage(), 99);
+        let mut data = HistoricDataset::collect(&mut w, 128);
+        let spec = HistoricSpec::new(10, AggFunc::Avg, ValueDomain::percentage(), 128);
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let mut tja = Tja::new(spec);
+        let result = tja.execute(&mut net, &mut data);
+        assert!(result.same_ranking(&data.exact_reference(&spec)));
+        assert!(tja.stats().lsink_size >= 10);
+    }
+
+    #[test]
+    fn tja_ships_far_fewer_tuples_than_centralized_collection() {
+        let (d, data) = setup(6, 256, 7);
+        let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 256);
+
+        let mut tja_net = Network::new(d.clone(), NetworkConfig::mica2());
+        let mut tja_data = data.clone();
+        Tja::new(spec).execute(&mut tja_net, &mut tja_data);
+
+        let mut central_net = Network::new(d, NetworkConfig::mica2());
+        let mut central_data = data;
+        CentralizedHistoric::new(spec).execute(&mut central_net, &mut central_data);
+
+        let tja_bytes = tja_net.metrics().totals().bytes;
+        let central_bytes = central_net.metrics().totals().bytes;
+        assert!(
+            tja_bytes * 2 < central_bytes,
+            "TJA ({tja_bytes} B) should use well under half the bytes of centralized collection ({central_bytes} B)"
+        );
+        assert!(tja_net.metrics().totals().energy_uj < central_net.metrics().totals().energy_uj);
+    }
+
+    #[test]
+    fn tja_works_for_sum_ranking() {
+        let (d, mut data) = setup(4, 32, 21);
+        let spec = HistoricSpec::new(3, AggFunc::Sum, ValueDomain::percentage(), 32);
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let result = Tja::new(spec).execute(&mut net, &mut data);
+        assert!(result.same_ranking(&data.exact_reference(&spec)));
+    }
+
+    #[test]
+    fn phase_traffic_is_labelled() {
+        let (d, mut data) = setup(4, 64, 2);
+        let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 64);
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        Tja::new(spec).execute(&mut net, &mut data);
+        assert!(net.metrics().phase(PhaseTag::LowerBound).messages > 0);
+        assert!(net.metrics().phase(PhaseTag::HierarchicalJoin).messages > 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! TPUT — the three-phase uniform-threshold algorithm, the flat competitor of TJA.
+//!
+//! TPUT (Cao & Wang, PODC 2004) answers the same vertically fragmented Top-K queries as
+//! TJA, but it was designed for flat distributed networks: every node exchanges data
+//! *directly* with the querying node, with no in-network unioning or joining.  Inside a
+//! multi-hop sensor network that means every tuple is relayed hop by hop to the sink
+//! without merging, which is exactly why the KSpot paperline (TJA) beats it — the same
+//! three logical phases cost far more radio bytes.
+//!
+//! Phases:
+//! 1. every node sends its local top-k; the sink computes `τ₁`, the K-th highest partial
+//!    sum;
+//! 2. the sink broadcasts the uniform threshold `θ = τ₁ / n`; every node sends all of
+//!    its remaining values at or above `θ`;
+//! 3. the sink fetches the exact values it still misses for the surviving candidates and
+//!    reports the exact Top-K.
+
+use crate::historic::{HistoricAlgorithm, HistoricDataset, HistoricSpec};
+use crate::result::{RankedItem, TopKResult};
+use kspot_net::{Epoch, Network, NodeId, PhaseTag};
+use kspot_query::AggFunc;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Statistics of one TPUT execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TputStats {
+    /// Distinct epochs seen after phase 1.
+    pub phase1_objects: usize,
+    /// Distinct epochs seen after phase 2.
+    pub phase2_objects: usize,
+    /// Individual `(node, epoch)` values fetched in phase 3.
+    pub phase3_fetches: usize,
+}
+
+/// The TPUT executor.
+#[derive(Debug, Clone)]
+pub struct Tput {
+    spec: HistoricSpec,
+    stats: TputStats,
+}
+
+#[derive(Debug, Clone, Default)]
+struct EpochPartial {
+    sum: f64,
+    contributors: BTreeSet<NodeId>,
+}
+
+impl Tput {
+    /// Creates the executor.
+    pub fn new(spec: HistoricSpec) -> Self {
+        Self { spec, stats: TputStats::default() }
+    }
+
+    /// Statistics of the most recent execution.
+    pub fn stats(&self) -> TputStats {
+        self.stats
+    }
+
+    fn score(&self, sum: f64, n: usize) -> f64 {
+        match self.spec.func {
+            AggFunc::Avg => sum / n as f64,
+            _ => sum,
+        }
+    }
+}
+
+impl HistoricAlgorithm for Tput {
+    fn name(&self) -> &'static str {
+        "TPUT (flat)"
+    }
+
+    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
+        let k = self.spec.k;
+        let n = data.num_nodes();
+        let query_epoch = *data.epochs().last().unwrap_or(&0);
+        let node_ids = data.node_ids();
+        let mut assembled: BTreeMap<Epoch, EpochPartial> = BTreeMap::new();
+        let absorb = |assembled: &mut BTreeMap<Epoch, EpochPartial>, node: NodeId, e: Epoch, v: f64| {
+            let slot = assembled.entry(e).or_default();
+            if slot.contributors.insert(node) {
+                slot.sum += v;
+            }
+        };
+
+        // --------------------------------------------------------------- phase 1
+        let mut local_topk: BTreeMap<NodeId, Vec<(Epoch, f64)>> = BTreeMap::new();
+        for &node in &node_ids {
+            let list = data.window_mut(node).local_top_k(k);
+            net.charge_cpu(node, list.len() as u32);
+            // Flat protocol: the list travels to the sink without merging, paying every
+            // hop of the routing path.
+            net.unicast_up(node, query_epoch, list.len() as u32, PhaseTag::LowerBound);
+            for &(e, v) in &list {
+                absorb(&mut assembled, node, e, v);
+            }
+            local_topk.insert(node, list);
+        }
+        self.stats.phase1_objects = assembled.len();
+        let mut partial_sums: Vec<f64> = assembled.values().map(|p| p.sum).collect();
+        partial_sums.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let tau1 = partial_sums.get(k - 1).copied().unwrap_or(0.0);
+        let theta = (tau1 / n as f64).max(self.spec.domain.min);
+
+        // --------------------------------------------------------------- phase 2
+        net.flood_down(query_epoch, 1, PhaseTag::Control);
+        for &node in &node_ids {
+            let already: BTreeSet<Epoch> = local_topk[&node].iter().map(|&(e, _)| e).collect();
+            let extra: Vec<(Epoch, f64)> = data
+                .window_mut(node)
+                .values_at_least(theta)
+                .into_iter()
+                .filter(|(e, _)| !already.contains(e))
+                .collect();
+            net.charge_cpu(node, extra.len() as u32);
+            if !extra.is_empty() {
+                net.unicast_up(node, query_epoch, extra.len() as u32, PhaseTag::Update);
+            }
+            for (e, v) in extra {
+                absorb(&mut assembled, node, e, v);
+            }
+        }
+        self.stats.phase2_objects = assembled.len();
+
+        // --------------------------------------------------------------- phase 3
+        let lower_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * self.spec.domain.min;
+        let upper_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * theta;
+        let mut lower_bounds: Vec<f64> = assembled.values().map(lower_of).collect();
+        lower_bounds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let kth_lower = lower_bounds.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY);
+        let to_resolve: Vec<Epoch> = assembled
+            .iter()
+            .filter(|(_, p)| p.contributors.len() < n && upper_of(p) >= kth_lower)
+            .map(|(e, _)| *e)
+            .collect();
+        for e in to_resolve {
+            let missing: Vec<NodeId> = node_ids
+                .iter()
+                .copied()
+                .filter(|node| !assembled[&e].contributors.contains(node))
+                .collect();
+            for node in missing {
+                net.unicast_down(node, query_epoch, 1, PhaseTag::Probe);
+                net.unicast_up(node, query_epoch, 1, PhaseTag::Probe);
+                self.stats.phase3_fetches += 1;
+                if let Some(v) = data.value_at(node, e) {
+                    absorb(&mut assembled, node, e, v);
+                }
+            }
+        }
+
+        let items: Vec<RankedItem> = assembled
+            .iter()
+            .filter(|(_, p)| p.contributors.len() == n)
+            .map(|(e, p)| RankedItem::new(*e, self.score(p.sum, n)))
+            .collect();
+        let mut result = TopKResult::new(query_epoch, items);
+        result.items.truncate(k);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::historic::CentralizedHistoric;
+    use crate::tja::Tja;
+    use kspot_net::types::ValueDomain;
+    use kspot_net::{Deployment, NetworkConfig, RoomModelParams, Workload};
+
+    fn setup(side: usize, window: usize, seed: u64) -> (Deployment, HistoricDataset) {
+        let d = Deployment::grid(side, 10.0, Some(side));
+        let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), seed);
+        let data = HistoricDataset::collect(&mut w, window);
+        (d, data)
+    }
+
+    #[test]
+    fn tput_matches_the_exact_reference() {
+        for seed in [11u64, 12, 13] {
+            let (d, mut data) = setup(4, 64, seed);
+            let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 64);
+            let mut net = Network::new(d, NetworkConfig::ideal());
+            let result = Tput::new(spec).execute(&mut net, &mut data);
+            assert!(result.same_ranking(&data.exact_reference(&spec)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tput_agrees_with_tja_and_costs_more_bytes() {
+        let (d, data) = setup(6, 128, 5);
+        let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 128);
+
+        let mut tja_net = Network::new(d.clone(), NetworkConfig::mica2());
+        let mut tja_data = data.clone();
+        let tja_result = Tja::new(spec).execute(&mut tja_net, &mut tja_data);
+
+        let mut tput_net = Network::new(d, NetworkConfig::mica2());
+        let mut tput_data = data;
+        let tput_result = Tput::new(spec).execute(&mut tput_net, &mut tput_data);
+
+        assert!(tja_result.same_ranking(&tput_result), "both algorithms are exact");
+        assert!(
+            tput_net.metrics().totals().bytes > tja_net.metrics().totals().bytes,
+            "flat TPUT ({} B) must cost more than hierarchical TJA ({} B)",
+            tput_net.metrics().totals().bytes,
+            tja_net.metrics().totals().bytes
+        );
+    }
+
+    #[test]
+    fn tput_is_still_cheaper_than_shipping_whole_windows() {
+        // A network-wide correlated signal (all nodes share one room's drift) is the
+        // regime distributed threshold algorithms are designed for: the local top-k
+        // lists overlap, the uniform threshold is selective and phase 2 stays small.
+        let d = Deployment::grid(5, 10.0, Some(1));
+        let mut w = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            RoomModelParams { drift_sigma: 4.0, sensor_noise_sigma: 1.0 },
+            17,
+        );
+        let data = HistoricDataset::collect(&mut w, 256);
+        let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 256);
+
+        let mut tput_net = Network::new(d.clone(), NetworkConfig::mica2());
+        let mut tput_data = data.clone();
+        Tput::new(spec).execute(&mut tput_net, &mut tput_data);
+
+        let mut central_net = Network::new(d, NetworkConfig::mica2());
+        let mut central_data = data;
+        CentralizedHistoric::new(spec).execute(&mut central_net, &mut central_data);
+
+        assert!(tput_net.metrics().totals().bytes < central_net.metrics().totals().bytes);
+    }
+
+    #[test]
+    fn phase_statistics_grow_monotonically() {
+        let (d, mut data) = setup(4, 64, 23);
+        let spec = HistoricSpec::new(3, AggFunc::Avg, ValueDomain::percentage(), 64);
+        let mut net = Network::new(d, NetworkConfig::ideal());
+        let mut tput = Tput::new(spec);
+        let _ = tput.execute(&mut net, &mut data);
+        let stats = tput.stats();
+        assert!(stats.phase1_objects >= 3);
+        assert!(stats.phase2_objects >= stats.phase1_objects);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-node group views — the `V_i` of the MINT description.
+//!
+//! During an epoch's convergecast every node maintains a view mapping each group (room)
+//! present in its subtree to a partial aggregate state.  TAG ships the full view to the
+//! parent, the naive strategy truncates it to the local top-k, and MINT prunes it with
+//! the upper-bound framework.  [`GroupView`] is that map plus the merge operations all
+//! of them share.
+
+use crate::agg::AggState;
+use kspot_net::{GroupId, Value};
+use kspot_query::AggFunc;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A partial aggregate per group, as maintained by one node for its subtree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupView {
+    func: AggFunc,
+    entries: BTreeMap<GroupId, AggState>,
+}
+
+impl GroupView {
+    /// An empty view for the given aggregate function.
+    pub fn new(func: AggFunc) -> Self {
+        Self { func, entries: BTreeMap::new() }
+    }
+
+    /// The aggregate function the view is built for.
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    /// Number of groups (tuples) in the view — the number of data tuples a node would
+    /// transmit if it shipped the view verbatim.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the view holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds one raw reading into the view.
+    pub fn add_reading(&mut self, group: GroupId, value: Value) {
+        self.entries.entry(group).or_insert_with(|| AggState::empty(self.func)).add(value);
+    }
+
+    /// Merges another view (typically a child's transmitted view) into this one.
+    pub fn merge(&mut self, other: &GroupView) {
+        assert_eq!(self.func, other.func, "views of different aggregates cannot merge");
+        for (group, state) in &other.entries {
+            self.entries
+                .entry(*group)
+                .and_modify(|s| s.merge(state))
+                .or_insert_with(|| *state);
+        }
+    }
+
+    /// The partial state for a group, if present.
+    pub fn get(&self, group: GroupId) -> Option<&AggState> {
+        self.entries.get(&group)
+    }
+
+    /// Iterates over `(group, partial state)` pairs in ascending group order.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, &AggState)> {
+        self.entries.iter().map(|(g, s)| (*g, s))
+    }
+
+    /// Keeps only the groups for which `keep` returns true; returns how many were
+    /// removed (the pruned tuples).
+    pub fn retain(&mut self, mut keep: impl FnMut(GroupId, &AggState) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|g, s| keep(*g, s));
+        before - self.entries.len()
+    }
+
+    /// The partial aggregate value of every group, `(group, value)`, skipping groups
+    /// whose state is still empty.
+    pub fn partial_values(&self) -> Vec<(GroupId, Value)> {
+        self.entries
+            .iter()
+            .filter_map(|(g, s)| s.partial_value(self.func).map(|v| (*g, v)))
+            .collect()
+    }
+
+    /// Truncates the view to the `k` groups with the highest *partial* values — the
+    /// wrongful greedy elimination the paper warns about, kept here because the naive
+    /// baseline needs it.
+    pub fn truncate_to_local_top_k(&mut self, k: usize) -> usize {
+        let mut scored = self.partial_values();
+        scored.sort_by(|a, b| kspot_net::types::cmp_value(b.1, a.1).then(a.0.cmp(&b.0)));
+        let keep: std::collections::BTreeSet<GroupId> =
+            scored.into_iter().take(k).map(|(g, _)| g).collect();
+        self.retain(|g, _| keep.contains(&g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(pairs: &[(GroupId, f64)]) -> GroupView {
+        let mut v = GroupView::new(AggFunc::Avg);
+        for &(g, val) in pairs {
+            v.add_reading(g, val);
+        }
+        v
+    }
+
+    #[test]
+    fn add_and_partial_values() {
+        let v = view(&[(0, 74.0), (0, 75.0), (1, 40.0)]);
+        assert_eq!(v.len(), 2);
+        let vals = v.partial_values();
+        assert_eq!(vals, vec![(0, 74.5), (1, 40.0)]);
+        assert_eq!(v.get(0).unwrap().count(), 2);
+        assert!(v.get(9).is_none());
+    }
+
+    #[test]
+    fn merge_combines_group_states() {
+        let mut a = view(&[(0, 74.0), (1, 40.0)]);
+        let b = view(&[(0, 75.0), (2, 75.0)]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.partial_values(), vec![(0, 74.5), (1, 40.0), (2, 75.0)]);
+    }
+
+    #[test]
+    fn retain_reports_pruned_count() {
+        let mut v = view(&[(0, 74.0), (1, 40.0), (2, 75.0)]);
+        let pruned = v.retain(|_, s| s.partial_value(AggFunc::Avg).unwrap_or(0.0) > 50.0);
+        assert_eq!(pruned, 1);
+        assert_eq!(v.len(), 2);
+        assert!(v.get(1).is_none());
+    }
+
+    #[test]
+    fn truncate_to_local_top_k_keeps_highest_partials() {
+        // This is exactly the wrongful elimination of Figure 1's node s4: its local view
+        // holds (B, 42) and (D, 39); local top-1 keeps B and drops D.
+        let mut v = view(&[(1, 42.0), (3, 39.0)]);
+        let pruned = v.truncate_to_local_top_k(1);
+        assert_eq!(pruned, 1);
+        assert!(v.get(1).is_some());
+        assert!(v.get(3).is_none());
+    }
+
+    #[test]
+    fn truncate_with_large_k_keeps_everything() {
+        let mut v = view(&[(0, 1.0), (1, 2.0)]);
+        assert_eq!(v.truncate_to_local_top_k(10), 0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different aggregates")]
+    fn merging_views_of_different_aggregates_panics() {
+        let mut a = GroupView::new(AggFunc::Avg);
+        let b = GroupView::new(AggFunc::Max);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_view_reports_empty() {
+        let v = GroupView::new(AggFunc::Max);
+        assert!(v.is_empty());
+        assert_eq!(v.partial_values(), vec![]);
+    }
+}

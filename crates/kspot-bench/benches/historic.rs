@@ -1,0 +1,49 @@
+//! Criterion counterpart of E6/E7: historic Top-K queries executed by TJA, TPUT and
+//! centralized window collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspot_algos::historic::HistoricAlgorithm;
+use kspot_algos::{CentralizedHistoric, HistoricDataset, HistoricSpec, Tja, Tput};
+use kspot_net::types::ValueDomain;
+use kspot_net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
+use kspot_query::AggFunc;
+use std::hint::black_box;
+
+fn dataset(window: usize) -> (Deployment, HistoricDataset) {
+    let d = Deployment::grid(6, 10.0, Some(1));
+    let mut w = Workload::room_correlated(
+        &d,
+        ValueDomain::percentage(),
+        RoomModelParams { drift_sigma: 4.0, sensor_noise_sigma: 2.0 },
+        66,
+    );
+    let data = HistoricDataset::collect(&mut w, window);
+    (d, data)
+}
+
+fn run(algo: &mut dyn HistoricAlgorithm, d: &Deployment, data: &HistoricDataset) -> u64 {
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2());
+    let mut data = data.clone();
+    algo.execute(&mut net, &mut data);
+    net.metrics().totals().bytes
+}
+
+fn bench_historic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("historic_window256_k5");
+    group.sample_size(10);
+    let (d, data) = dataset(256);
+    let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), 256);
+    group.bench_function(BenchmarkId::new("tja", 256), |b| {
+        b.iter(|| black_box(run(&mut Tja::new(spec), &d, &data)));
+    });
+    group.bench_function(BenchmarkId::new("tput", 256), |b| {
+        b.iter(|| black_box(run(&mut Tput::new(spec), &d, &data)));
+    });
+    group.bench_function(BenchmarkId::new("centralized", 256), |b| {
+        b.iter(|| black_box(run(&mut CentralizedHistoric::new(spec), &d, &data)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_historic);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion counterpart of E2/E3: one continuous snapshot Top-K query on the Figure-3
+//! conference scenario, executed by each strategy.  The interesting output is not the
+//! wall-clock time (everything is simulated) but the relative simulation cost, which
+//! tracks the amount of traffic each strategy generates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspot_algos::snapshot::{run_continuous, SnapshotAlgorithm};
+use kspot_algos::{CentralizedCollection, MintViews, NaiveLocalPrune, SnapshotSpec, TagTopK};
+use kspot_net::types::ValueDomain;
+use kspot_net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
+use kspot_query::AggFunc;
+use std::hint::black_box;
+
+fn run_strategy(make: &dyn Fn(SnapshotSpec) -> Box<dyn SnapshotAlgorithm>, epochs: usize) -> u64 {
+    let d = Deployment::conference();
+    let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
+    let mut algo = make(spec);
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2());
+    let mut workload =
+        Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 7);
+    run_continuous(algo.as_mut(), &mut net, &mut workload, epochs);
+    net.metrics().totals().bytes
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_conference_k3");
+    group.sample_size(10);
+    let strategies: Vec<(&str, Box<dyn Fn(SnapshotSpec) -> Box<dyn SnapshotAlgorithm>>)> = vec![
+        ("mint", Box::new(|s| Box::new(MintViews::new(s)))),
+        ("tag", Box::new(|s| Box::new(TagTopK::new(s)))),
+        ("centralized", Box::new(|s| Box::new(CentralizedCollection::new(s)))),
+        ("naive", Box::new(|s| Box::new(NaiveLocalPrune::new(s)))),
+    ];
+    for (name, make) in &strategies {
+        group.bench_with_input(BenchmarkId::new("epochs100", name), name, |b, _| {
+            b.iter(|| black_box(run_strategy(make.as_ref(), 100)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion counterpart of E4: MINT versus TAG as K grows on a 100-node clustered
+//! deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspot_algos::snapshot::run_continuous;
+use kspot_algos::{MintViews, SnapshotSpec, TagTopK};
+use kspot_net::types::ValueDomain;
+use kspot_net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
+use kspot_query::AggFunc;
+use std::hint::black_box;
+
+fn run_mint(k: usize, epochs: usize) -> u64 {
+    let d = Deployment::clustered_rooms(25, 4, 20.0, 44);
+    let spec = SnapshotSpec::new(k, AggFunc::Avg, ValueDomain::percentage());
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2());
+    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 44);
+    run_continuous(&mut MintViews::new(spec), &mut net, &mut w, epochs);
+    net.metrics().totals().bytes
+}
+
+fn run_tag(k: usize, epochs: usize) -> u64 {
+    let d = Deployment::clustered_rooms(25, 4, 20.0, 44);
+    let spec = SnapshotSpec::new(k, AggFunc::Avg, ValueDomain::percentage());
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2());
+    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 44);
+    run_continuous(&mut TagTopK::new(spec), &mut net, &mut w, epochs);
+    net.metrics().totals().bytes
+}
+
+fn bench_sweep_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_k_100_nodes");
+    group.sample_size(10);
+    for &k in &[1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("mint", k), &k, |b, &k| {
+            b.iter(|| black_box(run_mint(k, 30)));
+        });
+        group.bench_with_input(BenchmarkId::new("tag", k), &k, |b, &k| {
+            b.iter(|| black_box(run_tag(k, 30)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_k);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion counterpart of E5: MINT versus TAG as the network grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspot_algos::snapshot::run_continuous;
+use kspot_algos::{MintViews, SnapshotSpec, TagTopK};
+use kspot_net::types::ValueDomain;
+use kspot_net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
+use kspot_query::AggFunc;
+use std::hint::black_box;
+
+fn run(rooms: usize, mint: bool, epochs: usize) -> u64 {
+    let d = Deployment::clustered_rooms(rooms, 4, 20.0, 55);
+    let spec = SnapshotSpec::new(5.min(rooms), AggFunc::Avg, ValueDomain::percentage());
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2());
+    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 55);
+    if mint {
+        run_continuous(&mut MintViews::new(spec), &mut net, &mut w, epochs);
+    } else {
+        run_continuous(&mut TagTopK::new(spec), &mut net, &mut w, epochs);
+    }
+    net.metrics().totals().bytes
+}
+
+fn bench_sweep_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_network_size");
+    group.sample_size(10);
+    for &rooms in &[6usize, 25, 49] {
+        group.bench_with_input(BenchmarkId::new("mint", rooms * 4), &rooms, |b, &r| {
+            b.iter(|| black_box(run(r, true, 20)));
+        });
+        group.bench_with_input(BenchmarkId::new("tag", rooms * 4), &rooms, |b, &r| {
+            b.iter(|| black_box(run(r, false, 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_n);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Prints the experiment tables (E1–E10) that regenerate the paper's quantitative
+//! claims.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p kspot-bench --bin tables -- all
+//! cargo run --release -p kspot-bench --bin tables -- e1 e2 e9
+//! ```
+
+use kspot_bench::{run, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut unknown = Vec::new();
+    for id in &requested {
+        match run(id) {
+            Some(table) => println!("{table}"),
+            None => unknown.push(id.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} (available: {})",
+            unknown.join(", "),
+            ALL_EXPERIMENTS.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,501 @@
+//! The experiment suite E1–E10: every quantitative claim of the KSpot demonstration,
+//! regenerated as a printable table.
+//!
+//! See `DESIGN.md` (experiment index) for the mapping between each experiment, the
+//! paper artefact it reproduces and the modules it exercises, and `EXPERIMENTS.md` for
+//! the recorded paper-claim-versus-measured discussion.
+
+use crate::table::{fmt_f, Table};
+use kspot_algos::historic::HistoricAlgorithm;
+use kspot_algos::snapshot::{exact_reference, run_continuous, AccuracyReport, SnapshotAlgorithm};
+use kspot_algos::{
+    CentralizedCollection, CentralizedHistoric, HistoricDataset, HistoricSpec, MintConfig,
+    MintViews, NaiveLocalPrune, SnapshotSpec, TagTopK, Tja, Tput,
+};
+use kspot_core::{KSpotServer, ScenarioConfig, WorkloadSpec};
+use kspot_net::types::ValueDomain;
+use kspot_net::{Deployment, Network, NetworkConfig, PhaseTotals, RoomModelParams, Workload};
+use kspot_query::AggFunc;
+
+/// The identifiers of every experiment in the suite.
+pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Runs one experiment by id ("e1" … "e10"), returning its table.
+pub fn run(id: &str) -> Option<Table> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1_figure1()),
+        "e2" => Some(e2_snapshot_savings()),
+        "e3" => Some(e3_energy_lifetime()),
+        "e4" => Some(e4_sweep_k()),
+        "e5" => Some(e5_sweep_network_size()),
+        "e6" => Some(e6_historic_sweep_k()),
+        "e7" => Some(e7_historic_sweep_window()),
+        "e8" => Some(e8_accuracy_study()),
+        "e9" => Some(e9_drift_ablation()),
+        "e10" => Some(e10_aggregate_mix()),
+        _ => None,
+    }
+}
+
+/// Runs every experiment, in order.
+pub fn run_all() -> Vec<Table> {
+    ALL_EXPERIMENTS.iter().filter_map(|id| run(id)).collect()
+}
+
+// ---------------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------------
+
+fn room_workload(d: &Deployment, drift: f64, seed: u64) -> Workload {
+    Workload::room_correlated(
+        d,
+        ValueDomain::percentage(),
+        RoomModelParams { drift_sigma: drift, sensor_noise_sigma: 1.0 },
+        seed,
+    )
+}
+
+/// Runs a snapshot strategy over `epochs` epochs and returns its network totals.
+fn snapshot_totals(
+    algo: &mut dyn SnapshotAlgorithm,
+    d: &Deployment,
+    drift: f64,
+    seed: u64,
+    epochs: usize,
+) -> PhaseTotals {
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2().with_seed(seed));
+    let mut workload = room_workload(d, drift, seed);
+    run_continuous(algo, &mut net, &mut workload, epochs);
+    net.metrics().totals()
+}
+
+fn pct_saved(baseline: f64, ours: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (1.0 - ours / baseline) * 100.0
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// E1 — the Figure-1 anecdote
+// ---------------------------------------------------------------------------------
+
+/// E1: the 4-room / 9-sensor example of Figure 1 — naive local pruning answers
+/// (D, 76.5) while the correct Top-1 answer is (C, 75).
+pub fn e1_figure1() -> Table {
+    let d = Deployment::figure1();
+    let readings = Workload::figure1(&d).next_epoch();
+    let spec = SnapshotSpec::new(1, AggFunc::Avg, ValueDomain::percentage());
+
+    let reference = exact_reference(&SnapshotSpec::new(4, AggFunc::Avg, ValueDomain::percentage()), &readings);
+
+    let mut table = Table::new(
+        "E1 — Figure 1: the wrongful elimination of naive local pruning",
+        "Paper claim: naive per-node top-1 pruning reports (D, 76.5) although the true answer is (C, 75).",
+        &["strategy", "top-1 room", "reported value", "correct?"],
+    );
+
+    let room = |key: u64| kspot_net::topology::room_name(key as u32);
+    for (g, v) in reference.items.iter().map(|i| (i.key, i.value)) {
+        table.push_row(vec![format!("true average of room {}", room(g)), room(g), fmt_f(v, 2), "-".into()]);
+    }
+
+    let mut run_one = |name: &str, algo: &mut dyn SnapshotAlgorithm| {
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let result = algo.execute_epoch(&mut net, &readings);
+        let top = result.top().expect("one answer");
+        table.push_row(vec![
+            name.to_string(),
+            room(top.key),
+            fmt_f(top.value, 2),
+            if top.key == 2 { "yes".into() } else { "NO".into() },
+        ]);
+    };
+    run_one("TAG + sink Top-K", &mut TagTopK::new(spec));
+    run_one("naive local pruning", &mut NaiveLocalPrune::new(spec));
+    run_one("KSpot (MINT views)", &mut MintViews::new(spec));
+    table
+}
+
+// ---------------------------------------------------------------------------------
+// E2 / E3 — the System Panel on the conference scenario
+// ---------------------------------------------------------------------------------
+
+fn conference_execution(epochs: usize) -> kspot_core::QueryExecution {
+    KSpotServer::new(ScenarioConfig::conference())
+        .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
+        .with_seed(2009)
+        .submit(
+            "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
+            epochs,
+        )
+        .expect("the Figure-3 query runs")
+}
+
+/// E2: message and byte savings of the KSpot execution versus TAG and centralized
+/// collection on the Figure-3 conference scenario (14 nodes, 6 clusters, K = 3).
+pub fn e2_snapshot_savings() -> Table {
+    let execution = conference_execution(200);
+    let mut table = Table::new(
+        "E2 — System Panel: traffic on the conference scenario (14 nodes, 6 clusters, K=3, 200 epochs)",
+        "Paper claim: in-network ranking yields substantial savings in messages and bytes over conventional acquisition.",
+        &["strategy", "messages", "bytes", "tuples", "bytes saved vs strategy"],
+    );
+    let kspot = &execution.panel.kspot;
+    for report in std::iter::once(kspot).chain(execution.panel.baselines.iter()) {
+        let saved = if report.name == kspot.name {
+            "-".to_string()
+        } else {
+            format!("{}%", fmt_f(pct_saved(report.totals.bytes as f64, kspot.totals.bytes as f64), 1))
+        };
+        table.push_row(vec![
+            report.name.clone(),
+            report.totals.messages.to_string(),
+            report.totals.bytes.to_string(),
+            report.totals.tuples.to_string(),
+            saved,
+        ]);
+    }
+    table
+}
+
+/// E3: energy consumption and estimated network lifetime on the conference scenario.
+pub fn e3_energy_lifetime() -> Table {
+    let execution = conference_execution(200);
+    // A small synthetic battery keeps the lifetime numbers readable.
+    let battery_uj = 5.0e7;
+    let mut table = Table::new(
+        "E3 — System Panel: energy and lifetime on the conference scenario (K=3, 200 epochs)",
+        "Paper claim: the savings prolong the lifetime of the deployed sensor network.",
+        &["strategy", "energy (mJ)", "bottleneck node (mJ)", "est. lifetime (epochs)"],
+    );
+    let kspot = &execution.panel.kspot;
+    for report in std::iter::once(kspot).chain(execution.panel.baselines.iter()) {
+        table.push_row(vec![
+            report.name.clone(),
+            fmt_f(report.totals.energy_uj / 1000.0, 1),
+            fmt_f(report.bottleneck_energy_uj / 1000.0, 1),
+            fmt_f(report.lifetime_epochs(battery_uj), 0),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------------
+// E4 / E5 — MINT sweeps
+// ---------------------------------------------------------------------------------
+
+/// E4: byte savings of MINT over TAG and centralized collection as K grows
+/// (100 clustered nodes, 25 rooms, 100 epochs).
+pub fn e4_sweep_k() -> Table {
+    let d = Deployment::clustered_rooms(25, 4, 20.0, 44);
+    let mut table = Table::new(
+        "E4 — MINT savings versus K (100 nodes, 25 rooms, 100 epochs)",
+        "Expected shape: savings are largest for small K and shrink as K approaches the number of groups.",
+        &["K", "MINT bytes", "TAG bytes", "centralized bytes", "saved vs TAG", "saved vs centralized"],
+    );
+    for &k in &[1usize, 2, 5, 10, 20] {
+        let spec = SnapshotSpec::new(k, AggFunc::Avg, ValueDomain::percentage());
+        let mint = snapshot_totals(&mut MintViews::new(spec), &d, 1.5, 44, 100);
+        let tag = snapshot_totals(&mut TagTopK::new(spec), &d, 1.5, 44, 100);
+        let central = snapshot_totals(&mut CentralizedCollection::new(spec), &d, 1.5, 44, 100);
+        table.push_row(vec![
+            k.to_string(),
+            mint.bytes.to_string(),
+            tag.bytes.to_string(),
+            central.bytes.to_string(),
+            format!("{}%", fmt_f(pct_saved(tag.bytes as f64, mint.bytes as f64), 1)),
+            format!("{}%", fmt_f(pct_saved(central.bytes as f64, mint.bytes as f64), 1)),
+        ]);
+    }
+    table
+}
+
+/// E5: byte savings of MINT as the network grows (4 nodes per room, K = 5, 100 epochs).
+pub fn e5_sweep_network_size() -> Table {
+    let mut table = Table::new(
+        "E5 — MINT savings versus network size (4 nodes per room, K=5, 100 epochs)",
+        "Expected shape: the absolute savings grow with the network because in-network pruning removes traffic near the sink.",
+        &["nodes", "rooms", "MINT bytes", "TAG bytes", "centralized bytes", "saved vs TAG"],
+    );
+    for &rooms in &[6usize, 12, 25, 49, 100] {
+        let d = Deployment::clustered_rooms(rooms, 4, 20.0, 55);
+        let spec = SnapshotSpec::new(5.min(rooms), AggFunc::Avg, ValueDomain::percentage());
+        let mint = snapshot_totals(&mut MintViews::new(spec), &d, 1.5, 55, 100);
+        let tag = snapshot_totals(&mut TagTopK::new(spec), &d, 1.5, 55, 100);
+        let central = snapshot_totals(&mut CentralizedCollection::new(spec), &d, 1.5, 55, 100);
+        table.push_row(vec![
+            (rooms * 4).to_string(),
+            rooms.to_string(),
+            mint.bytes.to_string(),
+            tag.bytes.to_string(),
+            central.bytes.to_string(),
+            format!("{}%", fmt_f(pct_saved(tag.bytes as f64, mint.bytes as f64), 1)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------------
+// E6 / E7 — historic sweeps
+// ---------------------------------------------------------------------------------
+
+fn historic_dataset(side: usize, window: usize, seed: u64) -> (Deployment, HistoricDataset) {
+    // A network-wide correlated signal: historic Top-K queries look for globally
+    // interesting time instances, so every node shares the same underlying trend.
+    let d = Deployment::grid(side, 10.0, Some(1));
+    let mut w = Workload::room_correlated(
+        &d,
+        ValueDomain::percentage(),
+        RoomModelParams { drift_sigma: 4.0, sensor_noise_sigma: 2.0 },
+        seed,
+    );
+    let data = HistoricDataset::collect(&mut w, window);
+    (d, data)
+}
+
+fn historic_bytes(algo: &mut dyn HistoricAlgorithm, d: &Deployment, data: &HistoricDataset, seed: u64) -> u64 {
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2().with_seed(seed));
+    let mut data = data.clone();
+    algo.execute(&mut net, &mut data);
+    net.metrics().totals().bytes
+}
+
+/// E6: historic query traffic versus K (64 nodes, 256-epoch window).
+pub fn e6_historic_sweep_k() -> Table {
+    let (d, data) = historic_dataset(8, 256, 66);
+    let mut table = Table::new(
+        "E6 — historic Top-K traffic versus K (64 nodes, window 256 epochs)",
+        "Expected shape: TJA stays far below both comparators for every K; TPUT only beats raw collection when its uniform threshold is selective.",
+        &["K", "TJA bytes", "TPUT bytes", "centralized bytes", "TJA saved vs centralized"],
+    );
+    for &k in &[1usize, 5, 10, 20, 50] {
+        let spec = HistoricSpec::new(k, AggFunc::Avg, ValueDomain::percentage(), 256);
+        let tja = historic_bytes(&mut Tja::new(spec), &d, &data, 66);
+        let tput = historic_bytes(&mut Tput::new(spec), &d, &data, 66);
+        let central = historic_bytes(&mut CentralizedHistoric::new(spec), &d, &data, 66);
+        table.push_row(vec![
+            k.to_string(),
+            tja.to_string(),
+            tput.to_string(),
+            central.to_string(),
+            format!("{}%", fmt_f(pct_saved(central as f64, tja as f64), 1)),
+        ]);
+    }
+    table
+}
+
+/// E7: historic query traffic versus window length and network size (K = 5).
+pub fn e7_historic_sweep_window() -> Table {
+    let mut table = Table::new(
+        "E7 — historic Top-K traffic versus window length and network size (K=5)",
+        "Expected shape: the gap between TJA and centralized collection widens with the window and the network size.",
+        &["nodes", "window", "TJA bytes", "TPUT bytes", "centralized bytes", "TJA saved vs centralized"],
+    );
+    for &side in &[4usize, 8, 12] {
+        for &window in &[64usize, 256, 1024] {
+            let (d, data) = historic_dataset(side, window, 77);
+            let spec = HistoricSpec::new(5, AggFunc::Avg, ValueDomain::percentage(), window);
+            let tja = historic_bytes(&mut Tja::new(spec), &d, &data, 77);
+            let tput = historic_bytes(&mut Tput::new(spec), &d, &data, 77);
+            let central = historic_bytes(&mut CentralizedHistoric::new(spec), &d, &data, 77);
+            table.push_row(vec![
+                (side * side).to_string(),
+                window.to_string(),
+                tja.to_string(),
+                tput.to_string(),
+                central.to_string(),
+                format!("{}%", fmt_f(pct_saved(central as f64, tja as f64), 1)),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------------
+// E8 — correctness study
+// ---------------------------------------------------------------------------------
+
+/// E8: correctness of naive local pruning versus MINT over randomized scenarios.
+pub fn e8_accuracy_study() -> Table {
+    let scenarios = 200usize;
+    let epochs_each = 10usize;
+    let mut naive_reports = Vec::new();
+    let mut mint_reports = Vec::new();
+    for seed in 0..scenarios as u64 {
+        let rooms = 3 + (seed % 6) as usize;
+        let nodes_per_room = 2 + (seed % 4) as usize;
+        let k = 1 + (seed % 3) as usize;
+        let drift = 0.5 + (seed % 5) as f64;
+        let d = Deployment::clustered_rooms(rooms, nodes_per_room, 20.0, seed);
+        let spec = SnapshotSpec::new(k.min(rooms), AggFunc::Avg, ValueDomain::percentage());
+
+        let reference: Vec<_> = {
+            let mut w = room_workload(&d, drift, seed);
+            (0..epochs_each).map(|_| exact_reference(&spec, &w.next_epoch())).collect()
+        };
+        let mut naive_net = Network::new(d.clone(), NetworkConfig::ideal());
+        let naive_results = run_continuous(
+            &mut NaiveLocalPrune::new(spec),
+            &mut naive_net,
+            &mut room_workload(&d, drift, seed),
+            epochs_each,
+        );
+        naive_reports.push(AccuracyReport::grade(&naive_results, &reference));
+
+        let mut mint_net = Network::new(d.clone(), NetworkConfig::ideal());
+        let mint_results = run_continuous(
+            &mut MintViews::new(spec),
+            &mut mint_net,
+            &mut room_workload(&d, drift, seed),
+            epochs_each,
+        );
+        mint_reports.push(AccuracyReport::grade(&mint_results, &reference));
+    }
+
+    let summarise = |reports: &[AccuracyReport]| {
+        let n = reports.len() as f64;
+        (
+            reports.iter().map(|r| r.ranking_accuracy()).sum::<f64>() / n,
+            reports.iter().map(|r| r.set_accuracy()).sum::<f64>() / n,
+            reports.iter().map(|r| r.mean_recall).sum::<f64>() / n,
+        )
+    };
+    let (naive_rank, naive_set, naive_recall) = summarise(&naive_reports);
+    let (mint_rank, mint_set, mint_recall) = summarise(&mint_reports);
+
+    let mut table = Table::new(
+        format!("E8 — correctness over {scenarios} randomized scenarios ({epochs_each} epochs each)"),
+        "Paper claim: greedy local pruning wrongly eliminates tuples; KSpot's in-network pruning stays exact.",
+        &["strategy", "exact-ranking rate", "correct-set rate", "mean recall"],
+    );
+    table.push_row(vec![
+        "naive local pruning".into(),
+        fmt_f(naive_rank, 3),
+        fmt_f(naive_set, 3),
+        fmt_f(naive_recall, 3),
+    ]);
+    table.push_row(vec![
+        "KSpot (MINT views)".into(),
+        fmt_f(mint_rank, 3),
+        fmt_f(mint_set, 3),
+        fmt_f(mint_recall, 3),
+    ]);
+    table
+}
+
+// ---------------------------------------------------------------------------------
+// E9 — temporal-correlation ablation
+// ---------------------------------------------------------------------------------
+
+/// E9: how per-epoch drift affects MINT's savings and its corrective work (probes and
+/// threshold re-broadcasts) — the ablation of the threshold-slack design choice.
+pub fn e9_drift_ablation() -> Table {
+    let d = Deployment::clustered_rooms(16, 4, 20.0, 99);
+    let epochs = 100usize;
+    let mut table = Table::new(
+        "E9 — drift ablation (64 nodes, 16 rooms, K=3, 100 epochs, slack = 2.0)",
+        "Expected shape: savings degrade gracefully and probe/re-broadcast work grows as drift outpaces the threshold slack; answers stay exact throughout.",
+        &["drift σ", "MINT bytes", "TAG bytes", "saved", "probe epochs", "rebroadcasts"],
+    );
+    for &drift in &[0.0f64, 0.5, 2.0, 5.0, 10.0] {
+        let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
+        let mut mint = MintViews::with_config(spec, MintConfig::default());
+        let mint_totals = snapshot_totals(&mut mint, &d, drift, 99, epochs);
+        let tag_totals = snapshot_totals(&mut TagTopK::new(spec), &d, drift, 99, epochs);
+        table.push_row(vec![
+            fmt_f(drift, 1),
+            mint_totals.bytes.to_string(),
+            tag_totals.bytes.to_string(),
+            format!("{}%", fmt_f(pct_saved(tag_totals.bytes as f64, mint_totals.bytes as f64), 1)),
+            mint.stats().probe_epochs.to_string(),
+            mint.stats().rebroadcasts.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------------
+// E10 — aggregate mix
+// ---------------------------------------------------------------------------------
+
+/// E10: MINT behaviour across the aggregate functions of the Query Panel (AVG, MIN,
+/// MAX, SUM, COUNT) on the conference scenario.
+pub fn e10_aggregate_mix() -> Table {
+    let d = Deployment::conference();
+    let epochs = 100usize;
+    let mut table = Table::new(
+        "E10 — aggregate mix on the conference scenario (K=3, 100 epochs)",
+        "Expected shape: MINT never ships more view tuples than TAG for any aggregate; one-sided aggregates (MIN/MAX) prune differently than AVG/SUM.",
+        &["aggregate", "MINT bytes", "TAG bytes", "saved", "exact?"],
+    );
+    for func in [AggFunc::Avg, AggFunc::Max, AggFunc::Min, AggFunc::Sum, AggFunc::Count] {
+        let spec = SnapshotSpec::new(3, func, ValueDomain::percentage());
+        let mint_totals = snapshot_totals(&mut MintViews::new(spec), &d, 1.5, 10, epochs);
+        let tag_totals = snapshot_totals(&mut TagTopK::new(spec), &d, 1.5, 10, epochs);
+
+        // Exactness check against the omniscient reference.
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let results =
+            run_continuous(&mut MintViews::new(spec), &mut net, &mut room_workload(&d, 1.5, 10), 20);
+        let mut reference_workload = room_workload(&d, 1.5, 10);
+        let exact = results
+            .iter()
+            .all(|r| r.same_ranking(&exact_reference(&spec, &reference_workload.next_epoch())));
+
+        table.push_row(vec![
+            func.to_string(),
+            mint_totals.bytes.to_string(),
+            tag_totals.bytes.to_string(),
+            format!("{}%", fmt_f(pct_saved(tag_totals.bytes as f64, mint_totals.bytes as f64), 1)),
+            if exact { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_id_resolves() {
+        for id in ALL_EXPERIMENTS {
+            assert!(run(id).is_some(), "experiment {id} should exist");
+        }
+        assert!(run("e99").is_none());
+    }
+
+    #[test]
+    fn e1_reports_the_paper_anecdote() {
+        let table = e1_figure1();
+        let text = table.to_string();
+        assert!(text.contains("naive local pruning"));
+        assert!(text.contains("76.50"), "the naive answer 76.5 must appear: {text}");
+        assert!(text.contains("NO"), "the naive strategy must be flagged wrong");
+        assert!(text.contains("KSpot (MINT views)"));
+    }
+
+    #[test]
+    fn e2_shows_positive_savings_against_raw_collection() {
+        let table = e2_snapshot_savings();
+        assert_eq!(table.rows.len(), 3);
+        // The KSpot row comes first; the centralized-collection baseline (last row) must
+        // show positive byte savings even at the 14-node demo scale.  (Savings against
+        // TAG at this tiny scale are modest — the E4/E5 sweeps show the real effect.)
+        assert!(
+            table.rows[2][4].starts_with(|c: char| c.is_ascii_digit()),
+            "expected positive savings vs centralized collection: {:?}",
+            table.rows[2]
+        );
+    }
+
+    #[test]
+    fn e9_probe_work_increases_with_drift() {
+        let table = e9_drift_ablation();
+        let first_probes: u64 = table.rows.first().unwrap()[4].parse().unwrap();
+        let last_probes: u64 = table.rows.last().unwrap()[4].parse().unwrap();
+        assert!(last_probes >= first_probes, "more drift should not reduce corrective work");
+    }
+}

@@ -1,0 +1,19 @@
+//! # kspot-bench — the experiment harness of the KSpot reproduction
+//!
+//! The crate regenerates every quantitative claim of the demonstration paper as a
+//! printable table (experiments E1–E10, see `DESIGN.md` for the index) and hosts the
+//! criterion micro-benchmarks:
+//!
+//! * `cargo run -p kspot-bench --bin tables -- all` prints every table;
+//! * `cargo run -p kspot-bench --bin tables -- e4 e6` prints a selection;
+//! * `cargo bench` runs the criterion counterparts (snapshot, sweep_k, sweep_n,
+//!   historic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run, run_all, ALL_EXPERIMENTS};
+pub use table::Table;

@@ -1,0 +1,104 @@
+//! Minimal text-table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A rendered experiment table: a title, a caption describing what the paper claims, a
+/// header row and data rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment identifier and title (e.g. "E2 — System Panel, snapshot savings").
+    pub title: String,
+    /// What the paper claims / what shape is expected.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            caption: caption.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match the header");
+        self.rows.push(row);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        if !self.caption.is_empty() {
+            writeln!(f, "   {}", self.caption)?;
+        }
+        let widths = self.widths();
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .zip(widths.iter())
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a fixed number of decimals.
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("E0 — demo", "expected shape", &["strategy", "bytes"]);
+        t.push_row(vec!["TAG".into(), "1234".into()]);
+        t.push_row(vec!["KSpot (MINT views)".into(), "98".into()]);
+        let s = t.to_string();
+        assert!(s.contains("E0 — demo"));
+        assert!(s.contains("expected shape"));
+        assert!(s.contains("KSpot (MINT views)"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = Table::new("x", "", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,192 @@
+//! The KSpot client — the software running on every sensor node.
+//!
+//! On the real testbed the client is written in nesC and runs on TinyOS: its network
+//! interface receives instructions from the server, its *local query parser* implements
+//! a query router that hands basic SELECT / GROUP-BY queries to the existing local query
+//! processing engine while TOP-K queries are routed to the specialised top-k query
+//! operator (Section II of the paper).  [`NodeRuntime`] mirrors that structure for the
+//! simulated node: it receives a disseminated [`QueryPlan`], decides which local
+//! operator will serve it, and maintains the node's sliding-window buffer for historic
+//! queries.
+
+use kspot_net::{Epoch, GroupId, NodeId, SlidingWindow, Value};
+use kspot_query::plan::{ExecutionStrategy, QueryPlan};
+use std::fmt;
+
+/// The local operator a disseminated query is routed to inside the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalOperator {
+    /// The pre-existing TinyDB-style local acquisition/aggregation engine.
+    LocalEngine,
+    /// KSpot's specialised top-k query operator (snapshot pruning path).
+    TopKOperator,
+    /// The top-k operator in historic mode: local window search and filtering before any
+    /// transmission.
+    HistoricTopKOperator,
+}
+
+impl fmt::Display for LocalOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LocalOperator::LocalEngine => "local query engine",
+            LocalOperator::TopKOperator => "top-k operator",
+            LocalOperator::HistoricTopKOperator => "historic top-k operator",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Routes a query plan to the local operator the KSpot client would execute it with.
+pub fn route_plan(plan: &QueryPlan) -> LocalOperator {
+    match plan.strategy {
+        ExecutionStrategy::InNetworkAggregate | ExecutionStrategy::RawCollection => LocalOperator::LocalEngine,
+        ExecutionStrategy::SnapshotTopK | ExecutionStrategy::NodeMonitoringTopK => LocalOperator::TopKOperator,
+        ExecutionStrategy::HistoricHorizontalTopK | ExecutionStrategy::HistoricVerticalTopK => {
+            LocalOperator::HistoricTopKOperator
+        }
+    }
+}
+
+/// The per-node client runtime.
+#[derive(Debug, Clone)]
+pub struct NodeRuntime {
+    id: NodeId,
+    cluster: GroupId,
+    buffer: SlidingWindow,
+    active_plan: Option<QueryPlan>,
+    samples_taken: u64,
+}
+
+impl NodeRuntime {
+    /// Boots the client on node `id`, configured into `cluster`, with a local buffer of
+    /// `buffer_capacity` samples.
+    pub fn new(id: NodeId, cluster: GroupId, buffer_capacity: usize) -> Self {
+        Self {
+            id,
+            cluster,
+            buffer: SlidingWindow::new(buffer_capacity),
+            active_plan: None,
+            samples_taken: 0,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cluster (room) the node is configured into.
+    pub fn cluster(&self) -> GroupId {
+        self.cluster
+    }
+
+    /// Number of samples acquired since boot.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// The query the client is currently serving, if any.
+    pub fn active_plan(&self) -> Option<&QueryPlan> {
+        self.active_plan.as_ref()
+    }
+
+    /// Receives a disseminated query and returns the local operator it was routed to.
+    pub fn install_query(&mut self, plan: QueryPlan) -> LocalOperator {
+        let operator = route_plan(&plan);
+        self.active_plan = Some(plan);
+        operator
+    }
+
+    /// Stops serving the current query.
+    pub fn clear_query(&mut self) {
+        self.active_plan = None;
+    }
+
+    /// Acquires one sample: the value is buffered in the sliding window (historic
+    /// queries read it later) and returned for the epoch's snapshot processing.
+    pub fn sample(&mut self, epoch: Epoch, value: Value) -> Value {
+        self.buffer.push(epoch, value);
+        self.samples_taken += 1;
+        value
+    }
+
+    /// Read-write access to the node's local history buffer.
+    pub fn buffer_mut(&mut self) -> &mut SlidingWindow {
+        &mut self.buffer
+    }
+
+    /// Read access to the node's local history buffer.
+    pub fn buffer(&self) -> &SlidingWindow {
+        &self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspot_query::{classify, parse};
+
+    fn plan(sql: &str) -> QueryPlan {
+        classify(&parse(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn routing_mirrors_the_papers_query_router() {
+        assert_eq!(
+            route_plan(&plan("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid")),
+            LocalOperator::TopKOperator
+        );
+        assert_eq!(
+            route_plan(&plan("SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid")),
+            LocalOperator::LocalEngine
+        );
+        assert_eq!(route_plan(&plan("SELECT * FROM sensors")), LocalOperator::LocalEngine);
+        assert_eq!(
+            route_plan(&plan("SELECT TOP 3 nodeid, sound FROM sensors")),
+            LocalOperator::TopKOperator
+        );
+        assert_eq!(
+            route_plan(&plan(
+                "SELECT TOP 3 epoch, AVG(temperature) FROM sensors GROUP BY epoch WITH HISTORY 10 epochs"
+            )),
+            LocalOperator::HistoricTopKOperator
+        );
+        assert_eq!(
+            route_plan(&plan(
+                "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 10 epochs"
+            )),
+            LocalOperator::HistoricTopKOperator
+        );
+    }
+
+    #[test]
+    fn install_and_clear_queries() {
+        let mut node = NodeRuntime::new(4, 1, 32);
+        assert!(node.active_plan().is_none());
+        let op = node.install_query(plan("SELECT TOP 2 roomid, MAX(sound) FROM sensors GROUP BY roomid"));
+        assert_eq!(op, LocalOperator::TopKOperator);
+        assert_eq!(node.active_plan().unwrap().k, 2);
+        node.clear_query();
+        assert!(node.active_plan().is_none());
+    }
+
+    #[test]
+    fn sampling_fills_the_local_buffer() {
+        let mut node = NodeRuntime::new(7, 3, 4);
+        for e in 0..6u64 {
+            node.sample(e, e as f64 * 10.0);
+        }
+        assert_eq!(node.samples_taken(), 6);
+        assert_eq!(node.buffer().len(), 4, "the buffer is a sliding window");
+        assert_eq!(node.buffer_mut().local_top_k(1), vec![(5, 50.0)]);
+        assert_eq!(node.id(), 7);
+        assert_eq!(node.cluster(), 3);
+    }
+
+    #[test]
+    fn operator_names_are_readable() {
+        assert_eq!(LocalOperator::LocalEngine.to_string(), "local query engine");
+        assert_eq!(LocalOperator::TopKOperator.to_string(), "top-k operator");
+        assert_eq!(LocalOperator::HistoricTopKOperator.to_string(), "historic top-k operator");
+    }
+}

@@ -1,0 +1,42 @@
+//! # kspot-core — the KSpot system
+//!
+//! This crate assembles the substrate ([`kspot_net`]), the query language
+//! ([`kspot_query`]) and the ranking algorithms ([`kspot_algos`]) into the two-tier
+//! system the ICDE 2009 demonstration describes:
+//!
+//! * [`config::ScenarioConfig`] — the Configuration Panel: which sensors exist, where
+//!   they sit on the floor plan and which cluster (room) each belongs to, including the
+//!   Figure-1 and Figure-3 scenarios and a load/store file format;
+//! * [`client::NodeRuntime`] — the KSpot client that runs on every node: local query
+//!   router (SELECT/GROUP-BY → local engine, TOP-K → top-k operator) plus the local
+//!   sliding-window buffer;
+//! * [`server::KSpotServer`] — the base station: parses Query Panel SQL, routes it to
+//!   MINT / TJA / TAG / FILA based on the query semantics, executes it over the
+//!   simulated network and produces the ranked answers and the Display Panel bullets;
+//! * [`panel::SystemPanel`] — the System Panel: message/byte/energy savings of the KSpot
+//!   execution against the conventional acquisition baselines, plus lifetime estimates.
+//!
+//! ```
+//! use kspot_core::{KSpotServer, ScenarioConfig, WorkloadSpec};
+//!
+//! let server = KSpotServer::new(ScenarioConfig::figure1()).with_workload(WorkloadSpec::Figure1);
+//! let execution = server
+//!     .submit("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min", 5)
+//!     .unwrap();
+//! // The correct answer to the paper's running example is room C with an average of 75.
+//! assert_eq!(server.bullets(execution.latest().unwrap())[0].cluster_name, "Room C");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod config;
+pub mod panel;
+pub mod server;
+
+pub use client::{route_plan, LocalOperator, NodeRuntime};
+pub use config::{ConfigError, ScenarioConfig};
+pub use panel::{StrategyReport, SystemPanel};
+pub use server::{KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};

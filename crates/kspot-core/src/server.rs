@@ -1,0 +1,468 @@
+//! The KSpot server — the base station through which user requests are disseminated.
+//!
+//! The server owns the scenario configuration, parses the SQL-like text typed into the
+//! Query Panel, classifies it ([`kspot_query::plan::classify`]), routes it to the
+//! matching in-network algorithm (MINT for snapshot Top-K, TJA for historic vertically
+//! fragmented Top-K, TAG for plain aggregates, …), executes it over the simulated
+//! network, and produces everything the GUI panels would show: the per-epoch ranked
+//! answers, the *KSpot bullets* of the Display Panel, and the System Panel with the
+//! savings against the conventional acquisition baselines.
+
+use crate::config::ScenarioConfig;
+use crate::panel::{StrategyReport, SystemPanel};
+use kspot_algos::historic::HistoricAlgorithm;
+use kspot_algos::{
+    CentralizedCollection, CentralizedHistoric, FilaMonitor, HistoricDataset, HistoricSpec,
+    LocalAggregateHistoric, MintViews, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult,
+    Tput,
+};
+use kspot_net::{
+    Epoch, GroupId, Network, NetworkConfig, PhaseTag, RoomModelParams, Workload,
+};
+use kspot_query::plan::{classify, ExecutionStrategy, QueryPlan};
+use kspot_query::{parse, QueryError};
+use std::fmt;
+
+/// Which synthetic workload drives the sensors during an execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// The constant readings of Figure 1 (only valid on the Figure-1 scenario).
+    Figure1,
+    /// Room-correlated activity with the given drift/noise parameters.
+    RoomCorrelated(RoomModelParams),
+    /// Independent random walk per node with the given step deviation.
+    RandomWalk(f64),
+    /// Fresh uniform values every epoch (no temporal correlation).
+    UniformIid,
+}
+
+impl WorkloadSpec {
+    fn build(&self, config: &ScenarioConfig, seed: u64) -> Workload {
+        match self {
+            WorkloadSpec::Figure1 => Workload::figure1(&config.deployment),
+            WorkloadSpec::RoomCorrelated(params) => {
+                Workload::room_correlated(&config.deployment, config.domain, *params, seed)
+            }
+            WorkloadSpec::RandomWalk(sigma) => {
+                Workload::random_walk(&config.deployment, config.domain, *sigma, seed)
+            }
+            WorkloadSpec::UniformIid => Workload::uniform_iid(&config.deployment, config.domain, seed),
+        }
+    }
+}
+
+/// One red bullet of the Display Panel: a ranked cluster with its current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KSpotBullet {
+    /// 1-based rank (1 = highest).
+    pub rank: usize,
+    /// The ranked cluster.
+    pub cluster: GroupId,
+    /// The cluster's display name.
+    pub cluster_name: String,
+    /// The aggregate value that earned the rank.
+    pub value: f64,
+}
+
+impl fmt::Display for KSpotBullet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} ({:.1})", self.rank, self.cluster_name, self.value)
+    }
+}
+
+/// The outcome of executing one query: the routing decision, the ranked answers, and the
+/// System Panel comparing KSpot against the conventional baselines.
+#[derive(Debug, Clone)]
+pub struct QueryExecution {
+    /// The classified plan.
+    pub plan: QueryPlan,
+    /// The algorithm KSpot routed the query to.
+    pub algorithm: String,
+    /// Per-epoch ranked answers (a single entry for one-shot historic queries).
+    pub results: Vec<TopKResult>,
+    /// The System Panel.
+    pub panel: SystemPanel,
+}
+
+impl QueryExecution {
+    /// The most recent ranked answer.
+    pub fn latest(&self) -> Option<&TopKResult> {
+        self.results.last()
+    }
+}
+
+/// The KSpot base station.
+#[derive(Debug, Clone)]
+pub struct KSpotServer {
+    scenario: ScenarioConfig,
+    workload: WorkloadSpec,
+    net_config: NetworkConfig,
+    seed: u64,
+}
+
+impl KSpotServer {
+    /// Boots a server for a scenario with the default (room-correlated) workload and the
+    /// MICA2 cost model.
+    pub fn new(scenario: ScenarioConfig) -> Self {
+        Self {
+            scenario,
+            workload: WorkloadSpec::RoomCorrelated(RoomModelParams::default()),
+            net_config: NetworkConfig::mica2(),
+            seed: 0,
+        }
+    }
+
+    /// Selects the workload driving the sensors.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Selects the network cost model.
+    pub fn with_network_config(mut self, config: NetworkConfig) -> Self {
+        self.net_config = config;
+        self
+    }
+
+    /// Sets the random seed for reproducible executions.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured scenario.
+    pub fn scenario(&self) -> &ScenarioConfig {
+        &self.scenario
+    }
+
+    fn fresh_network(&self) -> Network {
+        Network::new(self.scenario.deployment.clone(), self.net_config.with_seed(self.seed))
+    }
+
+    fn fresh_workload(&self) -> Workload {
+        self.workload.build(&self.scenario, self.seed)
+    }
+
+    /// Turns a ranked answer into the Display Panel's bullets.
+    pub fn bullets(&self, result: &TopKResult) -> Vec<KSpotBullet> {
+        result
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| KSpotBullet {
+                rank: i + 1,
+                cluster: item.key as GroupId,
+                cluster_name: self.scenario.cluster_name(item.key as GroupId),
+                value: item.value,
+            })
+            .collect()
+    }
+
+    /// Parses, classifies, routes and executes a query for `epochs` epochs (one-shot
+    /// historic queries interpret `epochs` as a cap on nothing — their window length
+    /// comes from the WITH HISTORY clause).
+    pub fn submit(&self, sql: &str, epochs: usize) -> Result<QueryExecution, QueryError> {
+        let query = parse(sql)?;
+        let plan = classify(&query)?;
+        Ok(match plan.strategy {
+            ExecutionStrategy::SnapshotTopK => self.run_snapshot_topk(plan, epochs)?,
+            ExecutionStrategy::InNetworkAggregate => self.run_plain_aggregate(plan, epochs)?,
+            ExecutionStrategy::RawCollection => self.run_raw_collection(plan, epochs),
+            ExecutionStrategy::NodeMonitoringTopK => self.run_node_monitoring(plan, epochs),
+            ExecutionStrategy::HistoricVerticalTopK => self.run_historic_vertical(plan)?,
+            ExecutionStrategy::HistoricHorizontalTopK => self.run_historic_horizontal(plan)?,
+        })
+    }
+
+    fn run_snapshot<A: SnapshotAlgorithm>(
+        &self,
+        algo: &mut A,
+        epochs: usize,
+    ) -> (Vec<TopKResult>, StrategyReport) {
+        let mut net = self.fresh_network();
+        let mut workload = self.fresh_workload();
+        let results = kspot_algos::run_continuous(algo, &mut net, &mut workload, epochs);
+        let report = StrategyReport::from_metrics(algo.name(), net.metrics(), epochs);
+        (results, report)
+    }
+
+    fn run_snapshot_topk(&self, plan: QueryPlan, epochs: usize) -> Result<QueryExecution, QueryError> {
+        let spec = SnapshotSpec::from_plan(&plan, self.scenario.domain)?;
+        let mut mint = MintViews::new(spec);
+        let (results, kspot_report) = self.run_snapshot(&mut mint, epochs);
+        let (_, tag_report) = self.run_snapshot(&mut TagTopK::new(spec), epochs);
+        let (_, central_report) = self.run_snapshot(&mut CentralizedCollection::new(spec), epochs);
+        Ok(QueryExecution {
+            algorithm: mint.name().to_string(),
+            plan,
+            results,
+            panel: SystemPanel::new(kspot_report, vec![tag_report, central_report]),
+        })
+    }
+
+    fn run_plain_aggregate(&self, plan: QueryPlan, epochs: usize) -> Result<QueryExecution, QueryError> {
+        // Unranked grouped aggregation: TAG itself is the KSpot execution; the baseline
+        // is shipping raw tuples.
+        let func = plan
+            .aggregate
+            .ok_or_else(|| QueryError::semantic("an aggregate query needs an aggregate"))?;
+        let k = self.scenario.num_clusters().max(1);
+        let spec = SnapshotSpec::new(k, func, self.scenario.domain);
+        let mut tag = TagTopK::new(spec);
+        let (results, kspot_report) = self.run_snapshot(&mut tag, epochs);
+        let (_, central_report) = self.run_snapshot(&mut CentralizedCollection::new(spec), epochs);
+        Ok(QueryExecution {
+            algorithm: tag.name().to_string(),
+            plan,
+            results,
+            panel: SystemPanel::new(kspot_report, vec![central_report]),
+        })
+    }
+
+    fn run_raw_collection(&self, plan: QueryPlan, epochs: usize) -> QueryExecution {
+        let spec = SnapshotSpec::new(
+            self.scenario.num_clusters().max(1),
+            kspot_query::AggFunc::Avg,
+            self.scenario.domain,
+        );
+        let mut central = CentralizedCollection::new(spec);
+        let (results, report) = self.run_snapshot(&mut central, epochs);
+        QueryExecution {
+            algorithm: central.name().to_string(),
+            plan,
+            results,
+            panel: SystemPanel::new(report, Vec::new()),
+        }
+    }
+
+    fn run_node_monitoring(&self, plan: QueryPlan, epochs: usize) -> QueryExecution {
+        let k = plan.k.max(1) as usize;
+        let spec = SnapshotSpec::new(k, kspot_query::AggFunc::Max, self.scenario.domain);
+        let mut fila = FilaMonitor::new(spec);
+        let (results, kspot_report) = self.run_snapshot(&mut fila, epochs);
+
+        // Baseline: every node reports its reading to the sink every epoch.
+        let mut base_net = self.fresh_network();
+        let mut workload = self.fresh_workload();
+        for e in 0..epochs as Epoch {
+            base_net.begin_epoch(e);
+            for r in workload.next_epoch() {
+                base_net.unicast_up(r.node, e, 1, PhaseTag::Update);
+            }
+        }
+        let base_report = StrategyReport::from_metrics("per-epoch collection", base_net.metrics(), epochs);
+
+        QueryExecution {
+            algorithm: fila.name().to_string(),
+            plan,
+            results,
+            panel: SystemPanel::new(kspot_report, vec![base_report]),
+        }
+    }
+
+    fn collect_history(&self, window: usize) -> HistoricDataset {
+        let mut workload = self.fresh_workload();
+        HistoricDataset::collect(&mut workload, window)
+    }
+
+    fn run_historic_vertical(&self, plan: QueryPlan) -> Result<QueryExecution, QueryError> {
+        let window = plan
+            .history_epochs
+            .ok_or_else(|| QueryError::semantic("a historic query needs a WITH HISTORY window"))? as usize;
+        let func = plan
+            .aggregate
+            .ok_or_else(|| QueryError::semantic("a historic ranked query needs an aggregate"))?;
+        let spec = HistoricSpec::new(plan.k.max(1) as usize, func, self.scenario.domain, window);
+        let data = self.collect_history(window);
+
+        let run = |algo: &mut dyn HistoricAlgorithm| {
+            let mut net = self.fresh_network();
+            let mut data = data.clone();
+            let result = algo.execute(&mut net, &mut data);
+            (result, StrategyReport::from_metrics(algo.name(), net.metrics(), window))
+        };
+        let mut tja = Tja::new(spec);
+        let (result, kspot_report) = run(&mut tja);
+        let (_, tput_report) = run(&mut Tput::new(spec));
+        let (_, central_report) = run(&mut CentralizedHistoric::new(spec));
+
+        Ok(QueryExecution {
+            algorithm: tja.name().to_string(),
+            plan,
+            results: vec![result],
+            panel: SystemPanel::new(kspot_report, vec![tput_report, central_report]),
+        })
+    }
+
+    fn run_historic_horizontal(&self, plan: QueryPlan) -> Result<QueryExecution, QueryError> {
+        let window = plan
+            .history_epochs
+            .ok_or_else(|| QueryError::semantic("a historic query needs a WITH HISTORY window"))? as usize;
+        let spec = SnapshotSpec::from_plan(&plan, self.scenario.domain)?;
+        let data = self.collect_history(window);
+
+        let mut local = LocalAggregateHistoric::new(spec);
+        let mut kspot_net = self.fresh_network();
+        let mut kspot_data = data.clone();
+        let result = local.execute(&mut kspot_net, &mut kspot_data);
+        let kspot_report =
+            StrategyReport::from_metrics("local filter + MINT update", kspot_net.metrics(), window);
+
+        let hist_spec = HistoricSpec::new(
+            spec.k,
+            kspot_query::AggFunc::Avg,
+            self.scenario.domain,
+            window,
+        );
+        let mut central_net = self.fresh_network();
+        let mut central_data = data;
+        CentralizedHistoric::new(hist_spec).execute(&mut central_net, &mut central_data);
+        let central_report = StrategyReport::from_metrics(
+            "centralized window collection",
+            central_net.metrics(),
+            window,
+        );
+
+        Ok(QueryExecution {
+            algorithm: "local filter + MINT update".to_string(),
+            plan,
+            results: vec![result],
+            panel: SystemPanel::new(kspot_report, vec![central_report]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_server() -> KSpotServer {
+        KSpotServer::new(ScenarioConfig::figure1())
+            .with_workload(WorkloadSpec::Figure1)
+            .with_network_config(NetworkConfig::ideal())
+    }
+
+    fn conference_server(seed: u64) -> KSpotServer {
+        KSpotServer::new(ScenarioConfig::conference())
+            .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
+            .with_network_config(NetworkConfig::mica2())
+            .with_seed(seed)
+    }
+
+    #[test]
+    fn snapshot_query_on_figure1_returns_room_c_and_saves_traffic() {
+        let server = figure1_server();
+        let execution = server
+            .submit("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min", 10)
+            .expect("the paper's example query must run");
+        assert_eq!(execution.algorithm, "KSpot (MINT views)");
+        assert_eq!(execution.results.len(), 10);
+        for result in &execution.results {
+            assert_eq!(result.top().unwrap().key, 2, "room C wins every epoch");
+        }
+        let bullets = server.bullets(execution.latest().unwrap());
+        assert_eq!(bullets.len(), 1);
+        assert_eq!(bullets[0].cluster_name, "Room C");
+        assert_eq!(bullets[0].rank, 1);
+        let savings = execution.panel.savings_vs("TAG + sink Top-K").unwrap();
+        assert!(savings.byte_savings_pct() > 0.0, "MINT must save bytes over TAG: {savings}");
+    }
+
+    #[test]
+    fn conference_topk_runs_and_panel_reports_energy_savings() {
+        let server = conference_server(3);
+        let execution = server
+            .submit("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 30 s", 50)
+            .expect("Figure-3 style query runs");
+        assert_eq!(execution.results.len(), 50);
+        assert_eq!(execution.results[0].items.len(), 3);
+        let savings = execution.panel.savings_vs("centralized collection").unwrap();
+        assert!(savings.energy_savings_pct() > 0.0);
+        // With K = 3 of only 6 clusters the pruning threshold is permissive, so the
+        // bottleneck node's load (and therefore the lifetime) stays in the same ballpark
+        // as TAG rather than strictly ahead of it.
+        assert!(execution.panel.lifetime_extension_factor(20.0e9).unwrap() > 0.5);
+        // Bullets carry the conference cluster names.
+        let bullets = server.bullets(execution.latest().unwrap());
+        assert!(bullets.iter().all(|b| !b.cluster_name.is_empty()));
+    }
+
+    #[test]
+    fn historic_vertical_query_routes_to_tja() {
+        let server = conference_server(5);
+        let execution = server
+            .submit(
+                "SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch EPOCH DURATION 30 s WITH HISTORY 64 epochs",
+                0,
+            )
+            .expect("historic query runs");
+        assert!(execution.algorithm.contains("TJA"));
+        assert_eq!(execution.results.len(), 1);
+        assert_eq!(execution.results[0].items.len(), 5);
+        let vs_central = execution.panel.savings_vs("centralized window collection").unwrap();
+        assert!(vs_central.byte_savings_pct() > 0.0, "TJA must beat shipping whole windows");
+    }
+
+    #[test]
+    fn historic_horizontal_query_uses_local_filtering() {
+        let server = conference_server(7);
+        let execution = server
+            .submit(
+                "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 30 s WITH HISTORY 32 epochs",
+                0,
+            )
+            .expect("historic horizontal query runs");
+        assert_eq!(execution.algorithm, "local filter + MINT update");
+        assert_eq!(execution.results[0].items.len(), 2);
+        let savings = execution.panel.primary_savings().unwrap();
+        assert!(savings.byte_savings_pct() > 50.0, "local filtering avoids shipping windows: {savings}");
+    }
+
+    #[test]
+    fn node_monitoring_query_routes_to_fila() {
+        let server = conference_server(9);
+        let execution = server
+            .submit("SELECT TOP 3 nodeid, sound FROM sensors EPOCH DURATION 10 s", 30)
+            .expect("monitoring query runs");
+        assert!(execution.algorithm.contains("FILA"));
+        assert_eq!(execution.results.len(), 30);
+        let savings = execution.panel.savings_vs("per-epoch collection").unwrap();
+        assert!(savings.message_savings_pct() > 0.0);
+    }
+
+    #[test]
+    fn plain_aggregate_and_raw_queries_run_too() {
+        let server = conference_server(11);
+        let agg = server
+            .submit("SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 30 s", 5)
+            .expect("plain aggregate runs");
+        assert!(agg.algorithm.contains("TAG"));
+        assert_eq!(agg.results.len(), 5);
+        assert_eq!(agg.results[0].items.len(), 6, "all six clusters are reported");
+
+        let raw = server.submit("SELECT * FROM sensors", 3).expect("raw query runs");
+        assert!(raw.algorithm.contains("centralized"));
+        assert!(raw.panel.baselines.is_empty());
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_with_parser_errors() {
+        let server = figure1_server();
+        assert!(server.submit("SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid", 5).is_err());
+        assert!(server.submit("SELEKT oops", 5).is_err());
+    }
+
+    #[test]
+    fn executions_are_deterministic_in_the_seed() {
+        let run = |seed| {
+            conference_server(seed)
+                .submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", 20)
+                .unwrap()
+                .results
+                .iter()
+                .map(|r| r.keys())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

@@ -1,0 +1,446 @@
+//! Message, byte and energy accounting — the numbers behind KSpot's System Panel.
+//!
+//! Every transmission performed through [`crate::sim::Network`] is recorded here, broken
+//! down per node, per epoch and per algorithm *phase* so that experiments can answer the
+//! questions the paper's System Panel answers live at the demo booth: how many messages
+//! and how much energy did the in-network Top-K execution save compared to shipping
+//! everything to the base station?
+
+use crate::types::{Epoch, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which algorithm phase a transmission belongs to.
+///
+/// The phases mirror the published descriptions: MINT's Creation / Pruning / Update and
+/// TJA's Lower-Bound / Hierarchical-Join / Clean-Up, plus the generic dissemination,
+/// control and probe traffic every algorithm shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PhaseTag {
+    /// Query flooding down the tree.
+    Dissemination,
+    /// MINT Creation phase (initial full view construction).
+    Creation,
+    /// Per-epoch data reports (MINT Update phase, TAG partial aggregates, raw tuples).
+    Update,
+    /// Threshold / filter / candidate-list broadcasts.
+    Control,
+    /// Probe requests and replies (MINT verification, TPUT phase 3, TJA Clean-Up pulls).
+    Probe,
+    /// TJA Lower-Bound phase.
+    LowerBound,
+    /// TJA Hierarchical-Join phase.
+    HierarchicalJoin,
+    /// TJA Clean-Up phase.
+    CleanUp,
+}
+
+impl fmt::Display for PhaseTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhaseTag::Dissemination => "dissemination",
+            PhaseTag::Creation => "creation",
+            PhaseTag::Update => "update",
+            PhaseTag::Control => "control",
+            PhaseTag::Probe => "probe",
+            PhaseTag::LowerBound => "lower-bound",
+            PhaseTag::HierarchicalJoin => "hierarchical-join",
+            PhaseTag::CleanUp => "clean-up",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-node traffic and energy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Messages transmitted by the node.
+    pub tx_messages: u64,
+    /// Messages received by the node.
+    pub rx_messages: u64,
+    /// On-air bytes transmitted.
+    pub tx_bytes: u64,
+    /// On-air bytes received.
+    pub rx_bytes: u64,
+    /// Result tuples the node placed on the air.
+    pub tuples_sent: u64,
+    /// Total energy drawn, µJ (radio + sensing + CPU).
+    pub energy_uj: f64,
+}
+
+impl NodeCounters {
+    fn add_tx(&mut self, bytes: u32, tuples: u32, energy: f64) {
+        self.tx_messages += 1;
+        self.tx_bytes += u64::from(bytes);
+        self.tuples_sent += u64::from(tuples);
+        self.energy_uj += energy;
+    }
+
+    fn add_rx(&mut self, bytes: u32, energy: f64) {
+        self.rx_messages += 1;
+        self.rx_bytes += u64::from(bytes);
+        self.energy_uj += energy;
+    }
+}
+
+/// Aggregate counters for one phase (or for the whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTotals {
+    /// Messages transmitted network-wide.
+    pub messages: u64,
+    /// On-air bytes transmitted network-wide.
+    pub bytes: u64,
+    /// Result tuples transmitted network-wide.
+    pub tuples: u64,
+    /// Energy drawn network-wide (sensor nodes only, the sink is mains-powered), µJ.
+    pub energy_uj: f64,
+}
+
+/// Full accounting of a simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    per_node: Vec<NodeCounters>,
+    sink: NodeCounters,
+    per_phase: BTreeMap<PhaseTag, PhaseTotals>,
+    per_epoch: BTreeMap<Epoch, PhaseTotals>,
+    totals: PhaseTotals,
+}
+
+impl NetworkMetrics {
+    /// Creates metrics for a network of `n` sensor nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_node: vec![NodeCounters::default(); n],
+            sink: NodeCounters::default(),
+            per_phase: BTreeMap::new(),
+            per_epoch: BTreeMap::new(),
+            totals: PhaseTotals::default(),
+        }
+    }
+
+    /// Number of sensor nodes tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    fn counters_mut(&mut self, id: NodeId) -> &mut NodeCounters {
+        if id == crate::types::SINK {
+            &mut self.sink
+        } else {
+            &mut self.per_node[(id - 1) as usize]
+        }
+    }
+
+    /// Records one single-hop transmission.
+    ///
+    /// `tx_energy` / `rx_energy` are the radio energies already computed by the caller
+    /// (the [`crate::sim::Network`] façade); the sink's energy is tracked but never
+    /// counted towards network totals because the base station is mains-powered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_transmission(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        epoch: Epoch,
+        phase: PhaseTag,
+        bytes: u32,
+        tuples: u32,
+        tx_energy: f64,
+        rx_energy: f64,
+    ) {
+        self.counters_mut(from).add_tx(bytes, tuples, tx_energy);
+        self.counters_mut(to).add_rx(bytes, rx_energy);
+
+        let sensor_energy = {
+            let mut e = 0.0;
+            if from != crate::types::SINK {
+                e += tx_energy;
+            }
+            if to != crate::types::SINK {
+                e += rx_energy;
+            }
+            e
+        };
+        for totals in [
+            self.per_phase.entry(phase).or_default(),
+            self.per_epoch.entry(epoch).or_default(),
+            &mut self.totals,
+        ] {
+            totals.messages += 1;
+            totals.bytes += u64::from(bytes);
+            totals.tuples += u64::from(tuples);
+            totals.energy_uj += sensor_energy;
+        }
+    }
+
+    /// Records one local broadcast transmission heard by several children at once —
+    /// how dissemination traffic actually behaves on a shared radio medium: the sender
+    /// pays one transmission, every listed receiver pays a reception.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_broadcast(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        epoch: Epoch,
+        phase: PhaseTag,
+        bytes: u32,
+        tuples: u32,
+        tx_energy: f64,
+        rx_energy_each: f64,
+    ) {
+        self.counters_mut(from).add_tx(bytes, tuples, tx_energy);
+        let mut sensor_energy = if from != crate::types::SINK { tx_energy } else { 0.0 };
+        for &r in receivers {
+            self.counters_mut(r).add_rx(bytes, rx_energy_each);
+            if r != crate::types::SINK {
+                sensor_energy += rx_energy_each;
+            }
+        }
+        for totals in [
+            self.per_phase.entry(phase).or_default(),
+            self.per_epoch.entry(epoch).or_default(),
+            &mut self.totals,
+        ] {
+            totals.messages += 1;
+            totals.bytes += u64::from(bytes);
+            totals.tuples += u64::from(tuples);
+            totals.energy_uj += sensor_energy;
+        }
+    }
+
+    /// Records node-local (non-radio) energy consumption: sensing, CPU, idle listening.
+    pub fn record_local_energy(&mut self, node: NodeId, epoch: Epoch, uj: f64) {
+        if node != crate::types::SINK {
+            self.per_node[(node - 1) as usize].energy_uj += uj;
+            self.totals.energy_uj += uj;
+            self.per_epoch.entry(epoch).or_default().energy_uj += uj;
+        }
+    }
+
+    /// Counters of a specific sensor node.
+    pub fn node(&self, id: NodeId) -> &NodeCounters {
+        &self.per_node[(id - 1) as usize]
+    }
+
+    /// Counters of the sink.
+    pub fn sink(&self) -> &NodeCounters {
+        &self.sink
+    }
+
+    /// Totals for a specific phase (zero if the phase never occurred).
+    pub fn phase(&self, tag: PhaseTag) -> PhaseTotals {
+        self.per_phase.get(&tag).copied().unwrap_or_default()
+    }
+
+    /// Totals for a specific epoch (zero if nothing was sent in that epoch).
+    pub fn epoch(&self, epoch: Epoch) -> PhaseTotals {
+        self.per_epoch.get(&epoch).copied().unwrap_or_default()
+    }
+
+    /// Totals over the whole run.
+    pub fn totals(&self) -> PhaseTotals {
+        self.totals
+    }
+
+    /// All phases that actually saw traffic, with their totals, in enum order.
+    pub fn phases(&self) -> impl Iterator<Item = (PhaseTag, PhaseTotals)> + '_ {
+        self.per_phase.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The highest per-node energy draw, i.e. the bottleneck node's consumption (µJ).
+    pub fn max_node_energy_uj(&self) -> f64 {
+        self.per_node.iter().map(|c| c.energy_uj).fold(0.0, f64::max)
+    }
+
+    /// Savings of `self` relative to `baseline` (positive = `self` used less).
+    pub fn savings_vs(&self, baseline: &NetworkMetrics) -> Savings {
+        Savings::between(baseline.totals(), self.totals())
+    }
+}
+
+/// Relative savings of one execution strategy against a baseline, as reported by the
+/// System Panel ("KSpot saved X % of the messages and Y % of the energy").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Savings {
+    /// Messages used by the baseline.
+    pub baseline_messages: u64,
+    /// Messages used by the evaluated strategy.
+    pub ours_messages: u64,
+    /// Bytes used by the baseline.
+    pub baseline_bytes: u64,
+    /// Bytes used by the evaluated strategy.
+    pub ours_bytes: u64,
+    /// Energy used by the baseline (µJ).
+    pub baseline_energy_uj: f64,
+    /// Energy used by the evaluated strategy (µJ).
+    pub ours_energy_uj: f64,
+}
+
+impl Savings {
+    /// Computes savings of `ours` relative to `baseline`.
+    pub fn between(baseline: PhaseTotals, ours: PhaseTotals) -> Self {
+        Self {
+            baseline_messages: baseline.messages,
+            ours_messages: ours.messages,
+            baseline_bytes: baseline.bytes,
+            ours_bytes: ours.bytes,
+            baseline_energy_uj: baseline.energy_uj,
+            ours_energy_uj: ours.energy_uj,
+        }
+    }
+
+    fn pct(baseline: f64, ours: f64) -> f64 {
+        if baseline <= 0.0 {
+            0.0
+        } else {
+            (1.0 - ours / baseline) * 100.0
+        }
+    }
+
+    /// Percentage of messages saved (negative if we used more than the baseline).
+    pub fn message_savings_pct(&self) -> f64 {
+        Self::pct(self.baseline_messages as f64, self.ours_messages as f64)
+    }
+
+    /// Percentage of bytes saved.
+    pub fn byte_savings_pct(&self) -> f64 {
+        Self::pct(self.baseline_bytes as f64, self.ours_bytes as f64)
+    }
+
+    /// Percentage of energy saved.
+    pub fn energy_savings_pct(&self) -> f64 {
+        Self::pct(self.baseline_energy_uj, self.ours_energy_uj)
+    }
+
+    /// Ratio baseline-bytes / our-bytes ("KSpot transmits N× fewer bytes").
+    pub fn byte_reduction_factor(&self) -> f64 {
+        if self.ours_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.baseline_bytes as f64 / self.ours_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for Savings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "messages {} -> {} ({:+.1}%), bytes {} -> {} ({:+.1}%), energy {:.0} -> {:.0} µJ ({:+.1}%)",
+            self.baseline_messages,
+            self.ours_messages,
+            self.message_savings_pct(),
+            self.baseline_bytes,
+            self.ours_bytes,
+            self.byte_savings_pct(),
+            self.baseline_energy_uj,
+            self.ours_energy_uj,
+            self.energy_savings_pct(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SINK;
+
+    #[test]
+    fn transmissions_update_node_phase_epoch_and_totals() {
+        let mut m = NetworkMetrics::new(3);
+        m.record_transmission(2, 1, 0, PhaseTag::Update, 19, 1, 380.0, 285.0);
+        m.record_transmission(1, SINK, 0, PhaseTag::Update, 31, 2, 620.0, 465.0);
+        m.record_transmission(SINK, 1, 1, PhaseTag::Control, 13, 0, 260.0, 195.0);
+
+        assert_eq!(m.node(2).tx_messages, 1);
+        assert_eq!(m.node(2).tx_bytes, 19);
+        assert_eq!(m.node(1).rx_messages, 2);
+        assert_eq!(m.node(1).tx_messages, 1);
+        assert_eq!(m.sink().rx_messages, 1);
+        assert_eq!(m.sink().tx_messages, 1);
+
+        let up = m.phase(PhaseTag::Update);
+        assert_eq!(up.messages, 2);
+        assert_eq!(up.bytes, 50);
+        assert_eq!(up.tuples, 3);
+        // Sink RX energy is excluded from network totals.
+        assert!((up.energy_uj - (380.0 + 285.0 + 620.0)).abs() < 1e-9);
+
+        let e1 = m.epoch(1);
+        assert_eq!(e1.messages, 1);
+        // Sink TX energy excluded; node-1 RX energy counted.
+        assert!((e1.energy_uj - 195.0).abs() < 1e-9);
+
+        assert_eq!(m.totals().messages, 3);
+        assert_eq!(m.epoch(99).messages, 0, "unknown epochs report zero");
+        assert_eq!(m.phase(PhaseTag::Probe).messages, 0);
+    }
+
+    #[test]
+    fn broadcast_counts_one_message_and_many_receptions() {
+        let mut m = NetworkMetrics::new(4);
+        m.record_broadcast(1, &[2, 3, 4], 0, PhaseTag::Dissemination, 13, 0, 260.0, 195.0);
+        assert_eq!(m.node(1).tx_messages, 1);
+        assert_eq!(m.node(2).rx_messages, 1);
+        assert_eq!(m.node(4).rx_messages, 1);
+        let t = m.totals();
+        assert_eq!(t.messages, 1, "a broadcast is one message on the air");
+        assert_eq!(t.bytes, 13);
+        assert!((t.energy_uj - (260.0 + 3.0 * 195.0)).abs() < 1e-9);
+
+        // Broadcast from the sink: its TX energy is not counted in network totals.
+        let mut m2 = NetworkMetrics::new(2);
+        m2.record_broadcast(SINK, &[1, 2], 0, PhaseTag::Dissemination, 13, 0, 260.0, 195.0);
+        assert!((m2.totals().energy_uj - 2.0 * 195.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_energy_is_attributed_to_nodes_not_sink() {
+        let mut m = NetworkMetrics::new(2);
+        m.record_local_energy(1, 0, 140.0);
+        m.record_local_energy(SINK, 0, 999.0);
+        assert!((m.node(1).energy_uj - 140.0).abs() < 1e-12);
+        assert!((m.totals().energy_uj - 140.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_percentages_and_factor() {
+        let baseline = PhaseTotals { messages: 100, bytes: 1000, tuples: 500, energy_uj: 2000.0 };
+        let ours = PhaseTotals { messages: 40, bytes: 250, tuples: 100, energy_uj: 500.0 };
+        let s = Savings::between(baseline, ours);
+        assert!((s.message_savings_pct() - 60.0).abs() < 1e-9);
+        assert!((s.byte_savings_pct() - 75.0).abs() < 1e-9);
+        assert!((s.energy_savings_pct() - 75.0).abs() < 1e-9);
+        assert!((s.byte_reduction_factor() - 4.0).abs() < 1e-9);
+        let disp = s.to_string();
+        assert!(disp.contains("messages 100 -> 40"));
+    }
+
+    #[test]
+    fn savings_handle_zero_baseline_and_zero_ours() {
+        let zero = PhaseTotals::default();
+        let some = PhaseTotals { messages: 5, bytes: 50, tuples: 5, energy_uj: 10.0 };
+        let s = Savings::between(zero, some);
+        assert_eq!(s.message_savings_pct(), 0.0);
+        let s2 = Savings::between(some, zero);
+        assert!(s2.byte_reduction_factor().is_infinite());
+        assert!((s2.byte_savings_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_node_energy_finds_bottleneck() {
+        let mut m = NetworkMetrics::new(3);
+        m.record_local_energy(1, 0, 10.0);
+        m.record_local_energy(2, 0, 30.0);
+        m.record_local_energy(3, 0, 20.0);
+        assert!((m.max_node_energy_uj() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_display_names_are_stable() {
+        assert_eq!(PhaseTag::LowerBound.to_string(), "lower-bound");
+        assert_eq!(PhaseTag::Update.to_string(), "update");
+        assert_eq!(PhaseTag::CleanUp.to_string(), "clean-up");
+    }
+}

@@ -1,0 +1,159 @@
+//! The radio cost model.
+//!
+//! KSpot's demo hardware is the MICA2 mote whose CC1000 radio transmits at 38.4 kbit/s.
+//! What the System Panel reports — and what the top-k algorithms are designed to
+//! minimise — is the number of messages and the number of payload bytes that cross the
+//! air.  [`RadioModel`] turns "a node sends `t` tuples to its parent" into a byte count
+//! and a transmission time, and optionally drops messages with a configurable
+//! probability to exercise the algorithms' robustness paths.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte/packet-level parameters of the simulated radio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Fixed per-message header overhead in bytes (TinyOS Active Message header, CRC,
+    /// routing metadata).
+    pub header_bytes: u32,
+    /// Payload bytes consumed by a single result tuple (group id, aggregate state,
+    /// descriptor fields).
+    pub tuple_bytes: u32,
+    /// Payload bytes of a control tuple (threshold, filter bound, probe id).
+    pub control_bytes: u32,
+    /// Radio bit-rate in bits per second (38 400 for the CC1000 on MICA2).
+    pub bitrate_bps: u32,
+    /// Maximum payload bytes per physical packet; larger logical messages are
+    /// fragmented and each fragment pays the header again (TinyOS packets carry at most
+    /// 29 payload bytes by default).
+    pub max_payload_bytes: u32,
+    /// Probability that a transmitted message is lost (0.0 = perfect link).
+    pub loss_probability: f64,
+}
+
+impl RadioModel {
+    /// The MICA2 / CC1000 model used by all experiments unless stated otherwise.
+    pub fn mica2() -> Self {
+        Self {
+            header_bytes: 7,
+            tuple_bytes: 12,
+            control_bytes: 6,
+            bitrate_bps: 38_400,
+            max_payload_bytes: 29,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// An idealised radio without header overhead or fragmentation; useful in unit
+    /// tests that want byte counts proportional to tuple counts.
+    pub fn ideal() -> Self {
+        Self {
+            header_bytes: 0,
+            tuple_bytes: 1,
+            control_bytes: 1,
+            bitrate_bps: 1_000_000,
+            max_payload_bytes: u32::MAX,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Sets the loss probability, panicking if it is not a probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Payload size in bytes of a message carrying `data_tuples` result tuples and
+    /// `control_tuples` control entries.
+    pub fn payload_bytes(&self, data_tuples: u32, control_tuples: u32) -> u32 {
+        data_tuples * self.tuple_bytes + control_tuples * self.control_bytes
+    }
+
+    /// Number of physical packets needed for a payload of `payload` bytes.  Even an
+    /// empty payload (a pure beacon / acknowledgement) costs one packet.
+    pub fn packets_for(&self, payload: u32) -> u32 {
+        if payload == 0 {
+            1
+        } else {
+            payload.div_ceil(self.max_payload_bytes.max(1))
+        }
+    }
+
+    /// Total on-air bytes (headers included) for a payload of `payload` bytes.
+    pub fn on_air_bytes(&self, payload: u32) -> u32 {
+        self.packets_for(payload) * self.header_bytes + payload
+    }
+
+    /// On-air time in microseconds for a payload of `payload` bytes.
+    pub fn airtime_us(&self, payload: u32) -> u64 {
+        let bits = u64::from(self.on_air_bytes(payload)) * 8;
+        (bits * 1_000_000) / u64::from(self.bitrate_bps.max(1))
+    }
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        Self::mica2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mica2_defaults_are_sane() {
+        let r = RadioModel::mica2();
+        assert_eq!(r.bitrate_bps, 38_400);
+        assert!(r.header_bytes > 0);
+        assert!(r.tuple_bytes > r.control_bytes);
+        assert_eq!(r.loss_probability, 0.0);
+    }
+
+    #[test]
+    fn payload_combines_data_and_control_tuples() {
+        let r = RadioModel::mica2();
+        assert_eq!(r.payload_bytes(0, 0), 0);
+        assert_eq!(r.payload_bytes(3, 0), 36);
+        assert_eq!(r.payload_bytes(3, 2), 48);
+    }
+
+    #[test]
+    fn empty_message_still_costs_one_packet() {
+        let r = RadioModel::mica2();
+        assert_eq!(r.packets_for(0), 1);
+        assert_eq!(r.on_air_bytes(0), 7);
+    }
+
+    #[test]
+    fn fragmentation_pays_header_per_packet() {
+        let r = RadioModel::mica2();
+        // 5 tuples = 60 bytes > 29-byte packets → 3 packets.
+        let payload = r.payload_bytes(5, 0);
+        assert_eq!(r.packets_for(payload), 3);
+        assert_eq!(r.on_air_bytes(payload), 3 * 7 + 60);
+    }
+
+    #[test]
+    fn airtime_scales_with_bytes() {
+        let r = RadioModel::mica2();
+        let t1 = r.airtime_us(r.payload_bytes(1, 0));
+        let t10 = r.airtime_us(r.payload_bytes(10, 0));
+        assert!(t10 > t1 * 5, "ten tuples should take much longer than one");
+        // One tuple: 12 + 7 = 19 bytes = 152 bits at 38.4 kbit/s ≈ 3958 µs.
+        assert_eq!(t1, 152 * 1_000_000 / 38_400);
+    }
+
+    #[test]
+    fn ideal_radio_counts_tuples_as_bytes() {
+        let r = RadioModel::ideal();
+        assert_eq!(r.on_air_bytes(r.payload_bytes(5, 0)), 5);
+        assert_eq!(r.packets_for(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn with_loss_rejects_values_above_one() {
+        let _ = RadioModel::mica2().with_loss(1.5);
+    }
+}

@@ -1,0 +1,450 @@
+//! The [`Network`] façade: one object every ranking algorithm is written against.
+//!
+//! The façade bundles a [`Deployment`], the [`RoutingTree`] built over it, the radio and
+//! energy cost models, per-node batteries and the [`NetworkMetrics`] ledger.  Algorithms
+//! describe traffic at the level of "node 7 sends 3 tuples to its parent in epoch 12,
+//! this is Update-phase traffic" and the façade converts that into packets, bytes,
+//! airtime, energy and battery drain — the same accounting KSpot's System Panel performs
+//! on the live testbed.
+//!
+//! The simulation is epoch-synchronous rather than event-driven at the MAC level: TAG
+//! and its descendants schedule children to transmit strictly before their parents
+//! within an epoch, so a post-order sweep is an exact model of the communication
+//! schedule while staying fast enough for the large parameter sweeps of E4–E7.
+
+use crate::energy::{BatteryBank, EnergyModel};
+use crate::message::{Message, MessageKind};
+use crate::metrics::{NetworkMetrics, PhaseTag};
+use crate::radio::RadioModel;
+use crate::rng::stream_rng;
+use crate::topology::Deployment;
+use crate::tree::RoutingTree;
+use crate::types::{Epoch, NodeId, SINK};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Radio byte/packet model.
+    pub radio: RadioModel,
+    /// Energy cost constants.
+    pub energy: EnergyModel,
+    /// Battery capacity per sensor node, in µJ.
+    pub battery_capacity_uj: f64,
+    /// Whether the fixed per-epoch node duties (sampling, idle listening) are charged.
+    /// Experiments that only compare radio traffic switch this off.
+    pub charge_epoch_baseline: bool,
+    /// Seed for the substrate's own randomness (message loss).
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// The MICA2-calibrated configuration used by the paper-facing experiments.
+    pub fn mica2() -> Self {
+        Self {
+            radio: RadioModel::mica2(),
+            energy: EnergyModel::mica2(),
+            battery_capacity_uj: 20.0e9,
+            charge_epoch_baseline: true,
+            seed: 0,
+        }
+    }
+
+    /// A configuration where only radio bytes cost anything — used by unit tests that
+    /// want to reason about counts without constants getting in the way.
+    pub fn ideal() -> Self {
+        Self {
+            radio: RadioModel::ideal(),
+            energy: EnergyModel::radio_only(),
+            battery_capacity_uj: 1.0e12,
+            charge_epoch_baseline: false,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the per-node battery capacity.
+    pub fn with_battery_uj(mut self, uj: f64) -> Self {
+        self.battery_capacity_uj = uj;
+        self
+    }
+
+    /// Overrides the radio model.
+    pub fn with_radio(mut self, radio: RadioModel) -> Self {
+        self.radio = radio;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::mica2()
+    }
+}
+
+/// A deployed, powered-up sensor network ready to execute queries.
+#[derive(Debug, Clone)]
+pub struct Network {
+    deployment: Deployment,
+    tree: RoutingTree,
+    config: NetworkConfig,
+    metrics: NetworkMetrics,
+    batteries: BatteryBank,
+    loss_rng: StdRng,
+    current_epoch: Epoch,
+}
+
+impl Network {
+    /// Deploys a network: builds the routing tree and initialises batteries and metrics.
+    pub fn new(deployment: Deployment, config: NetworkConfig) -> Self {
+        let tree = RoutingTree::build(&deployment);
+        let n = deployment.num_nodes();
+        Self {
+            deployment,
+            tree,
+            config,
+            metrics: NetworkMetrics::new(n),
+            batteries: BatteryBank::uniform(n, config.battery_capacity_uj),
+            loss_rng: stream_rng(config.seed, &[0x10_55]),
+            current_epoch: 0,
+        }
+    }
+
+    /// The static deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The routing tree.
+    pub fn tree(&self) -> &RoutingTree {
+        &self.tree
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The metrics ledger accumulated so far.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
+    }
+
+    /// The per-node batteries.
+    pub fn batteries(&self) -> &BatteryBank {
+        &self.batteries
+    }
+
+    /// Number of sensor nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.deployment.num_nodes()
+    }
+
+    /// The epoch most recently begun with [`Self::begin_epoch`].
+    pub fn current_epoch(&self) -> Epoch {
+        self.current_epoch
+    }
+
+    /// True while no node has exhausted its battery (the usual lifetime definition).
+    pub fn is_alive(&self) -> bool {
+        !self.batteries.any_depleted()
+    }
+
+    /// True if the given node still has energy.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        node == SINK || !self.batteries.get(node).is_depleted()
+    }
+
+    /// Resets metrics and batteries while keeping the deployment, tree and config —
+    /// used when running several algorithms over the identical topology for a fair
+    /// comparison.
+    pub fn reset_accounting(&mut self) {
+        self.metrics = NetworkMetrics::new(self.deployment.num_nodes());
+        self.batteries = BatteryBank::uniform(self.deployment.num_nodes(), self.config.battery_capacity_uj);
+        self.loss_rng = stream_rng(self.config.seed, &[0x10_55]);
+        self.current_epoch = 0;
+    }
+
+    /// Marks the beginning of an epoch: charges every alive node its fixed sampling and
+    /// idle-listening cost (if the configuration says so).
+    pub fn begin_epoch(&mut self, epoch: Epoch) {
+        self.current_epoch = epoch;
+        if !self.config.charge_epoch_baseline {
+            return;
+        }
+        let cost = self.config.energy.epoch_baseline_cost();
+        for id in self.deployment.node_ids() {
+            if self.node_alive(id) {
+                self.metrics.record_local_energy(id, epoch, cost);
+                self.batteries.drain(id, cost);
+            }
+        }
+    }
+
+    /// Charges node-local CPU work of processing `tuples` tuples (sorting, pruning,
+    /// view maintenance).
+    pub fn charge_cpu(&mut self, node: NodeId, tuples: u32) {
+        if node == SINK {
+            return;
+        }
+        let cost = self.config.energy.cpu_cost(tuples);
+        self.metrics.record_local_energy(node, self.current_epoch, cost);
+        self.batteries.drain(node, cost);
+    }
+
+    /// Transmits a single-hop [`Message`], charging both endpoints and recording it
+    /// under `phase`.  Returns `true` if the message was delivered (it may be lost when
+    /// the radio model has a non-zero loss probability; the sender still pays).
+    pub fn send(&mut self, msg: Message, phase: PhaseTag) -> bool {
+        let payload = self.config.radio.payload_bytes(msg.data_tuples, msg.control_tuples);
+        let bytes = self.config.radio.on_air_bytes(payload);
+        let tx = self.config.energy.tx_cost(bytes);
+        // A lost message is one whose CRC check fails at the receiver: the receiver's
+        // radio still spent the energy listening to it, so both ends always pay.
+        let lost = self.config.radio.loss_probability > 0.0
+            && self.loss_rng.gen_bool(self.config.radio.loss_probability);
+        let rx = self.config.energy.rx_cost(bytes);
+        self.metrics.record_transmission(
+            msg.from,
+            msg.to,
+            msg.epoch,
+            phase,
+            bytes,
+            msg.data_tuples,
+            tx,
+            rx,
+        );
+        if msg.from != SINK {
+            self.batteries.drain(msg.from, tx);
+        }
+        if msg.to != SINK {
+            self.batteries.drain(msg.to, rx);
+        }
+        !lost
+    }
+
+    /// Sends a per-epoch data report from `from` to its routing parent.
+    pub fn send_report_to_parent(
+        &mut self,
+        from: NodeId,
+        epoch: Epoch,
+        data_tuples: u32,
+        control_tuples: u32,
+        phase: PhaseTag,
+    ) -> bool {
+        let parent = self.tree.parent(from);
+        let msg = Message {
+            from,
+            to: parent,
+            epoch,
+            kind: MessageKind::DataReport,
+            data_tuples,
+            control_tuples,
+        };
+        self.send(msg, phase)
+    }
+
+    /// Floods a control payload of `control_entries` entries from the sink to every node
+    /// using local broadcasts: the sink and every internal node transmit once, every
+    /// node receives once.  Returns the number of broadcast transmissions made.
+    pub fn flood_down(&mut self, epoch: Epoch, control_entries: u32, phase: PhaseTag) -> u32 {
+        let payload = self.config.radio.payload_bytes(0, control_entries);
+        let bytes = self.config.radio.on_air_bytes(payload);
+        let tx = self.config.energy.tx_cost(bytes);
+        let rx = self.config.energy.rx_cost(bytes);
+        let mut transmissions = 0;
+        let mut senders = vec![SINK];
+        senders.extend(self.tree.pre_order());
+        for sender in senders {
+            let children = self.tree.children(sender).to_vec();
+            if children.is_empty() {
+                continue;
+            }
+            self.metrics
+                .record_broadcast(sender, &children, epoch, phase, bytes, 0, tx, rx);
+            if sender != SINK {
+                self.batteries.drain(sender, tx);
+            }
+            for c in &children {
+                self.batteries.drain(*c, rx);
+            }
+            transmissions += 1;
+        }
+        transmissions
+    }
+
+    /// Sends `control_entries` control entries from the sink to a specific node, hop by
+    /// hop down the routing path.  Returns the number of hops taken.
+    pub fn unicast_down(&mut self, to: NodeId, epoch: Epoch, control_entries: u32, phase: PhaseTag) -> u32 {
+        let mut path = self.tree.path_to_sink(to);
+        path.push(SINK);
+        path.reverse(); // sink, …, to
+        let mut hops = 0;
+        for pair in path.windows(2) {
+            let msg = Message {
+                from: pair[0],
+                to: pair[1],
+                epoch,
+                kind: MessageKind::Probe,
+                data_tuples: 0,
+                control_tuples: control_entries,
+            };
+            self.send(msg, phase);
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Sends `data_tuples` data tuples from a node to the sink, hop by hop up the
+    /// routing path (used for probe replies, which bypass epoch-synchronous merging).
+    /// Returns the number of hops taken.
+    pub fn unicast_up(&mut self, from: NodeId, epoch: Epoch, data_tuples: u32, phase: PhaseTag) -> u32 {
+        let path = self.tree.path_to_sink(from);
+        let mut hops = 0;
+        for (i, &hop) in path.iter().enumerate() {
+            let to = if i + 1 < path.len() { path[i + 1] } else { SINK };
+            let msg = Message {
+                from: hop,
+                to,
+                epoch,
+                kind: MessageKind::ProbeReply,
+                data_tuples,
+                control_tuples: 0,
+            };
+            self.send(msg, phase);
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Convenience for experiments: total energy (µJ) the sensor nodes have consumed.
+    pub fn total_energy_uj(&self) -> f64 {
+        self.batteries.total_consumed_uj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Deployment;
+
+    fn net(config: NetworkConfig) -> Network {
+        Network::new(Deployment::figure1(), config)
+    }
+
+    #[test]
+    fn send_charges_both_endpoints_and_counts_bytes() {
+        let mut n = net(NetworkConfig::ideal());
+        let ok = n.send(Message::data(9, 4, 0, 3), PhaseTag::Update);
+        assert!(ok);
+        assert_eq!(n.metrics().node(9).tx_messages, 1);
+        assert_eq!(n.metrics().node(9).tx_bytes, 3, "ideal radio: one byte per tuple");
+        assert_eq!(n.metrics().node(4).rx_bytes, 3);
+        assert!((n.batteries().get(9).capacity_uj() - n.batteries().get(9).remaining_uj() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_report_to_parent_uses_the_routing_tree() {
+        let mut n = net(NetworkConfig::ideal());
+        n.send_report_to_parent(9, 0, 1, 0, PhaseTag::Update);
+        assert_eq!(n.metrics().node(4).rx_messages, 1, "node 9's parent is node 4 in Figure 1");
+    }
+
+    #[test]
+    fn begin_epoch_charges_baseline_when_enabled() {
+        let mut n = net(NetworkConfig::mica2());
+        n.begin_epoch(0);
+        let per_node = n.config().energy.epoch_baseline_cost();
+        assert!((n.metrics().node(1).energy_uj - per_node).abs() < 1e-9);
+        assert!((n.metrics().totals().energy_uj - per_node * 9.0).abs() < 1e-9);
+
+        let mut ideal = net(NetworkConfig::ideal());
+        ideal.begin_epoch(0);
+        assert_eq!(ideal.metrics().totals().energy_uj, 0.0);
+    }
+
+    #[test]
+    fn flood_down_transmits_once_per_internal_node() {
+        let mut n = net(NetworkConfig::ideal());
+        let tx = n.flood_down(0, 2, PhaseTag::Dissemination);
+        // Internal nodes of the Figure-1 tree: sink, 2, 5, 7, 4 → 5 broadcasts.
+        assert_eq!(tx, 5);
+        assert_eq!(n.metrics().totals().messages, 5);
+        // Every sensor node received the flood exactly once.
+        for id in n.deployment().node_ids() {
+            assert_eq!(n.metrics().node(id).rx_messages, 1, "node {id} should hear the flood once");
+        }
+    }
+
+    #[test]
+    fn unicast_down_and_up_walk_the_tree_path() {
+        let mut n = net(NetworkConfig::ideal());
+        let down = n.unicast_down(9, 3, 1, PhaseTag::Probe);
+        assert_eq!(down, 3, "sink → 7 → 4 → 9 is three hops");
+        let up = n.unicast_up(9, 3, 2, PhaseTag::Probe);
+        assert_eq!(up, 3);
+        assert_eq!(n.metrics().phase(PhaseTag::Probe).messages, 6);
+    }
+
+    #[test]
+    fn lossy_radio_sometimes_drops_messages_but_sender_still_pays() {
+        let config = NetworkConfig {
+            radio: RadioModel::mica2().with_loss(0.5),
+            ..NetworkConfig::mica2()
+        };
+        let mut n = net(config);
+        let mut delivered = 0;
+        for i in 0..200 {
+            if n.send(Message::data(9, 4, i, 1), PhaseTag::Update) {
+                delivered += 1;
+            }
+        }
+        assert!(delivered > 50 && delivered < 150, "roughly half should get through, got {delivered}");
+        assert_eq!(n.metrics().node(9).tx_messages, 200, "sender pays for every attempt");
+        assert_eq!(n.metrics().node(4).rx_messages, 200);
+        assert!(n.metrics().node(4).energy_uj < n.metrics().node(9).energy_uj);
+    }
+
+    #[test]
+    fn reset_accounting_clears_metrics_and_batteries() {
+        let mut n = net(NetworkConfig::mica2());
+        n.begin_epoch(0);
+        n.send(Message::data(1, 2, 0, 1), PhaseTag::Update);
+        assert!(n.metrics().totals().messages > 0);
+        n.reset_accounting();
+        assert_eq!(n.metrics().totals().messages, 0);
+        assert!((n.total_energy_uj() - 0.0).abs() < 1e-9);
+        assert!(n.is_alive());
+    }
+
+    #[test]
+    fn node_death_is_detected() {
+        let config = NetworkConfig::mica2().with_battery_uj(100.0);
+        let mut n = net(config);
+        assert!(n.is_alive());
+        n.begin_epoch(0); // baseline cost of 140 µJ exceeds the 100 µJ battery
+        assert!(!n.is_alive());
+        assert!(!n.node_alive(1));
+        assert!(n.node_alive(SINK), "the sink is mains powered");
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let run = |seed: u64| {
+            let config = NetworkConfig {
+                radio: RadioModel::mica2().with_loss(0.3),
+                ..NetworkConfig::mica2().with_seed(seed)
+            };
+            let mut n = net(config);
+            (0..50).filter(|&i| n.send(Message::data(9, 4, i, 1), PhaseTag::Update)).count()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

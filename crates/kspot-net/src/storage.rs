@@ -1,0 +1,220 @@
+//! Per-node sliding-window storage for historic queries.
+//!
+//! Historic Top-K queries ("the K time instances with the highest average temperature
+//! during the last 3 months") require every node to buffer its past readings locally, in
+//! a sliding window, either in SRAM or on flash — the paper cites MicroHash as the flash
+//! index that plays this role on real motes.  [`SlidingWindow`] reproduces the two access
+//! paths the algorithms need:
+//!
+//! * a *local top-k scan* (TJA's Lower-Bound phase asks each node for its k best epochs);
+//! * *point lookups by epoch* (TJA's Hierarchical-Join and Clean-Up phases ask for the
+//!   node's value at specific candidate epochs).
+//!
+//! Read costs are accounted in page reads so the energy of local storage access can be
+//! charged if an experiment wants to (flash reads are ~1000× cheaper than radio bytes,
+//! which is exactly why local filtering wins).
+
+use crate::types::{Epoch, Value};
+use crate::types::cmp_value;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A bounded, epoch-ordered buffer of `(epoch, value)` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    capacity: usize,
+    samples: VecDeque<(Epoch, Value)>,
+    /// Number of samples evicted because the window was full.
+    evicted: u64,
+    /// Number of logical page reads served (for storage-cost accounting).
+    page_reads: u64,
+    /// Samples per storage page (MicroHash-style page of a NAND flash).
+    samples_per_page: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be positive");
+        Self {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+            evicted: 0,
+            page_reads: 0,
+            samples_per_page: 16,
+        }
+    }
+
+    /// Maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of samples evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Logical page reads served so far.
+    pub fn page_reads(&self) -> u64 {
+        self.page_reads
+    }
+
+    /// Appends a sample for `epoch`.  Epochs must be appended in non-decreasing order —
+    /// sensors sample time monotonically.
+    pub fn push(&mut self, epoch: Epoch, value: Value) {
+        if let Some(&(last, _)) = self.samples.back() {
+            assert!(epoch >= last, "samples must be appended in epoch order");
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.evicted += 1;
+        }
+        self.samples.push_back((epoch, value));
+    }
+
+    /// The oldest buffered epoch, if any.
+    pub fn oldest_epoch(&self) -> Option<Epoch> {
+        self.samples.front().map(|&(e, _)| e)
+    }
+
+    /// The newest buffered epoch, if any.
+    pub fn newest_epoch(&self) -> Option<Epoch> {
+        self.samples.back().map(|&(e, _)| e)
+    }
+
+    /// The value recorded at `epoch`, if it is still inside the window.
+    pub fn get(&mut self, epoch: Epoch) -> Option<Value> {
+        self.page_reads += 1;
+        // Binary search: the deque is epoch-ordered.
+        let slice = self.samples.make_contiguous();
+        slice
+            .binary_search_by_key(&epoch, |&(e, _)| e)
+            .ok()
+            .map(|idx| slice[idx].1)
+    }
+
+    /// Iterates over the buffered `(epoch, value)` samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (Epoch, Value)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The `k` buffered samples with the highest values, best first.
+    /// Ties are broken towards the older epoch so results are deterministic.
+    pub fn local_top_k(&mut self, k: usize) -> Vec<(Epoch, Value)> {
+        self.page_reads += (self.samples.len().div_ceil(self.samples_per_page)) as u64;
+        let mut all: Vec<(Epoch, Value)> = self.samples.iter().copied().collect();
+        all.sort_by(|a, b| cmp_value(b.1, a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// All buffered samples whose value is at least `threshold`.
+    pub fn values_at_least(&mut self, threshold: Value) -> Vec<(Epoch, Value)> {
+        self.page_reads += (self.samples.len().div_ceil(self.samples_per_page)) as u64;
+        self.samples.iter().copied().filter(|&(_, v)| v >= threshold).collect()
+    }
+
+    /// Values at the requested epochs (missing epochs are skipped).
+    pub fn values_at(&mut self, epochs: &[Epoch]) -> Vec<(Epoch, Value)> {
+        epochs.iter().filter_map(|&e| self.get(e).map(|v| (e, v))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_with(values: &[(Epoch, Value)], cap: usize) -> SlidingWindow {
+        let mut w = SlidingWindow::new(cap);
+        for &(e, v) in values {
+            w.push(e, v);
+        }
+        w
+    }
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut w = window_with(&[(0, 10.0), (1, 20.0), (2, 15.0)], 8);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.get(1), Some(20.0));
+        assert_eq!(w.get(5), None);
+        assert_eq!(w.oldest_epoch(), Some(0));
+        assert_eq!(w.newest_epoch(), Some(2));
+    }
+
+    #[test]
+    fn eviction_keeps_the_most_recent_samples() {
+        let mut w = SlidingWindow::new(3);
+        for e in 0..10u64 {
+            w.push(e, e as f64);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.evicted(), 7);
+        assert_eq!(w.oldest_epoch(), Some(7));
+        assert_eq!(w.get(6), None, "evicted epochs are gone");
+        assert_eq!(w.get(9), Some(9.0));
+    }
+
+    #[test]
+    fn local_top_k_returns_best_values_with_deterministic_ties() {
+        let mut w = window_with(&[(0, 5.0), (1, 9.0), (2, 9.0), (3, 1.0), (4, 7.0)], 16);
+        let top = w.local_top_k(3);
+        assert_eq!(top, vec![(1, 9.0), (2, 9.0), (4, 7.0)]);
+        // Asking for more than we have returns everything, sorted.
+        let all = w.local_top_k(10);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], (1, 9.0));
+        assert_eq!(all[4], (3, 1.0));
+    }
+
+    #[test]
+    fn values_at_least_filters_by_threshold() {
+        let mut w = window_with(&[(0, 5.0), (1, 9.0), (2, 3.0), (3, 7.0)], 16);
+        assert_eq!(w.values_at_least(6.0), vec![(1, 9.0), (3, 7.0)]);
+        assert_eq!(w.values_at_least(100.0), Vec::new());
+    }
+
+    #[test]
+    fn values_at_skips_missing_epochs() {
+        let mut w = window_with(&[(2, 5.0), (3, 9.0)], 16);
+        assert_eq!(w.values_at(&[1, 2, 3, 4]), vec![(2, 5.0), (3, 9.0)]);
+    }
+
+    #[test]
+    fn page_reads_are_accounted() {
+        let mut w = SlidingWindow::new(64);
+        for e in 0..64u64 {
+            w.push(e, 0.0);
+        }
+        assert_eq!(w.page_reads(), 0);
+        let _ = w.local_top_k(5);
+        assert_eq!(w.page_reads(), 4, "64 samples at 16 per page = 4 page reads");
+        let _ = w.get(3);
+        assert_eq!(w.page_reads(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch order")]
+    fn out_of_order_pushes_are_rejected() {
+        let mut w = SlidingWindow::new(4);
+        w.push(5, 1.0);
+        w.push(4, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The TAG-style routing (aggregation) tree.
+//!
+//! TinyDB — and therefore KSpot, which extends it — organises the network into a
+//! spanning tree rooted at the sink using the *first-heard-from* rule: when the query is
+//! flooded, every node adopts as parent the neighbour from which it first heard the
+//! query, which is a BFS tree over the connectivity graph.  Data then flows leaf-to-root
+//! (convergecast) and control traffic root-to-leaf (dissemination).
+//!
+//! [`RoutingTree`] captures the result and offers the traversal orders the algorithms
+//! need: post-order for convergecast (children are processed before their parent) and
+//! pre-order for dissemination.
+
+use crate::topology::Deployment;
+use crate::types::{NodeId, SINK};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A spanning tree over the deployment, rooted at the sink.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingTree {
+    /// `parent[i]` is the parent of node `i + 1` (sensor ids start at 1).
+    parent: Vec<NodeId>,
+    /// Children of every node, keyed by the node id (including the sink).
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Hop distance from the sink; `depth[i]` is the depth of node `i + 1`.
+    depth: Vec<u32>,
+}
+
+impl RoutingTree {
+    /// Builds the first-heard-from (BFS) tree over the deployment's connectivity graph.
+    ///
+    /// If the deployment carries an explicit parent assignment (scripted scenarios such
+    /// as Figure 1), that assignment is used verbatim.  Nodes that are not reachable
+    /// within radio range are attached to their geometrically nearest already-connected
+    /// node — the software equivalent of the topology-control step a real deployment
+    /// would perform by adding relay motes.
+    pub fn build(deployment: &Deployment) -> Self {
+        if let Some(parents) = deployment.explicit_parents() {
+            let parent_of = |id: NodeId| -> NodeId {
+                *parents
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("explicit parents missing entry for node {id}"))
+            };
+            let parent: Vec<NodeId> =
+                deployment.node_ids().iter().map(|&id| parent_of(id)).collect();
+            return Self::from_parent_vector(parent);
+        }
+
+        let n = deployment.num_nodes();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n + 1];
+        visited[SINK as usize] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(SINK);
+        while let Some(u) = queue.pop_front() {
+            for v in deployment.neighbors(u) {
+                if v == SINK || visited[v as usize] {
+                    continue;
+                }
+                visited[v as usize] = true;
+                parent[(v - 1) as usize] = Some(u);
+                queue.push_back(v);
+            }
+        }
+
+        // Attach any disconnected node to its nearest connected node (or the sink).
+        loop {
+            let orphan = (1..=n as NodeId).find(|&id| parent[(id - 1) as usize].is_none());
+            let Some(orphan) = orphan else { break };
+            let op = deployment.position_of(orphan);
+            let mut best: (NodeId, f64) = (SINK, op.distance(&deployment.sink_position()));
+            for cand in 1..=n as NodeId {
+                if cand == orphan || parent[(cand - 1) as usize].is_none() {
+                    continue;
+                }
+                let dist = op.distance(&deployment.position_of(cand));
+                if dist < best.1 {
+                    best = (cand, dist);
+                }
+            }
+            parent[(orphan - 1) as usize] = Some(best.0);
+        }
+
+        Self::from_parent_vector(parent.into_iter().map(|p| p.expect("all nodes attached")).collect())
+    }
+
+    /// Builds a tree from an explicit parent vector (`parent[i]` is the parent of node
+    /// `i + 1`).  Panics if the assignment contains a cycle or references unknown nodes.
+    pub fn from_parent_vector(parent: Vec<NodeId>) -> Self {
+        let n = parent.len();
+        for (i, &p) in parent.iter().enumerate() {
+            let child = (i + 1) as NodeId;
+            assert!(p as usize <= n, "parent {p} of node {child} is out of range");
+            assert_ne!(p, child, "node {child} cannot be its own parent");
+        }
+        // Compute depths, detecting cycles by bounding the walk length.
+        let mut depth = vec![0u32; n];
+        for i in 0..n {
+            let mut hops = 0u32;
+            let mut cur = (i + 1) as NodeId;
+            while cur != SINK {
+                cur = parent[(cur - 1) as usize];
+                hops += 1;
+                assert!(
+                    hops as usize <= n,
+                    "parent assignment contains a cycle involving node {}",
+                    i + 1
+                );
+            }
+            depth[i] = hops;
+        }
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        children.insert(SINK, Vec::new());
+        for id in 1..=n as NodeId {
+            children.entry(id).or_default();
+        }
+        for (i, &p) in parent.iter().enumerate() {
+            children.get_mut(&p).expect("parent entry exists").push((i + 1) as NodeId);
+        }
+        for c in children.values_mut() {
+            c.sort_unstable();
+        }
+        Self { parent, children, depth }
+    }
+
+    /// Number of sensor nodes in the tree (the sink is not counted).
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The parent of `node`.  Panics when asked for the sink's parent.
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        assert_ne!(node, SINK, "the sink has no parent");
+        self.parent[(node - 1) as usize]
+    }
+
+    /// The children of `node` (which may be the sink), in ascending id order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        self.children.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Hop distance of `node` from the sink (the sink itself has depth 0).
+    pub fn depth(&self, node: NodeId) -> u32 {
+        if node == SINK {
+            0
+        } else {
+            self.depth[(node - 1) as usize]
+        }
+    }
+
+    /// The maximum depth over all nodes (i.e. the height of the tree).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True if `node` has no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children(node).is_empty()
+    }
+
+    /// Sensor nodes in *post-order*: every node appears after all of its descendants.
+    /// This is the order in which an epoch's convergecast is simulated (leaves first).
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.num_nodes());
+        self.post_order_visit(SINK, &mut out);
+        out
+    }
+
+    fn post_order_visit(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        for &c in self.children(node) {
+            self.post_order_visit(c, out);
+        }
+        if node != SINK {
+            out.push(node);
+        }
+    }
+
+    /// Sensor nodes in *pre-order*: every node appears before its descendants.  This is
+    /// the order in which root-to-leaf dissemination (query flooding, threshold
+    /// broadcast) is simulated.
+    pub fn pre_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.num_nodes());
+        let mut stack: Vec<NodeId> = self.children(SINK).iter().rev().copied().collect();
+        while let Some(node) = stack.pop() {
+            out.push(node);
+            for &c in self.children(node).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All nodes in the subtree rooted at `node`, including `node` itself (unless it is
+    /// the sink, which is never part of a data subtree).
+    pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            if u != SINK {
+                out.push(u);
+            }
+            stack.extend(self.children(u).iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The path from `node` up to (and excluding) the sink: `node, parent, grandparent, …`.
+    pub fn path_to_sink(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while cur != SINK {
+            out.push(cur);
+            cur = self.parent(cur);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Deployment;
+
+    #[test]
+    fn bfs_tree_connects_every_node_of_a_grid() {
+        let d = Deployment::grid(6, 10.0, None);
+        let t = RoutingTree::build(&d);
+        assert_eq!(t.num_nodes(), 36);
+        for id in d.node_ids() {
+            // Walking up from every node terminates at the sink.
+            let path = t.path_to_sink(id);
+            assert_eq!(path[0], id);
+            assert!(path.len() as u32 == t.depth(id));
+        }
+    }
+
+    #[test]
+    fn explicit_parent_assignment_is_respected() {
+        let d = Deployment::figure1();
+        let t = RoutingTree::build(&d);
+        assert_eq!(t.parent(9), 4);
+        assert_eq!(t.parent(4), 7);
+        assert_eq!(t.parent(7), SINK);
+        assert_eq!(t.children(SINK), &[2, 5, 7]);
+        assert_eq!(t.depth(9), 3);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn post_order_lists_children_before_parents() {
+        let d = Deployment::figure1();
+        let t = RoutingTree::build(&d);
+        let order = t.post_order();
+        assert_eq!(order.len(), 9);
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        for id in d.node_ids() {
+            if t.parent(id) != SINK {
+                assert!(pos(id) < pos(t.parent(id)), "child {id} must precede its parent");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_order_lists_parents_before_children() {
+        let d = Deployment::conference();
+        let t = RoutingTree::build(&d);
+        let order = t.pre_order();
+        assert_eq!(order.len(), d.num_nodes());
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        for id in d.node_ids() {
+            if t.parent(id) != SINK {
+                assert!(pos(t.parent(id)) < pos(id), "parent of {id} must precede it");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_of_figure1_node7_contains_its_descendants() {
+        let t = RoutingTree::build(&Deployment::figure1());
+        assert_eq!(t.subtree(7), vec![4, 7, 8, 9]);
+        assert_eq!(t.subtree(4), vec![4, 9]);
+        assert_eq!(t.subtree(9), vec![9]);
+    }
+
+    #[test]
+    fn leaves_are_detected() {
+        let t = RoutingTree::build(&Deployment::figure1());
+        assert!(t.is_leaf(9));
+        assert!(t.is_leaf(1));
+        assert!(!t.is_leaf(4));
+        assert!(!t.is_leaf(7));
+    }
+
+    #[test]
+    fn disconnected_nodes_are_attached_to_nearest_neighbor() {
+        // A deployment whose radio range cannot reach one far-away node.
+        use crate::topology::{DeploymentKind, NodeSpec, Position};
+        let nodes = vec![
+            NodeSpec { id: 1, position: Position::new(5.0, 0.0), group: 0 },
+            NodeSpec { id: 2, position: Position::new(10.0, 0.0), group: 0 },
+            NodeSpec { id: 3, position: Position::new(100.0, 0.0), group: 0 },
+        ];
+        let d = Deployment::from_parts(DeploymentKind::Custom, Position::new(0.0, 0.0), nodes, 8.0);
+        let t = RoutingTree::build(&d);
+        // Node 3 is out of range of everything; it gets attached to node 2, its nearest
+        // connected peer.
+        assert_eq!(t.parent(3), 2);
+        assert_eq!(t.path_to_sink(3), vec![3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_rejected() {
+        // 1 -> 2 -> 1 is a cycle.
+        let _ = RoutingTree::from_parent_vector(vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "own parent")]
+    fn self_parent_is_rejected() {
+        let _ = RoutingTree::from_parent_vector(vec![1]);
+    }
+}

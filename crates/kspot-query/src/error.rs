@@ -1,0 +1,108 @@
+//! Error reporting for the query front end.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// An error produced while lexing, parsing, validating or planning a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A character that cannot start any token.
+    UnexpectedCharacter {
+        /// The offending character.
+        found: char,
+        /// Byte offset in the query string.
+        position: usize,
+    },
+    /// A number literal that could not be parsed.
+    InvalidNumber {
+        /// The literal text.
+        text: String,
+        /// Byte offset in the query string.
+        position: usize,
+    },
+    /// The parser expected something else.
+    UnexpectedToken {
+        /// What the parser expected (human readable).
+        expected: String,
+        /// What it found instead.
+        found: String,
+        /// Byte offset in the query string.
+        position: usize,
+    },
+    /// The query ended before the parser was done.
+    UnexpectedEndOfInput {
+        /// What the parser expected next.
+        expected: String,
+    },
+    /// A semantic validation failure (query parsed, but it does not make sense).
+    Semantic {
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl QueryError {
+    /// Creates a semantic error.
+    pub fn semantic(message: impl Into<String>) -> Self {
+        QueryError::Semantic { message: message.into() }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnexpectedCharacter { found, position } => {
+                write!(f, "unexpected character {found:?} at byte {position}")
+            }
+            QueryError::InvalidNumber { text, position } => {
+                write!(f, "invalid number literal {text:?} at byte {position}")
+            }
+            QueryError::UnexpectedToken { expected, found, position } => {
+                write!(f, "expected {expected} but found {found} at byte {position}")
+            }
+            QueryError::UnexpectedEndOfInput { expected } => {
+                write!(f, "query ended unexpectedly, expected {expected}")
+            }
+            QueryError::Semantic { message } => write!(f, "invalid query: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = QueryError::UnexpectedCharacter { found: '#', position: 4 };
+        assert!(e.to_string().contains('#'));
+        assert!(e.to_string().contains('4'));
+
+        let e = QueryError::UnexpectedToken {
+            expected: "keyword FROM".into(),
+            found: "identifier `sensorz`".into(),
+            position: 20,
+        };
+        assert!(e.to_string().contains("FROM"));
+        assert!(e.to_string().contains("sensorz"));
+
+        let e = QueryError::semantic("TOP K requires K > 0");
+        assert!(e.to_string().contains("K > 0"));
+
+        let e = QueryError::UnexpectedEndOfInput { expected: "a select list".into() };
+        assert!(e.to_string().contains("select list"));
+
+        let e = QueryError::InvalidNumber { text: "1.2.3".into(), position: 9 };
+        assert!(e.to_string().contains("1.2.3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(QueryError::semantic("x"), QueryError::semantic("x"));
+        assert_ne!(QueryError::semantic("x"), QueryError::semantic("y"));
+    }
+}

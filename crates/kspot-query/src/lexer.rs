@@ -1,0 +1,308 @@
+//! Tokeniser for the KSpot query dialect.
+//!
+//! The dialect is simple enough for a hand-written scanner: keywords and identifiers
+//! (case-insensitive), numeric literals, commas, parentheses and comparison operators.
+//! Every token carries its byte offset so that parser errors can point at the exact
+//! place in the query the user typed into the Query Panel.
+
+use crate::error::{QueryError, QueryResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (always stored upper-case).
+    Keyword(Keyword),
+    /// An identifier such as `roomid` or `sound` (stored lower-case).
+    Identifier(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// The reserved words of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Top,
+    From,
+    Where,
+    Group,
+    By,
+    Epoch,
+    Duration,
+    With,
+    History,
+    Lifetime,
+    And,
+    As,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Some(Keyword::Select),
+            "TOP" => Some(Keyword::Top),
+            "FROM" => Some(Keyword::From),
+            "WHERE" => Some(Keyword::Where),
+            "GROUP" => Some(Keyword::Group),
+            "BY" => Some(Keyword::By),
+            "EPOCH" => Some(Keyword::Epoch),
+            "DURATION" => Some(Keyword::Duration),
+            "WITH" => Some(Keyword::With),
+            "HISTORY" => Some(Keyword::History),
+            "LIFETIME" => Some(Keyword::Lifetime),
+            "AND" => Some(Keyword::And),
+            "AS" => Some(Keyword::As),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling, used in error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::Top => "TOP",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Epoch => "EPOCH",
+            Keyword::Duration => "DURATION",
+            Keyword::With => "WITH",
+            Keyword::History => "HISTORY",
+            Keyword::Lifetime => "LIFETIME",
+            Keyword::And => "AND",
+            Keyword::As => "AS",
+        }
+    }
+}
+
+/// A token with its position in the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the first character of the token.
+    pub position: usize,
+}
+
+/// Tokenises a query string.
+pub fn tokenize(input: &str) -> QueryResult<Vec<SpannedToken>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let token = match c {
+            ',' => {
+                i += 1;
+                Token::Comma
+            }
+            '(' => {
+                i += 1;
+                Token::LeftParen
+            }
+            ')' => {
+                i += 1;
+                Token::RightParen
+            }
+            '*' => {
+                i += 1;
+                Token::Star
+            }
+            '=' => {
+                i += 1;
+                Token::Eq
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Token::Ne
+                } else {
+                    return Err(QueryError::UnexpectedCharacter { found: '!', position: i });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    i += 2;
+                    Token::Le
+                }
+                Some(&b'>') => {
+                    i += 2;
+                    Token::Ne
+                }
+                _ => {
+                    i += 1;
+                    Token::Lt
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Token::Ge
+                } else {
+                    i += 1;
+                    Token::Gt
+                }
+            }
+            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) => {
+                i += 1;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|_| QueryError::InvalidNumber {
+                    text: text.to_string(),
+                    position: start,
+                })?;
+                Token::Number(value)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Keyword::from_str(word) {
+                    Some(kw) => Token::Keyword(kw),
+                    None => Token::Identifier(word.to_ascii_lowercase()),
+                }
+            }
+            other => {
+                return Err(QueryError::UnexpectedCharacter { found: other, position: i });
+            }
+        };
+        tokens.push(SpannedToken { token, position: start });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_papers_running_example() {
+        let tokens = toks("SELECT TOP 1 roomid, AVERAGE(sound)\nFROM sensors\nGROUP BY roomid\nEPOCH DURATION 1 min");
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Top),
+                Token::Number(1.0),
+                Token::Identifier("roomid".into()),
+                Token::Comma,
+                Token::Identifier("average".into()),
+                Token::LeftParen,
+                Token::Identifier("sound".into()),
+                Token::RightParen,
+                Token::Keyword(Keyword::From),
+                Token::Identifier("sensors".into()),
+                Token::Keyword(Keyword::Group),
+                Token::Keyword(Keyword::By),
+                Token::Identifier("roomid".into()),
+                Token::Keyword(Keyword::Epoch),
+                Token::Keyword(Keyword::Duration),
+                Token::Number(1.0),
+                Token::Identifier("min".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_lowercased() {
+        let tokens = toks("select Top RoomID");
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Top),
+                Token::Identifier("roomid".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_decimals_and_negatives() {
+        assert_eq!(toks("3.5"), vec![Token::Number(3.5)]);
+        assert_eq!(toks("-2"), vec![Token::Number(-2.0)]);
+        assert_eq!(toks("10 20"), vec![Token::Number(10.0), Token::Number(20.0)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != <> < <= > >="),
+            vec![Token::Eq, Token::Ne, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn positions_point_at_token_starts() {
+        let spanned = tokenize("SELECT  TOP").unwrap();
+        assert_eq!(spanned[0].position, 0);
+        assert_eq!(spanned[1].position, 8);
+    }
+
+    #[test]
+    fn invalid_characters_are_reported_with_position() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert_eq!(err, QueryError::UnexpectedCharacter { found: '#', position: 7 });
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        let err = tokenize("1.2.3").unwrap_err();
+        assert!(matches!(err, QueryError::InvalidNumber { .. }));
+    }
+
+    #[test]
+    fn bare_bang_is_rejected() {
+        let err = tokenize("sound ! 5").unwrap_err();
+        assert!(matches!(err, QueryError::UnexpectedCharacter { found: '!', .. }));
+    }
+
+    #[test]
+    fn star_and_underscored_identifiers() {
+        assert_eq!(
+            toks("SELECT * FROM node_table"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Star,
+                Token::Keyword(Keyword::From),
+                Token::Identifier("node_table".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Semantic validation of parsed queries.
+//!
+//! The parser only checks shape; this module checks that a query *makes sense* for the
+//! KSpot engine before the server spends radio energy disseminating it: a Top-K query
+//! needs a positive K, grouped aggregates need a GROUP BY key that is also selected,
+//! history windows must be non-empty, and the only queryable source is the virtual
+//! `sensors` table TinyDB exposes.
+
+use crate::ast::{AggFunc, Query, SelectItem};
+use crate::error::{QueryError, QueryResult};
+
+/// Sensor attributes the MTS310 sensor board of the demo can produce, plus the logical
+/// columns every node always has.  Unknown attributes are rejected early so a typo in
+/// the Query Panel does not waste a network dissemination.
+pub const KNOWN_COLUMNS: &[&str] = &[
+    "nodeid", "roomid", "cluster", "epoch", "sound", "noise", "temperature", "temp", "light",
+    "humidity", "accel_x", "accel_y", "magnetometer", "voltage",
+];
+
+/// Columns that may serve as a GROUP BY key.
+pub const GROUPABLE_COLUMNS: &[&str] = &["roomid", "cluster", "nodeid", "epoch"];
+
+fn is_known_column(name: &str) -> bool {
+    name == "*" || KNOWN_COLUMNS.contains(&name)
+}
+
+/// Validates a parsed query, returning a [`QueryError::Semantic`] describing the first
+/// problem found.
+pub fn validate(query: &Query) -> QueryResult<()> {
+    if query.source != "sensors" {
+        return Err(QueryError::semantic(format!(
+            "unknown source `{}`; the only queryable table is `sensors`",
+            query.source
+        )));
+    }
+    if query.select.is_empty() {
+        return Err(QueryError::semantic("the select list is empty"));
+    }
+
+    if let Some(k) = query.top_k {
+        if k == 0 {
+            return Err(QueryError::semantic("TOP K requires K > 0"));
+        }
+    }
+
+    for item in &query.select {
+        match item {
+            SelectItem::Column(c) => {
+                if !is_known_column(c) {
+                    return Err(QueryError::semantic(format!("unknown column `{c}`")));
+                }
+            }
+            SelectItem::Aggregate { func, column } => {
+                if column == "*" && *func != AggFunc::Count {
+                    return Err(QueryError::semantic(format!("{func}(*) is not supported; only COUNT(*) may aggregate `*`")));
+                }
+                if column != "*" && !is_known_column(column) {
+                    return Err(QueryError::semantic(format!("unknown column `{column}` in {func}()")));
+                }
+                if matches!(column.as_str(), "roomid" | "cluster" | "nodeid" | "epoch") {
+                    return Err(QueryError::semantic(format!(
+                        "`{column}` identifies a grouping entity and cannot be aggregated with {func}()"
+                    )));
+                }
+            }
+        }
+    }
+
+    let num_aggregates = query.select.iter().filter(|s| s.aggregate().is_some()).count();
+
+    if let Some(group) = &query.group_by {
+        if !GROUPABLE_COLUMNS.contains(&group.as_str()) {
+            return Err(QueryError::semantic(format!(
+                "`{group}` cannot be used as a GROUP BY key; use one of {GROUPABLE_COLUMNS:?}"
+            )));
+        }
+        if num_aggregates == 0 {
+            return Err(QueryError::semantic("GROUP BY queries must select at least one aggregate"));
+        }
+        // Every non-aggregate select item must be the grouping key.
+        for item in &query.select {
+            if let SelectItem::Column(c) = item {
+                if c != group && c != "*" {
+                    return Err(QueryError::semantic(format!(
+                        "column `{c}` must appear in the GROUP BY clause or inside an aggregate"
+                    )));
+                }
+            }
+        }
+    } else if query.is_top_k() && num_aggregates > 0 {
+        return Err(QueryError::semantic(
+            "a ranked aggregate query needs a GROUP BY clause to define what is being ranked",
+        ));
+    }
+
+    if query.is_top_k() && num_aggregates > 1 {
+        return Err(QueryError::semantic(
+            "TOP K queries rank by exactly one aggregate; select a single aggregate function",
+        ));
+    }
+
+    for p in &query.predicates {
+        if !is_known_column(&p.column) {
+            return Err(QueryError::semantic(format!("unknown column `{}` in WHERE clause", p.column)));
+        }
+    }
+
+    if let Some(h) = query.history {
+        if h.amount == 0 {
+            return Err(QueryError::semantic("WITH HISTORY requires a non-empty window"));
+        }
+    }
+    if let Some(d) = query.epoch_duration {
+        if d.amount == 0 {
+            return Err(QueryError::semantic("EPOCH DURATION must be positive"));
+        }
+    }
+    if query.group_by.as_deref() == Some("epoch") && !query.is_historic() {
+        return Err(QueryError::semantic(
+            "GROUP BY epoch ranks time instances and therefore requires a WITH HISTORY window",
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unvalidated;
+
+    fn check(sql: &str) -> QueryResult<()> {
+        validate(&parse_unvalidated(sql).expect("query should parse"))
+    }
+
+    #[test]
+    fn accepts_the_paper_examples() {
+        assert!(check("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min").is_ok());
+        assert!(check("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 30 epochs").is_ok());
+        assert!(check("SELECT TOP 5 epoch, AVG(temperature) FROM sensors GROUP BY epoch EPOCH DURATION 1 h WITH HISTORY 3 days").is_ok());
+        assert!(check("SELECT TOP 3 nodeid, sound FROM sensors").is_ok());
+        assert!(check("SELECT roomid, COUNT(*) FROM sensors GROUP BY roomid").is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_source() {
+        let err = check("SELECT * FROM actuators").unwrap_err();
+        assert!(err.to_string().contains("actuators"));
+    }
+
+    #[test]
+    fn rejects_top_zero() {
+        let err = check("SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid").unwrap_err();
+        assert!(err.to_string().contains("K > 0"));
+    }
+
+    #[test]
+    fn rejects_unknown_columns_everywhere() {
+        assert!(check("SELECT bananas FROM sensors").is_err());
+        assert!(check("SELECT roomid, AVG(bananas) FROM sensors GROUP BY roomid").is_err());
+        assert!(check("SELECT * FROM sensors WHERE bananas > 3").is_err());
+    }
+
+    #[test]
+    fn rejects_aggregating_the_grouping_entity() {
+        let err = check("SELECT roomid, AVG(roomid) FROM sensors GROUP BY roomid").unwrap_err();
+        assert!(err.to_string().contains("cannot be aggregated"));
+    }
+
+    #[test]
+    fn rejects_non_count_star_aggregates() {
+        let err = check("SELECT roomid, AVG(*) FROM sensors GROUP BY roomid").unwrap_err();
+        assert!(err.to_string().contains("COUNT(*)"));
+    }
+
+    #[test]
+    fn rejects_grouping_by_a_measurement() {
+        let err = check("SELECT sound, AVG(light) FROM sensors GROUP BY sound").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY key"));
+    }
+
+    #[test]
+    fn rejects_group_by_without_aggregate() {
+        let err = check("SELECT roomid FROM sensors GROUP BY roomid").unwrap_err();
+        assert!(err.to_string().contains("at least one aggregate"));
+    }
+
+    #[test]
+    fn rejects_stray_columns_not_in_group_by() {
+        let err = check("SELECT roomid, nodeid, AVG(sound) FROM sensors GROUP BY roomid").unwrap_err();
+        assert!(err.to_string().contains("nodeid"));
+    }
+
+    #[test]
+    fn rejects_ranked_aggregate_without_group_by() {
+        let err = check("SELECT TOP 3 AVG(sound) FROM sensors").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn rejects_ranking_by_two_aggregates() {
+        let err = check("SELECT TOP 3 roomid, AVG(sound), MAX(light) FROM sensors GROUP BY roomid").unwrap_err();
+        assert!(err.to_string().contains("exactly one aggregate"));
+    }
+
+    #[test]
+    fn rejects_group_by_epoch_without_history() {
+        let err = check("SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch").unwrap_err();
+        assert!(err.to_string().contains("WITH HISTORY"));
+    }
+
+    #[test]
+    fn rejects_zero_length_windows() {
+        assert!(check("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 0 epochs").is_err());
+        assert!(check("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 0 s").is_err());
+    }
+
+    #[test]
+    fn allows_unranked_multiple_aggregates() {
+        assert!(check("SELECT roomid, AVG(sound), MAX(sound) FROM sensors GROUP BY roomid").is_ok());
+    }
+}

@@ -1,0 +1,72 @@
+//! Accuracy study: how often does naive greedy pruning get the ranking wrong, and what
+//! does exactness cost KSpot?
+//!
+//! The example replays many randomized clustered deployments, grades the naive strategy
+//! and MINT against the omniscient reference, and reports accuracy next to the tuple
+//! traffic each strategy used — the quantitative version of the Figure-1 anecdote.
+//!
+//! Run with: `cargo run --release --example accuracy_study`
+
+use kspot::algos::snapshot::{exact_reference, run_continuous, AccuracyReport};
+use kspot::algos::{MintViews, NaiveLocalPrune, SnapshotSpec, TagTopK};
+use kspot::net::types::ValueDomain;
+use kspot::net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
+use kspot::query::AggFunc;
+
+fn main() {
+    let scenarios = 100;
+    let epochs = 10;
+    let mut naive_reports = Vec::new();
+    let mut mint_reports = Vec::new();
+    let mut naive_tuples = 0u64;
+    let mut mint_tuples = 0u64;
+    let mut tag_tuples = 0u64;
+
+    for seed in 0..scenarios {
+        let rooms = 3 + (seed % 6) as usize;
+        let k = 1 + (seed % 3) as usize;
+        let d = Deployment::clustered_rooms(rooms, 3, 20.0, seed);
+        let spec = SnapshotSpec::new(k.min(rooms), AggFunc::Avg, ValueDomain::percentage());
+        let params = RoomModelParams { drift_sigma: 2.0, sensor_noise_sigma: 1.0 };
+        let workload = || Workload::room_correlated(&d, ValueDomain::percentage(), params, seed);
+
+        let reference: Vec<_> = {
+            let mut w = workload();
+            (0..epochs).map(|_| exact_reference(&spec, &w.next_epoch())).collect()
+        };
+
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let results = run_continuous(&mut NaiveLocalPrune::new(spec), &mut net, &mut workload(), epochs);
+        naive_reports.push(AccuracyReport::grade(&results, &reference));
+        naive_tuples += net.metrics().totals().tuples;
+
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        let results = run_continuous(&mut MintViews::new(spec), &mut net, &mut workload(), epochs);
+        mint_reports.push(AccuracyReport::grade(&results, &reference));
+        mint_tuples += net.metrics().totals().tuples;
+
+        let mut net = Network::new(d.clone(), NetworkConfig::ideal());
+        run_continuous(&mut TagTopK::new(spec), &mut net, &mut workload(), epochs);
+        tag_tuples += net.metrics().totals().tuples;
+    }
+
+    let summarise = |reports: &[AccuracyReport]| {
+        let n = reports.len() as f64;
+        (
+            100.0 * reports.iter().map(|r| r.ranking_accuracy()).sum::<f64>() / n,
+            100.0 * reports.iter().map(|r| r.mean_recall).sum::<f64>() / n,
+        )
+    };
+    let (naive_rank, naive_recall) = summarise(&naive_reports);
+    let (mint_rank, mint_recall) = summarise(&mint_reports);
+
+    println!("accuracy over {scenarios} randomized clustered scenarios ({epochs} epochs each):\n");
+    println!("  strategy              exact ranking   recall    tuples shipped");
+    println!("  --------------------  -------------   ------    --------------");
+    println!("  naive local pruning        {naive_rank:6.1}%   {naive_recall:6.1}%    {naive_tuples:>10}");
+    println!("  KSpot (MINT views)         {mint_rank:6.1}%   {mint_recall:6.1}%    {mint_tuples:>10}");
+    println!("  TAG + sink Top-K            100.0%    100.0%    {tag_tuples:>10}");
+    println!();
+    println!("naive pruning is cheap but wrong a measurable fraction of the time;");
+    println!("KSpot keeps the answer exact while still shipping fewer tuples than TAG.");
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration tests: every query class of the paper, submitted as SQL text
+//! to the server, executed over the simulated network, graded for exactness.
+
+use kspot::core::{KSpotServer, ScenarioConfig, WorkloadSpec};
+use kspot::net::{Deployment, RoomModelParams};
+use kspot::query::plan::ExecutionStrategy;
+use kspot::query::{classify, parse};
+
+fn server(seed: u64) -> KSpotServer {
+    KSpotServer::new(ScenarioConfig::conference())
+        .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
+        .with_seed(seed)
+}
+
+#[test]
+fn every_query_class_is_routed_to_the_documented_algorithm() {
+    let cases = [
+        ("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid", ExecutionStrategy::SnapshotTopK, "MINT"),
+        (
+            "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 16 epochs",
+            ExecutionStrategy::HistoricHorizontalTopK,
+            "local filter",
+        ),
+        (
+            "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs",
+            ExecutionStrategy::HistoricVerticalTopK,
+            "TJA",
+        ),
+        ("SELECT TOP 3 nodeid, sound FROM sensors", ExecutionStrategy::NodeMonitoringTopK, "FILA"),
+        ("SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid", ExecutionStrategy::InNetworkAggregate, "TAG"),
+        ("SELECT * FROM sensors", ExecutionStrategy::RawCollection, "centralized"),
+    ];
+    for (sql, strategy, algorithm_fragment) in cases {
+        let plan = classify(&parse(sql).unwrap()).unwrap();
+        assert_eq!(plan.strategy, strategy, "{sql}");
+        let execution = server(1).submit(sql, 5).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert!(
+            execution.algorithm.contains(algorithm_fragment),
+            "{sql} was executed by {} instead of something containing {algorithm_fragment}",
+            execution.algorithm
+        );
+    }
+}
+
+#[test]
+fn continuous_snapshot_answers_are_exact_and_streamed_per_epoch() {
+    let execution = server(17)
+        .submit("SELECT TOP 2 roomid, MAX(sound) FROM sensors GROUP BY roomid EPOCH DURATION 30 s", 40)
+        .expect("query runs");
+    assert_eq!(execution.results.len(), 40);
+    for (i, result) in execution.results.iter().enumerate() {
+        assert_eq!(result.epoch, i as u64);
+        assert_eq!(result.items.len(), 2);
+        assert!(result.items[0].value >= result.items[1].value);
+    }
+}
+
+#[test]
+fn historic_answers_lie_inside_the_requested_window() {
+    let execution = server(23)
+        .submit(
+            "SELECT TOP 4 epoch, AVG(sound) FROM sensors GROUP BY epoch EPOCH DURATION 30 s WITH HISTORY 48 epochs",
+            0,
+        )
+        .expect("query runs");
+    let answer = execution.latest().unwrap();
+    assert_eq!(answer.items.len(), 4);
+    for item in &answer.items {
+        assert!(item.key < 48, "epoch {} escaped the 48-epoch window", item.key);
+    }
+    // The panel must show TJA beating both comparators in bytes.
+    let vs_central = execution.panel.savings_vs("centralized window collection").unwrap();
+    assert!(vs_central.byte_savings_pct() > 0.0);
+}
+
+#[test]
+fn scenario_configuration_round_trip_survives_query_execution() {
+    // Store the conference scenario to the configuration-file format, load it back and
+    // run a query on the reloaded scenario — what the Configuration Panel does.
+    let original = ScenarioConfig::conference();
+    let reloaded = ScenarioConfig::from_config_string(&original.to_config_string()).expect("parses");
+    let server = KSpotServer::new(reloaded)
+        .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
+        .with_seed(5);
+    let execution = server
+        .submit("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid", 10)
+        .expect("query runs on the reloaded scenario");
+    assert_eq!(execution.results.len(), 10);
+    let bullets = server.bullets(execution.latest().unwrap());
+    assert!(!bullets[0].cluster_name.is_empty());
+}
+
+#[test]
+fn custom_deployments_work_through_the_full_stack() {
+    let deployment = Deployment::clustered_rooms(8, 3, 15.0, 9);
+    let scenario = ScenarioConfig::custom("office floor", "temperature", deployment);
+    let server = KSpotServer::new(scenario)
+        .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
+        .with_seed(9);
+    let execution = server
+        .submit("SELECT TOP 3 roomid, AVG(temperature) FROM sensors GROUP BY roomid", 25)
+        .expect("query runs");
+    assert_eq!(execution.results.len(), 25);
+    let savings = execution.panel.savings_vs("centralized collection").unwrap();
+    assert!(savings.byte_savings_pct() > 0.0);
+}

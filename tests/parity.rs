@@ -1,0 +1,82 @@
+//! Cross-crate parity tests: the exact strategies must agree with each other on the same
+//! scenario, whatever path the data takes through the workspace.
+
+use kspot::algos::snapshot::run_continuous;
+use kspot::algos::{
+    CentralizedCollection, CentralizedHistoric, HistoricDataset, HistoricSpec, MintViews,
+    SnapshotSpec, TagTopK, Tja, Tput,
+};
+use kspot::algos::historic::HistoricAlgorithm;
+use kspot::net::types::ValueDomain;
+use kspot::net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
+use kspot::query::AggFunc;
+
+fn workload(d: &Deployment, seed: u64) -> Workload {
+    Workload::room_correlated(d, ValueDomain::percentage(), RoomModelParams::default(), seed)
+}
+
+#[test]
+fn all_exact_snapshot_strategies_agree_over_long_runs() {
+    let d = Deployment::clustered_rooms(10, 3, 20.0, 31);
+    let spec = SnapshotSpec::new(4, AggFunc::Avg, ValueDomain::percentage());
+    let epochs = 80;
+
+    let mut mint_net = Network::new(d.clone(), NetworkConfig::mica2());
+    let mint = run_continuous(&mut MintViews::new(spec), &mut mint_net, &mut workload(&d, 31), epochs);
+    let mut tag_net = Network::new(d.clone(), NetworkConfig::mica2());
+    let tag = run_continuous(&mut TagTopK::new(spec), &mut tag_net, &mut workload(&d, 31), epochs);
+    let mut central_net = Network::new(d.clone(), NetworkConfig::mica2());
+    let central =
+        run_continuous(&mut CentralizedCollection::new(spec), &mut central_net, &mut workload(&d, 31), epochs);
+
+    for ((m, t), c) in mint.iter().zip(tag.iter()).zip(central.iter()) {
+        assert!(m.same_ranking(t), "MINT vs TAG: {m} vs {t}");
+        assert!(t.same_ranking(c), "TAG vs centralized: {t} vs {c}");
+        assert!(m.approx_eq(t, 1e-9));
+    }
+
+    // Cost ordering on this clustered scenario: MINT's pruned view updates carry fewer
+    // data tuples than TAG's full views, TAG stays below raw collection, and KSpot never
+    // exceeds raw collection in total bytes even after paying for its control traffic.
+    let mint_tuples = mint_net.metrics().totals().tuples;
+    let tag_tuples = tag_net.metrics().totals().tuples;
+    let central_bytes = central_net.metrics().totals().bytes;
+    let tag_bytes = tag_net.metrics().totals().bytes;
+    let mint_bytes = mint_net.metrics().totals().bytes;
+    assert!(mint_tuples < tag_tuples, "MINT {mint_tuples} vs TAG {tag_tuples} tuples");
+    assert!(tag_bytes <= central_bytes, "TAG {tag_bytes} vs centralized {central_bytes}");
+    assert!(mint_bytes < central_bytes, "MINT {mint_bytes} vs centralized {central_bytes}");
+}
+
+#[test]
+fn all_exact_historic_strategies_agree() {
+    let d = Deployment::grid(5, 10.0, Some(1));
+    let mut w = Workload::room_correlated(
+        &d,
+        ValueDomain::percentage(),
+        RoomModelParams { drift_sigma: 4.0, sensor_noise_sigma: 2.0 },
+        13,
+    );
+    let data = HistoricDataset::collect(&mut w, 200);
+    let spec = HistoricSpec::new(8, AggFunc::Avg, ValueDomain::percentage(), 200);
+    let reference = data.exact_reference(&spec);
+
+    let mut results = Vec::new();
+    let mut byte_costs = Vec::new();
+    let algos: Vec<Box<dyn HistoricAlgorithm>> = vec![
+        Box::new(Tja::new(spec)),
+        Box::new(Tput::new(spec)),
+        Box::new(CentralizedHistoric::new(spec)),
+    ];
+    for mut algo in algos {
+        let mut net = Network::new(d.clone(), NetworkConfig::mica2());
+        let mut data = data.clone();
+        results.push(algo.execute(&mut net, &mut data));
+        byte_costs.push(net.metrics().totals().bytes);
+    }
+    for r in &results {
+        assert!(r.same_ranking(&reference), "{r} vs {reference}");
+    }
+    assert!(byte_costs[0] < byte_costs[1], "TJA must be cheaper than TPUT: {byte_costs:?}");
+    assert!(byte_costs[1] < byte_costs[2], "TPUT must be cheaper than centralized: {byte_costs:?}");
+}
