@@ -144,7 +144,7 @@ impl SnapshotAlgorithm for FilaMonitor {
             // non-member could have crept above it: fall back to a full refresh.
             let ranked = self.rank_known();
             let kth = ranked.get(self.spec.k.saturating_sub(1)).map(|i| i.value);
-            if kth.map_or(true, |v| v < boundary) {
+            if kth.is_none_or(|v| v < boundary) {
                 for r in readings {
                     if probed.contains(&r.node) {
                         continue;

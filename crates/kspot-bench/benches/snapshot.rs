@@ -11,6 +11,8 @@ use kspot_net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
 use kspot_query::AggFunc;
 use std::hint::black_box;
 
+type StrategyFactory<'a> = (&'a str, Box<dyn Fn(SnapshotSpec) -> Box<dyn SnapshotAlgorithm>>);
+
 fn run_strategy(make: &dyn Fn(SnapshotSpec) -> Box<dyn SnapshotAlgorithm>, epochs: usize) -> u64 {
     let d = Deployment::conference();
     let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
@@ -25,7 +27,7 @@ fn run_strategy(make: &dyn Fn(SnapshotSpec) -> Box<dyn SnapshotAlgorithm>, epoch
 fn bench_snapshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("snapshot_conference_k3");
     group.sample_size(10);
-    let strategies: Vec<(&str, Box<dyn Fn(SnapshotSpec) -> Box<dyn SnapshotAlgorithm>>)> = vec![
+    let strategies: Vec<StrategyFactory<'_>> = vec![
         ("mint", Box::new(|s| Box::new(MintViews::new(s)))),
         ("tag", Box::new(|s| Box::new(TagTopK::new(s)))),
         ("centralized", Box::new(|s| Box::new(CentralizedCollection::new(s)))),

@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(3.76159, 2), "3.76");
         assert_eq!(fmt_f(10.0, 0), "10");
     }
 }

@@ -275,8 +275,8 @@ impl Deployment {
         let mut nodes = Vec::new();
         let mut id: NodeId = 1;
         for (g, (&centre, &size)) in cluster_centres.iter().zip(sizes.iter()).enumerate() {
-            for s in 0..size {
-                let (dx, dy) = offsets[s];
+            assert!(size <= offsets.len(), "cluster of {size} nodes exceeds the offsets table");
+            for &(dx, dy) in offsets.iter().take(size) {
                 nodes.push(NodeSpec {
                     id,
                     position: Position::new(centre.x + dx, centre.y + dy),

@@ -95,7 +95,7 @@ impl RoutingTree {
         }
         // Compute depths, detecting cycles by bounding the walk length.
         let mut depth = vec![0u32; n];
-        for i in 0..n {
+        for (i, d) in depth.iter_mut().enumerate() {
             let mut hops = 0u32;
             let mut cur = (i + 1) as NodeId;
             while cur != SINK {
@@ -107,7 +107,7 @@ impl RoutingTree {
                     i + 1
                 );
             }
-            depth[i] = hops;
+            *d = hops;
         }
         let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         children.insert(SINK, Vec::new());

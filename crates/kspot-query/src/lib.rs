@@ -24,7 +24,7 @@
 //! * [`lexer`] — tokenisation with precise source positions;
 //! * [`ast`] — the abstract syntax tree ([`ast::Query`]);
 //! * [`parser`] — a hand-written recursive-descent parser;
-//! * [`validate`] — semantic checks (aggregate arity, K > 0, sensible clauses);
+//! * [`mod@validate`] — semantic checks (aggregate arity, K > 0, sensible clauses);
 //! * [`plan`] — classification of a validated query into the execution strategy the
 //!   KSpot server routes it to (MINT for snapshot Top-K, TJA for historic vertically
 //!   fragmented Top-K, plain TAG for non-ranked aggregates, …), mirroring Section III of

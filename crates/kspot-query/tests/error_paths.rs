@@ -1,0 +1,165 @@
+//! Error-path coverage for the query front end: every rejection a Query Panel user can
+//! trigger should surface as a precise [`QueryError`], never a panic or a silently
+//! wrong plan.  These tests exercise the `error.rs` variants end to end through
+//! [`parse`] (lexer → parser → validator).
+
+use kspot_query::{parse, QueryError};
+
+fn expect_err(sql: &str) -> QueryError {
+    match parse(sql) {
+        Err(e) => e,
+        Ok(q) => panic!("query {sql:?} should have been rejected, parsed to {q:?}"),
+    }
+}
+
+fn expect_semantic(sql: &str, needle: &str) {
+    match expect_err(sql) {
+        QueryError::Semantic { message } => assert!(
+            message.contains(needle),
+            "error for {sql:?} should mention {needle:?}, got: {message}"
+        ),
+        other => panic!("query {sql:?} should fail validation, got {other:?}"),
+    }
+}
+
+// --- malformed TOP-K clauses -------------------------------------------------------
+
+#[test]
+fn top_zero_is_rejected() {
+    expect_semantic("SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid", "K > 0");
+}
+
+#[test]
+fn top_without_a_number_is_rejected() {
+    let err = expect_err("SELECT TOP roomid, AVG(sound) FROM sensors GROUP BY roomid");
+    match err {
+        QueryError::UnexpectedToken { expected, .. } => {
+            assert!(expected.contains("K of TOP K"), "unexpected message: {expected}")
+        }
+        other => panic!("expected an UnexpectedToken error, got {other:?}"),
+    }
+}
+
+#[test]
+fn fractional_k_is_rejected() {
+    let err = expect_err("SELECT TOP 2.5 roomid, AVG(sound) FROM sensors GROUP BY roomid");
+    assert!(matches!(err, QueryError::Semantic { .. }), "got {err:?}");
+    assert!(err.to_string().contains("2.5"), "message should quote the bad K: {err}");
+}
+
+#[test]
+fn ranked_query_with_two_aggregates_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 2 roomid, AVG(sound), MAX(sound) FROM sensors GROUP BY roomid",
+        "exactly one aggregate",
+    );
+}
+
+// --- missing / inconsistent GROUP BY -----------------------------------------------
+
+#[test]
+fn ranked_aggregate_without_group_by_is_rejected() {
+    expect_semantic("SELECT TOP 3 roomid, AVG(sound) FROM sensors", "GROUP BY");
+}
+
+#[test]
+fn group_by_without_any_aggregate_is_rejected() {
+    expect_semantic("SELECT roomid FROM sensors GROUP BY roomid", "at least one aggregate");
+}
+
+#[test]
+fn selected_column_outside_the_group_key_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 1 nodeid, AVG(sound) FROM sensors GROUP BY roomid",
+        "must appear in the GROUP BY clause",
+    );
+}
+
+#[test]
+fn ungroupable_key_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 1 sound, AVG(temperature) FROM sensors GROUP BY sound",
+        "cannot be used as a GROUP BY key",
+    );
+}
+
+#[test]
+fn group_by_epoch_without_history_window_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch",
+        "WITH HISTORY",
+    );
+}
+
+// --- unknown aggregate functions and columns ---------------------------------------
+
+#[test]
+fn unknown_aggregate_function_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 1 roomid, MEDIAN(sound) FROM sensors GROUP BY roomid",
+        "not a supported aggregate function",
+    );
+}
+
+#[test]
+fn aggregate_over_star_is_rejected_except_count() {
+    expect_semantic("SELECT roomid, AVG(*) FROM sensors GROUP BY roomid", "COUNT(*)");
+    assert!(parse("SELECT roomid, COUNT(*) FROM sensors GROUP BY roomid").is_ok());
+}
+
+#[test]
+fn unknown_column_inside_aggregate_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 1 roomid, AVG(sonud) FROM sensors GROUP BY roomid",
+        "unknown column `sonud`",
+    );
+}
+
+#[test]
+fn aggregating_a_grouping_entity_is_rejected() {
+    expect_semantic(
+        "SELECT TOP 1 roomid, AVG(nodeid) FROM sensors GROUP BY roomid",
+        "grouping entity",
+    );
+}
+
+#[test]
+fn unknown_source_table_is_rejected() {
+    expect_semantic("SELECT sound FROM actuators", "only queryable table is `sensors`");
+}
+
+// --- lexer-level rejections --------------------------------------------------------
+
+#[test]
+fn unlexable_character_is_reported_with_its_position() {
+    match expect_err("SELECT sound FROM sensors # comment") {
+        QueryError::UnexpectedCharacter { found: '#', position } => {
+            assert_eq!(position, 26, "position should point at the `#`")
+        }
+        other => panic!("expected an UnexpectedCharacter error, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_number_literal_is_reported() {
+    match expect_err("SELECT TOP 1.2.3 roomid, AVG(sound) FROM sensors GROUP BY roomid") {
+        QueryError::InvalidNumber { text, .. } => assert_eq!(text, "1.2.3"),
+        other => panic!("expected an InvalidNumber error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_query_reports_end_of_input() {
+    match expect_err("SELECT TOP 2 roomid, AVG(sound) FROM") {
+        QueryError::UnexpectedEndOfInput { expected } => {
+            assert!(!expected.is_empty(), "the error should say what was expected")
+        }
+        other => panic!("expected an UnexpectedEndOfInput error, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_display_quotes_the_offending_fragment() {
+    let err = expect_err("SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid");
+    assert!(err.to_string().starts_with("invalid query:"), "got: {err}");
+}

@@ -1,0 +1,185 @@
+//! Hermetic stand-in for the slice of `criterion` the workspace's benches use.
+//!
+//! The workspace builds offline, so the real `criterion` cannot be fetched.  The
+//! benches under `crates/kspot-bench/benches/` compile and run against this shim
+//! unchanged: each `Bencher::iter` target is warmed up once, then timed for
+//! `sample_size` samples, and the mean/min/max per-iteration wall-clock times are
+//! printed to stdout.  There is no statistical analysis, no HTML report and no
+//! stored baseline — swap the shim for the crates.io release in
+//! `[workspace.dependencies]` when those are needed; no bench source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration, mirroring criterion's group API.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark in the group, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier such as `mint/k=3` from a name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+
+    /// Creates an identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing harness passed to every benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.requested {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), requested: sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<40} (no samples — closure never called iter)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({n} samples)",
+        n = bencher.samples.len(),
+    );
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_the_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 4, "one warm-up plus three samples");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,244 @@
+//! Hermetic stand-in for the slice of `proptest` the workspace uses.
+//!
+//! The workspace builds offline, so the real `proptest` cannot be fetched.  This shim
+//! keeps the property tests in `crates/kspot-algos/tests/properties.rs` runnable with
+//! the same source: the [`proptest!`] macro expands each property into a `#[test]`
+//! that draws `cases` random inputs from the given [`strategy::Strategy`]s using a seed derived
+//! from the property's name, so failures are reproducible run to run.
+//!
+//! What is intentionally missing relative to the real crate: input shrinking,
+//! persisted failure files, and the full strategy combinator library.  The supported
+//! surface is ranges (`0usize..12`, `0.0f64..100.0`, …), [`strategy::Just`],
+//! [`prop_oneof!`], `prop::collection::vec`, [`prop_assert!`]/[`prop_assert_eq!`] and
+//! `ProptestConfig { cases, .. }`.  Swapping the shim for the crates.io release in
+//! `[workspace.dependencies]` requires no source change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Runner configuration; only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is exercised with.
+    pub cases: u32,
+    /// Accepted for parity with the real crate; the shim never shrinks, so unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Derives the deterministic per-property RNG from the property's name.
+pub fn test_rng(property_name: &str) -> TestRng {
+    // FNV-1a over the name: stable across runs and platforms, unique per property.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in property_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of an output type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a strategy is
+    /// simply a function from an RNG to a value.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u64, u32, u16, u8, f64);
+
+    /// A uniform choice among boxed strategies; built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one alternative");
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (only `vec` is provided).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size` and elements drawn
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Asserts a property-level condition; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts property-level equality; panics (failing the case) when unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice among the listed strategies (all must yield the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let alternatives: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union(alternatives)
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }` becomes a
+/// `#[test]` that runs `body` against `cases` random draws of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one property per recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_collections_compose(
+            xs in prop::collection::vec(0.0f64..10.0, 1..8),
+            k in 1usize..4,
+            flag in prop_oneof![Just(true), Just(false)],
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|x| (0.0..10.0).contains(x)));
+            prop_assert!((1..4).contains(&k));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn same_property_name_same_stream() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_rng("p");
+        let mut b = crate::test_rng("p");
+        for _ in 0..32 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}

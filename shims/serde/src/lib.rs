@@ -1,0 +1,25 @@
+//! Hermetic stand-in for the `serde` facade.
+//!
+//! The workspace builds offline (no crates.io access), and nothing in the repository
+//! serializes data yet — `#[derive(Serialize, Deserialize)]` is used purely as a
+//! forward-looking annotation on value types.  This shim keeps those annotations
+//! compiling: the derive macros (re-exported from the `serde_derive` shim) expand to
+//! nothing, and the traits below are blanket-implemented so bounds like
+//! `T: Serialize` are always satisfiable.
+//!
+//! The moment real serialization is needed, replace the `serde`/`serde_derive`
+//! entries in the root `[workspace.dependencies]` with the crates.io versions; the
+//! consuming source files already use the canonical import paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

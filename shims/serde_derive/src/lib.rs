@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace builds with no network access, so the real `serde_derive` cannot be
+//! fetched.  The repository only uses serde derives as forward-looking annotations (no
+//! code path serializes anything yet), so these derives expand to nothing; the blanket
+//! impls in the sibling `serde` shim satisfy any `T: Serialize` bounds.  When a real
+//! wire format lands, swap `shims/serde*` for the crates.io releases in the root
+//! `[workspace.dependencies]` — no source file needs to change.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented for all types.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented for all types.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
