@@ -8,7 +8,8 @@
 
 use crate::result::TopKResult;
 use crate::snapshot::{exact_reference, SnapshotAlgorithm, SnapshotSpec};
-use kspot_net::{Network, PhaseTag, Reading};
+use kspot_net::{Network, NodeId, PhaseTag, Reading, SINK};
+use std::collections::BTreeMap;
 
 /// Raw tuple collection with sink-side processing.
 #[derive(Debug, Clone)]
@@ -30,15 +31,32 @@ impl SnapshotAlgorithm for CentralizedCollection {
 
     fn execute_epoch(&mut self, net: &mut Network, readings: &[Reading]) -> TopKResult {
         let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
-        // Every node transmits one raw tuple for itself plus one for every descendant it
-        // relays; the subtree size is exactly that count.
+        // Every node transmits its own raw tuple plus every tuple it relays for its
+        // descendants; on a healthy network the per-node tuple count is exactly the
+        // subtree size.  The raw readings are threaded through the relays so that under
+        // fault injection the sink honestly answers from what was *delivered*: a
+        // dropped report loses the whole batch it carried.
+        let reading_of: BTreeMap<NodeId, &Reading> = readings.iter().map(|r| (r.node, r)).collect();
+        let mut inbox: BTreeMap<NodeId, Vec<Reading>> = BTreeMap::new();
         for node in net.tree().post_order() {
-            let tuples = net.tree().subtree(node).len() as u32;
-            net.charge_cpu(node, tuples);
-            net.send_report_to_parent(node, epoch, tuples, 0, PhaseTag::Update);
+            if !net.node_participating(node) {
+                continue;
+            }
+            let mut batch: Vec<Reading> = inbox.remove(&node).unwrap_or_default();
+            if let Some(r) = reading_of.get(&node) {
+                batch.push(**r);
+            }
+            net.charge_cpu(node, batch.len() as u32);
+            if !batch.is_empty() {
+                if let Some(parent) =
+                    net.send_report_up(node, epoch, batch.len() as u32, 0, PhaseTag::Update)
+                {
+                    inbox.entry(parent).or_default().extend(batch);
+                }
+            }
         }
-        // The sink has every raw reading, so its answer is the exact reference.
-        exact_reference(&self.spec, readings)
+        let delivered = inbox.remove(&SINK).unwrap_or_default();
+        exact_reference(&self.spec, &delivered)
     }
 }
 
@@ -71,13 +89,13 @@ mod tests {
 
     #[test]
     fn centralized_is_never_cheaper_than_tag() {
-        let d = Deployment::clustered_rooms(5, 4, 20.0, 3);
+        let d = Deployment::clustered_rooms(5, 4, 20.0, kspot_net::rng::topology_seed(3));
         let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
         let readings = Workload::room_correlated(
             &d,
             ValueDomain::percentage(),
             kspot_net::RoomModelParams::default(),
-            3,
+            kspot_net::rng::workload_seed(3),
         )
         .next_epoch();
 

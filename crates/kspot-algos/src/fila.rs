@@ -101,10 +101,12 @@ impl SnapshotAlgorithm for FilaMonitor {
         let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
         let Some(boundary) = self.boundary else {
             // Initial acquisition: every node reports its reading up the tree (one tuple
-            // per node, relayed hop by hop like any convergecast of raw values).
+            // per node, relayed hop by hop like any convergecast of raw values).  Under
+            // fault injection only delivered reports enter the sink's model.
             for r in readings {
-                net.unicast_up(r.node, epoch, 1, PhaseTag::Creation);
-                self.last_known.insert(r.node, r.value);
+                if net.unicast_up(r.node, epoch, 1, PhaseTag::Creation).is_some() {
+                    self.last_known.insert(r.node, r.value);
+                }
             }
             self.install_boundary(net, epoch);
             let mut items = self.rank_known();
@@ -115,13 +117,17 @@ impl SnapshotAlgorithm for FilaMonitor {
         // Nodes report only when their reading crosses the installed boundary.
         let mut violated = false;
         for r in readings {
+            if !net.node_participating(r.node) {
+                continue;
+            }
             let was_top = self.top_set.contains(&r.node);
             let crosses = if was_top { r.value < boundary } else { r.value >= boundary };
             if crosses {
-                net.unicast_up(r.node, epoch, 1, PhaseTag::Update);
-                self.last_known.insert(r.node, r.value);
                 self.stats.violations += 1;
-                violated = true;
+                if net.unicast_up(r.node, epoch, 1, PhaseTag::Update).is_some() {
+                    self.last_known.insert(r.node, r.value);
+                    violated = true;
+                }
             }
         }
 
@@ -132,10 +138,12 @@ impl SnapshotAlgorithm for FilaMonitor {
             // best known value is still at or above τ.
             let mut probed: Vec<NodeId> = Vec::new();
             for node in self.top_set.clone() {
-                net.unicast_down(node, epoch, 1, PhaseTag::Probe);
-                net.unicast_up(node, epoch, 1, PhaseTag::Probe);
-                if let Some(r) = readings.iter().find(|r| r.node == node) {
-                    self.last_known.insert(node, r.value);
+                let down = net.unicast_down(node, epoch, 1, PhaseTag::Probe);
+                let up = net.unicast_up(node, epoch, 1, PhaseTag::Probe);
+                if down.is_some() && up.is_some() {
+                    if let Some(r) = readings.iter().find(|r| r.node == node) {
+                        self.last_known.insert(node, r.value);
+                    }
                 }
                 self.stats.probes += 1;
                 probed.push(node);
@@ -146,12 +154,14 @@ impl SnapshotAlgorithm for FilaMonitor {
             let kth = ranked.get(self.spec.k.saturating_sub(1)).map(|i| i.value);
             if kth.is_none_or(|v| v < boundary) {
                 for r in readings {
-                    if probed.contains(&r.node) {
+                    if probed.contains(&r.node) || !net.node_participating(r.node) {
                         continue;
                     }
-                    net.unicast_down(r.node, epoch, 1, PhaseTag::Probe);
-                    net.unicast_up(r.node, epoch, 1, PhaseTag::Probe);
-                    self.last_known.insert(r.node, r.value);
+                    let down = net.unicast_down(r.node, epoch, 1, PhaseTag::Probe);
+                    let up = net.unicast_up(r.node, epoch, 1, PhaseTag::Probe);
+                    if down.is_some() && up.is_some() {
+                        self.last_known.insert(r.node, r.value);
+                    }
                     self.stats.probes += 1;
                 }
             }

@@ -112,8 +112,19 @@ impl HistoricDataset {
 
     /// Omniscient reference answer: the exact Top-K epochs under the spec's aggregate.
     pub fn exact_reference(&self, spec: &HistoricSpec) -> TopKResult {
+        let all: Vec<NodeId> = self.windows.keys().copied().collect();
+        self.exact_reference_over(spec, &all)
+    }
+
+    /// Reference answer restricted to the windows of `nodes` — the oracle for runs in
+    /// which some nodes were dead or asleep at query time (exactness claims are scoped
+    /// to the nodes that could answer).
+    pub fn exact_reference_over(&self, spec: &HistoricSpec, nodes: &[NodeId]) -> TopKResult {
         let mut per_epoch: BTreeMap<Epoch, Vec<f64>> = BTreeMap::new();
-        for window in self.windows.values() {
+        for (node, window) in &self.windows {
+            if !nodes.contains(node) {
+                continue;
+            }
             for (e, v) in window.iter() {
                 per_epoch.entry(e).or_default().push(v);
             }
@@ -158,16 +169,25 @@ impl HistoricAlgorithm for CentralizedHistoric {
 
     fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
         let epoch = *data.epochs().last().unwrap_or(&0);
-        // Each node transmits its own window plus every descendant's window it relays.
+        // Each node transmits its own window plus every descendant window it relays; the
+        // window owners are threaded through the relays so that under fault injection
+        // the sink answers from the windows that were actually delivered.
+        let mut inbox: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for node in net.tree().post_order() {
-            let own = data.window_mut(node).len();
-            let relayed: usize =
-                net.tree().subtree(node).iter().filter(|&&n| n != node).map(|&n| data.window_mut(n).len()).sum();
-            let tuples = (own + relayed) as u32;
-            net.charge_cpu(node, tuples);
-            net.send_report_to_parent(node, epoch, tuples, 0, PhaseTag::Update);
+            if !net.node_participating(node) {
+                continue;
+            }
+            let mut owners: Vec<NodeId> = inbox.remove(&node).unwrap_or_default();
+            owners.push(node);
+            let tuples: usize = owners.iter().map(|&o| data.window_mut(o).len()).sum();
+            net.charge_cpu(node, tuples as u32);
+            if let Some(parent) = net.send_report_up(node, epoch, tuples as u32, 0, PhaseTag::Update)
+            {
+                inbox.entry(parent).or_default().extend(owners);
+            }
         }
-        data.exact_reference(&self.spec)
+        let delivered = inbox.remove(&kspot_net::SINK).unwrap_or_default();
+        data.exact_reference_over(&self.spec, &delivered)
     }
 }
 
@@ -190,11 +210,15 @@ impl LocalAggregateHistoric {
     }
 
     /// Executes the query: local window aggregation followed by one TAG-style round over
-    /// the per-node aggregates.
+    /// the per-node aggregates.  Nodes that are dead or asleep at query time contribute
+    /// nothing (their flash is unreachable).
     pub fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
         let epoch = *data.epochs().last().unwrap_or(&0);
         let mut readings = Vec::new();
         for node in data.node_ids() {
+            if !net.node_participating(node) {
+                continue;
+            }
             let values: Vec<f64> = data.window_mut(node).iter().map(|(_, v)| v).collect();
             net.charge_cpu(node, values.len() as u32);
             if let Some(v) = exact_aggregate(self.spec.func, &values) {
@@ -211,9 +235,15 @@ mod tests {
     use super::*;
     use kspot_net::{Deployment, NetworkConfig, RoomModelParams};
 
-    fn dataset(window: usize, seed: u64) -> (Deployment, HistoricDataset) {
-        let d = Deployment::clustered_rooms(4, 4, 20.0, seed);
-        let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), seed);
+    fn dataset(window: usize, master_seed: u64) -> (Deployment, HistoricDataset) {
+        // One master seed, split into per-component streams (see `kspot_net::rng`).
+        let d = Deployment::clustered_rooms(4, 4, 20.0, kspot_net::rng::topology_seed(master_seed));
+        let mut w = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            RoomModelParams::default(),
+            kspot_net::rng::workload_seed(master_seed),
+        );
         let data = HistoricDataset::collect(&mut w, window);
         (d, data)
     }

@@ -139,11 +139,18 @@ impl MintViews {
         self.tau
     }
 
+    /// How many members of each group can contribute this epoch.  On a healthy network
+    /// this is the configured cluster size; under fault injection dead or sleeping
+    /// members are excluded, which scopes the exactness claim to the nodes that can
+    /// actually report (groups with no live member disappear from the answer space).
     fn group_sizes(net: &Network) -> BTreeMap<GroupId, u32> {
         net.deployment()
             .group_members()
             .into_iter()
-            .map(|(g, members)| (g, members.len() as u32))
+            .map(|(g, members)| {
+                (g, members.iter().filter(|&&m| net.node_participating(m)).count() as u32)
+            })
+            .filter(|&(_, count)| count > 0)
             .collect()
     }
 
@@ -186,6 +193,9 @@ impl MintViews {
         let reading_of: BTreeMap<NodeId, &Reading> = readings.iter().map(|r| (r.node, r)).collect();
         let mut inbox: BTreeMap<NodeId, Vec<GroupView>> = BTreeMap::new();
         for node in net.tree().post_order() {
+            if !net.node_participating(node) {
+                continue;
+            }
             let mut view = GroupView::new(self.spec.func);
             if let Some(r) = reading_of.get(&node) {
                 view.add_reading(r.group, r.value);
@@ -220,10 +230,15 @@ impl MintViews {
                 let missing = total.saturating_sub(state.count());
                 state.upper_bound(func, missing, domain_max) >= effective_tau
             });
-            // Update phase: silent when nothing survived the pruning.
+            // Update phase: silent when nothing survived the pruning.  A report that is
+            // dropped after its ARQ retries degrades to partial data — the sink then
+            // fails certification for the affected groups and probes them instead.
             if !view.is_empty() {
-                net.send_report_to_parent(node, epoch, view.len() as u32, 0, PhaseTag::Update);
-                inbox.entry(net.tree().parent(node)).or_default().push(view);
+                if let Some(parent) =
+                    net.send_report_up(node, epoch, view.len() as u32, 0, PhaseTag::Update)
+                {
+                    inbox.entry(parent).or_default().push(view);
+                }
             }
         }
         let mut sink_view = GroupView::new(self.spec.func);
@@ -235,8 +250,10 @@ impl MintViews {
         sink_view
     }
 
-    /// Probes every member of `group`, charging the probe traffic and returning the
-    /// group's exact aggregate recomputed from the members' raw readings.
+    /// Probes every participating member of `group`, charging the probe traffic and
+    /// returning the group's exact aggregate recomputed from the members' raw readings.
+    /// Returns `None` when any probe round trip was dropped: a partially probed group
+    /// must not masquerade as exactly known.
     fn probe_group(
         &mut self,
         net: &mut Network,
@@ -244,17 +261,36 @@ impl MintViews {
         group: GroupId,
         epoch: Epoch,
     ) -> Option<f64> {
-        let members = net.deployment().group_members().get(&group).cloned().unwrap_or_default();
+        let members: Vec<NodeId> = net
+            .deployment()
+            .group_members()
+            .get(&group)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&m| net.node_participating(m))
+            .collect();
         let mut state = AggState::empty(self.spec.func);
+        let mut complete = true;
         for member in members {
-            net.unicast_down(member, epoch, 1, PhaseTag::Probe);
-            net.unicast_up(member, epoch, 1, PhaseTag::Probe);
-            if let Some(r) = readings.iter().find(|r| r.node == member) {
-                state.add(r.value);
+            let down = net.unicast_down(member, epoch, 1, PhaseTag::Probe);
+            let up = net.unicast_up(member, epoch, 1, PhaseTag::Probe);
+            if down.is_some() && up.is_some() {
+                if let Some(r) = readings.iter().find(|r| r.node == member) {
+                    state.add(r.value);
+                } else {
+                    complete = false;
+                }
+            } else {
+                complete = false;
             }
         }
         self.stats.probed_groups += 1;
-        state.partial_value(self.spec.func)
+        if complete {
+            state.partial_value(self.spec.func)
+        } else {
+            None
+        }
     }
 }
 
@@ -379,9 +415,14 @@ mod tests {
 
     #[test]
     fn mint_matches_tag_on_drifting_workloads() {
-        let d = Deployment::clustered_rooms(6, 4, 20.0, 21);
+        let d = Deployment::clustered_rooms(6, 4, 20.0, kspot_net::rng::topology_seed(21));
         let make_workload = || {
-            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 21)
+            Workload::room_correlated(
+                &d,
+                ValueDomain::percentage(),
+                RoomModelParams::default(),
+                kspot_net::rng::workload_seed(21),
+            )
         };
         let spec = spec(3);
 
@@ -401,10 +442,15 @@ mod tests {
 
     #[test]
     fn mint_transmits_fewer_tuples_and_bytes_than_tag() {
-        let d = Deployment::clustered_rooms(9, 4, 20.0, 5);
+        let d = Deployment::clustered_rooms(9, 4, 20.0, kspot_net::rng::topology_seed(5));
         let spec = spec(2);
         let make_workload = || {
-            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 5)
+            Workload::room_correlated(
+                &d,
+                ValueDomain::percentage(),
+                RoomModelParams::default(),
+                kspot_net::rng::workload_seed(5),
+            )
         };
 
         let mut mint_net = Network::new(d.clone(), NetworkConfig::mica2());
@@ -466,9 +512,10 @@ mod tests {
     fn mint_stays_exact_even_when_drift_exceeds_the_slack() {
         // A hostile workload: values are redrawn uniformly every epoch, so the threshold
         // is stale almost immediately.  MINT must fall back to probing and stay exact.
-        let d = Deployment::clustered_rooms(5, 3, 20.0, 13);
+        let d = Deployment::clustered_rooms(5, 3, 20.0, kspot_net::rng::topology_seed(13));
         let spec = spec(2);
-        let make_workload = || Workload::uniform_iid(&d, ValueDomain::percentage(), 13);
+        let make_workload =
+            || Workload::uniform_iid(&d, ValueDomain::percentage(), kspot_net::rng::workload_seed(13));
 
         let mut net = Network::new(d.clone(), NetworkConfig::ideal());
         let mut mint = MintViews::new(spec);
@@ -514,10 +561,15 @@ mod tests {
     #[test]
     fn mint_works_for_max_and_min_aggregates() {
         for func in [AggFunc::Max, AggFunc::Min, AggFunc::Sum] {
-            let d = Deployment::clustered_rooms(5, 3, 20.0, 3);
+            let d = Deployment::clustered_rooms(5, 3, 20.0, kspot_net::rng::topology_seed(3));
             let spec = SnapshotSpec::new(2, func, ValueDomain::percentage());
             let make_workload = || {
-                Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 3)
+                Workload::room_correlated(
+                    &d,
+                    ValueDomain::percentage(),
+                    RoomModelParams::default(),
+                    kspot_net::rng::workload_seed(3),
+                )
             };
             let mut net = Network::new(d.clone(), NetworkConfig::ideal());
             let mut mint = MintViews::new(spec);

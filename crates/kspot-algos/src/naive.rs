@@ -73,13 +73,13 @@ mod tests {
 
     #[test]
     fn naive_never_sends_more_tuples_than_tag() {
-        let d = Deployment::clustered_rooms(8, 3, 20.0, 9);
+        let d = Deployment::clustered_rooms(8, 3, 20.0, kspot_net::rng::topology_seed(9));
         let spec = SnapshotSpec::new(2, AggFunc::Avg, ValueDomain::percentage());
         let readings = Workload::room_correlated(
             &d,
             ValueDomain::percentage(),
             kspot_net::RoomModelParams::default(),
-            9,
+            kspot_net::rng::workload_seed(9),
         )
         .next_epoch();
 

@@ -36,6 +36,12 @@ impl TagTopK {
 /// `phase` lets callers label the traffic (MINT reuses this helper for its Creation
 /// phase).  `shrink` is applied to each node's merged view right before transmission,
 /// which is how the naive strategy plugs in its local truncation; TAG passes a no-op.
+///
+/// Under fault injection the convergecast degrades to partial data: dead or sleeping
+/// nodes contribute nothing and are routed around (reports go to the nearest
+/// participating ancestor), and a report that is dropped after its ARQ retries simply
+/// never reaches the parent — the sink's view then covers exactly the data that was
+/// delivered.
 pub(crate) fn convergecast_full(
     net: &mut Network,
     readings: &[Reading],
@@ -48,6 +54,9 @@ pub(crate) fn convergecast_full(
     let mut inbox: BTreeMap<NodeId, Vec<GroupView>> = BTreeMap::new();
     let order = net.tree().post_order();
     for node in order {
+        if !net.node_participating(node) {
+            continue;
+        }
         let mut view = GroupView::new(spec.func);
         if let Some(r) = reading_of.get(&node) {
             view.add_reading(r.group, r.value);
@@ -59,10 +68,10 @@ pub(crate) fn convergecast_full(
         }
         net.charge_cpu(node, view.len() as u32);
         shrink(node, &mut view);
-        let parent = net.tree().parent(node);
         if !view.is_empty() {
-            net.send_report_to_parent(node, epoch, view.len() as u32, 0, phase);
-            inbox.entry(parent).or_default().push(view);
+            if let Some(parent) = net.send_report_up(node, epoch, view.len() as u32, 0, phase) {
+                inbox.entry(parent).or_default().push(view);
+            }
         }
     }
     let mut sink_view = GroupView::new(spec.func);
@@ -140,13 +149,14 @@ mod tests {
 
     #[test]
     fn tag_matches_the_exact_reference_on_random_workloads() {
-        let d = Deployment::clustered_rooms(6, 4, 20.0, 42);
+        let d = Deployment::clustered_rooms(6, 4, 20.0, kspot_net::rng::topology_seed(42));
         let mut net = Network::new(d.clone(), NetworkConfig::ideal());
         let spec = SnapshotSpec::new(3, AggFunc::Avg, ValueDomain::percentage());
+        let workload_seed = kspot_net::rng::workload_seed(42);
         let mut workload =
-            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 42);
+            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), workload_seed);
         let mut reference_workload =
-            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 42);
+            Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), workload_seed);
         let mut tag = TagTopK::new(spec);
         let produced = run_continuous(&mut tag, &mut net, &mut workload, 20);
         for result in &produced {

@@ -79,9 +79,15 @@ impl HistoricAlgorithm for Tja {
 
     fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
         let k = self.spec.k;
-        let n = data.num_nodes();
         let query_epoch = *data.epochs().last().unwrap_or(&0);
-        let node_ids = data.node_ids();
+        // Only nodes that are alive and awake at query time can answer; the threshold
+        // algebra runs over that population, scoping exactness to reachable data.
+        let node_ids: Vec<NodeId> =
+            data.node_ids().into_iter().filter(|&id| net.node_participating(id)).collect();
+        let n = node_ids.len();
+        if n == 0 {
+            return TopKResult::new(query_epoch, Vec::new());
+        }
 
         // ------------------------------------------------------------------ LB phase
         // Each node's local top-k list; lists are unioned (merged per epoch) on the way
@@ -94,19 +100,24 @@ impl HistoricAlgorithm for Tja {
         }
         let mut inbox: BTreeMap<NodeId, BTreeMap<Epoch, EpochPartial>> = BTreeMap::new();
         for node in net.tree().post_order() {
+            if !net.node_participating(node) {
+                continue;
+            }
             let mut union: BTreeMap<Epoch, EpochPartial> = inbox.remove(&node).unwrap_or_default();
             for &(e, v) in &local_topk[&node] {
                 let entry = union.entry(e).or_default();
                 entry.sum += v;
                 entry.contributors.insert(node);
             }
-            net.send_report_to_parent(node, query_epoch, union.len() as u32, 0, PhaseTag::LowerBound);
-            let parent = net.tree().parent(node);
-            let parent_box = inbox.entry(parent).or_default();
-            for (e, partial) in union {
-                let slot = parent_box.entry(e).or_default();
-                slot.sum += partial.sum;
-                slot.contributors.extend(partial.contributors);
+            if let Some(parent) =
+                net.send_report_up(node, query_epoch, union.len() as u32, 0, PhaseTag::LowerBound)
+            {
+                let parent_box = inbox.entry(parent).or_default();
+                for (e, partial) in union {
+                    let slot = parent_box.entry(e).or_default();
+                    slot.sum += partial.sum;
+                    slot.contributors.extend(partial.contributors);
+                }
             }
         }
         let mut assembled: BTreeMap<Epoch, EpochPartial> = inbox.remove(&SINK).unwrap_or_default();
@@ -140,21 +151,31 @@ impl HistoricAlgorithm for Tja {
         }
         let mut inbox: BTreeMap<NodeId, BTreeMap<Epoch, EpochPartial>> = BTreeMap::new();
         for node in net.tree().post_order() {
+            if !net.node_participating(node) {
+                continue;
+            }
             let mut joined: BTreeMap<Epoch, EpochPartial> = inbox.remove(&node).unwrap_or_default();
             for &(e, v) in &hj_contrib[&node] {
                 let entry = joined.entry(e).or_default();
                 entry.sum += v;
                 entry.contributors.insert(node);
             }
-            if !joined.is_empty() {
-                net.send_report_to_parent(node, query_epoch, joined.len() as u32, 0, PhaseTag::HierarchicalJoin);
+            if joined.is_empty() {
+                continue;
             }
-            let parent = net.tree().parent(node);
-            let parent_box = inbox.entry(parent).or_default();
-            for (e, partial) in joined {
-                let slot = parent_box.entry(e).or_default();
-                slot.sum += partial.sum;
-                slot.contributors.extend(partial.contributors);
+            if let Some(parent) = net.send_report_up(
+                node,
+                query_epoch,
+                joined.len() as u32,
+                0,
+                PhaseTag::HierarchicalJoin,
+            ) {
+                let parent_box = inbox.entry(parent).or_default();
+                for (e, partial) in joined {
+                    let slot = parent_box.entry(e).or_default();
+                    slot.sum += partial.sum;
+                    slot.contributors.extend(partial.contributors);
+                }
             }
         }
         if let Some(hj_at_sink) = inbox.remove(&SINK) {
@@ -188,9 +209,12 @@ impl HistoricAlgorithm for Tja {
                 .filter(|node| !assembled[&e].contributors.contains(node))
                 .collect();
             for node in missing {
-                net.unicast_down(node, query_epoch, 1, PhaseTag::CleanUp);
-                net.unicast_up(node, query_epoch, 1, PhaseTag::CleanUp);
+                let down = net.unicast_down(node, query_epoch, 1, PhaseTag::CleanUp);
+                let up = net.unicast_up(node, query_epoch, 1, PhaseTag::CleanUp);
                 self.stats.cleanup_pulls += 1;
+                if down.is_none() || up.is_none() {
+                    continue; // the pull was dropped; the epoch stays incomplete
+                }
                 if let Some(v) = data.value_at(node, e) {
                     let slot = assembled.get_mut(&e).expect("candidate exists");
                     slot.sum += v;

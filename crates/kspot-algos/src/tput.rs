@@ -72,9 +72,14 @@ impl HistoricAlgorithm for Tput {
 
     fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
         let k = self.spec.k;
-        let n = data.num_nodes();
         let query_epoch = *data.epochs().last().unwrap_or(&0);
-        let node_ids = data.node_ids();
+        // Only nodes alive and awake at query time can answer (see `kspot_net::fault`).
+        let node_ids: Vec<NodeId> =
+            data.node_ids().into_iter().filter(|&id| net.node_participating(id)).collect();
+        let n = node_ids.len();
+        if n == 0 {
+            return TopKResult::new(query_epoch, Vec::new());
+        }
         let mut assembled: BTreeMap<Epoch, EpochPartial> = BTreeMap::new();
         let absorb = |assembled: &mut BTreeMap<Epoch, EpochPartial>, node: NodeId, e: Epoch, v: f64| {
             let slot = assembled.entry(e).or_default();
@@ -89,10 +94,11 @@ impl HistoricAlgorithm for Tput {
             let list = data.window_mut(node).local_top_k(k);
             net.charge_cpu(node, list.len() as u32);
             // Flat protocol: the list travels to the sink without merging, paying every
-            // hop of the routing path.
-            net.unicast_up(node, query_epoch, list.len() as u32, PhaseTag::LowerBound);
-            for &(e, v) in &list {
-                absorb(&mut assembled, node, e, v);
+            // hop of the routing path.  A dropped list never reaches the sink.
+            if net.unicast_up(node, query_epoch, list.len() as u32, PhaseTag::LowerBound).is_some() {
+                for &(e, v) in &list {
+                    absorb(&mut assembled, node, e, v);
+                }
             }
             local_topk.insert(node, list);
         }
@@ -113,11 +119,13 @@ impl HistoricAlgorithm for Tput {
                 .filter(|(e, _)| !already.contains(e))
                 .collect();
             net.charge_cpu(node, extra.len() as u32);
-            if !extra.is_empty() {
-                net.unicast_up(node, query_epoch, extra.len() as u32, PhaseTag::Update);
+            if extra.is_empty() {
+                continue;
             }
-            for (e, v) in extra {
-                absorb(&mut assembled, node, e, v);
+            if net.unicast_up(node, query_epoch, extra.len() as u32, PhaseTag::Update).is_some() {
+                for (e, v) in extra {
+                    absorb(&mut assembled, node, e, v);
+                }
             }
         }
         self.stats.phase2_objects = assembled.len();
@@ -140,9 +148,12 @@ impl HistoricAlgorithm for Tput {
                 .filter(|node| !assembled[&e].contributors.contains(node))
                 .collect();
             for node in missing {
-                net.unicast_down(node, query_epoch, 1, PhaseTag::Probe);
-                net.unicast_up(node, query_epoch, 1, PhaseTag::Probe);
+                let down = net.unicast_down(node, query_epoch, 1, PhaseTag::Probe);
+                let up = net.unicast_up(node, query_epoch, 1, PhaseTag::Probe);
                 self.stats.phase3_fetches += 1;
+                if down.is_none() || up.is_none() {
+                    continue; // the fetch was dropped; the epoch stays incomplete
+                }
                 if let Some(v) = data.value_at(node, e) {
                     absorb(&mut assembled, node, e, v);
                 }

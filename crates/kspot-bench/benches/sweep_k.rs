@@ -10,19 +10,19 @@ use kspot_query::AggFunc;
 use std::hint::black_box;
 
 fn run_mint(k: usize, epochs: usize) -> u64 {
-    let d = Deployment::clustered_rooms(25, 4, 20.0, 44);
+    let d = Deployment::clustered_rooms(25, 4, 20.0, kspot_net::rng::topology_seed(44));
     let spec = SnapshotSpec::new(k, AggFunc::Avg, ValueDomain::percentage());
     let mut net = Network::new(d.clone(), NetworkConfig::mica2());
-    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 44);
+    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), kspot_net::rng::workload_seed(44));
     run_continuous(&mut MintViews::new(spec), &mut net, &mut w, epochs);
     net.metrics().totals().bytes
 }
 
 fn run_tag(k: usize, epochs: usize) -> u64 {
-    let d = Deployment::clustered_rooms(25, 4, 20.0, 44);
+    let d = Deployment::clustered_rooms(25, 4, 20.0, kspot_net::rng::topology_seed(44));
     let spec = SnapshotSpec::new(k, AggFunc::Avg, ValueDomain::percentage());
     let mut net = Network::new(d.clone(), NetworkConfig::mica2());
-    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 44);
+    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), kspot_net::rng::workload_seed(44));
     run_continuous(&mut TagTopK::new(spec), &mut net, &mut w, epochs);
     net.metrics().totals().bytes
 }

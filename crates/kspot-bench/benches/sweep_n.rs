@@ -9,10 +9,10 @@ use kspot_query::AggFunc;
 use std::hint::black_box;
 
 fn run(rooms: usize, mint: bool, epochs: usize) -> u64 {
-    let d = Deployment::clustered_rooms(rooms, 4, 20.0, 55);
+    let d = Deployment::clustered_rooms(rooms, 4, 20.0, kspot_net::rng::topology_seed(55));
     let spec = SnapshotSpec::new(5.min(rooms), AggFunc::Avg, ValueDomain::percentage());
     let mut net = Network::new(d.clone(), NetworkConfig::mica2());
-    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 55);
+    let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), kspot_net::rng::workload_seed(55));
     if mint {
         run_continuous(&mut MintViews::new(spec), &mut net, &mut w, epochs);
     } else {

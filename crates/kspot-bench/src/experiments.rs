@@ -18,7 +18,8 @@ use kspot_net::{Deployment, Network, NetworkConfig, PhaseTotals, RoomModelParams
 use kspot_query::AggFunc;
 
 /// The identifiers of every experiment in the suite.
-pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_EXPERIMENTS: &[&str] =
+    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
 
 /// Runs one experiment by id ("e1" … "e10"), returning its table.
 pub fn run(id: &str) -> Option<Table> {
@@ -33,6 +34,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e8" => Some(e8_accuracy_study()),
         "e9" => Some(e9_drift_ablation()),
         "e10" => Some(e10_aggregate_mix()),
+        "e11" => Some(e11_fault_sweep()),
         _ => None,
     }
 }
@@ -46,12 +48,15 @@ pub fn run_all() -> Vec<Table> {
 // helpers
 // ---------------------------------------------------------------------------------
 
-fn room_workload(d: &Deployment, drift: f64, seed: u64) -> Workload {
+/// Room-correlated workload for a scenario's *master* seed (the workload stream is
+/// derived per the `kspot_net::rng` convention, so it is independent of the topology
+/// jitter even when the deployment was built from the same master seed).
+fn room_workload(d: &Deployment, drift: f64, master_seed: u64) -> Workload {
     Workload::room_correlated(
         d,
         ValueDomain::percentage(),
         RoomModelParams { drift_sigma: drift, sensor_noise_sigma: 1.0 },
-        seed,
+        kspot_net::rng::workload_seed(master_seed),
     )
 }
 
@@ -60,11 +65,12 @@ fn snapshot_totals(
     algo: &mut dyn SnapshotAlgorithm,
     d: &Deployment,
     drift: f64,
-    seed: u64,
+    master_seed: u64,
     epochs: usize,
 ) -> PhaseTotals {
-    let mut net = Network::new(d.clone(), NetworkConfig::mica2().with_seed(seed));
-    let mut workload = room_workload(d, drift, seed);
+    let config = NetworkConfig::mica2().with_seed(kspot_net::rng::substrate_seed(master_seed));
+    let mut net = Network::new(d.clone(), config);
+    let mut workload = room_workload(d, drift, master_seed);
     run_continuous(algo, &mut net, &mut workload, epochs);
     net.metrics().totals()
 }
@@ -189,7 +195,7 @@ pub fn e3_energy_lifetime() -> Table {
 /// E4: byte savings of MINT over TAG and centralized collection as K grows
 /// (100 clustered nodes, 25 rooms, 100 epochs).
 pub fn e4_sweep_k() -> Table {
-    let d = Deployment::clustered_rooms(25, 4, 20.0, 44);
+    let d = Deployment::clustered_rooms(25, 4, 20.0, kspot_net::rng::topology_seed(44));
     let mut table = Table::new(
         "E4 — MINT savings versus K (100 nodes, 25 rooms, 100 epochs)",
         "Expected shape: savings are largest for small K and shrink as K approaches the number of groups.",
@@ -220,7 +226,7 @@ pub fn e5_sweep_network_size() -> Table {
         &["nodes", "rooms", "MINT bytes", "TAG bytes", "centralized bytes", "saved vs TAG"],
     );
     for &rooms in &[6usize, 12, 25, 49, 100] {
-        let d = Deployment::clustered_rooms(rooms, 4, 20.0, 55);
+        let d = Deployment::clustered_rooms(rooms, 4, 20.0, kspot_net::rng::topology_seed(55));
         let spec = SnapshotSpec::new(5.min(rooms), AggFunc::Avg, ValueDomain::percentage());
         let mint = snapshot_totals(&mut MintViews::new(spec), &d, 1.5, 55, 100);
         let tag = snapshot_totals(&mut TagTopK::new(spec), &d, 1.5, 55, 100);
@@ -249,14 +255,14 @@ fn historic_dataset(side: usize, window: usize, seed: u64) -> (Deployment, Histo
         &d,
         ValueDomain::percentage(),
         RoomModelParams { drift_sigma: 4.0, sensor_noise_sigma: 2.0 },
-        seed,
+        kspot_net::rng::workload_seed(seed),
     );
     let data = HistoricDataset::collect(&mut w, window);
     (d, data)
 }
 
 fn historic_bytes(algo: &mut dyn HistoricAlgorithm, d: &Deployment, data: &HistoricDataset, seed: u64) -> u64 {
-    let mut net = Network::new(d.clone(), NetworkConfig::mica2().with_seed(seed));
+    let mut net = Network::new(d.clone(), NetworkConfig::mica2().with_seed(kspot_net::rng::substrate_seed(seed)));
     let mut data = data.clone();
     algo.execute(&mut net, &mut data);
     net.metrics().totals().bytes
@@ -328,7 +334,7 @@ pub fn e8_accuracy_study() -> Table {
         let nodes_per_room = 2 + (seed % 4) as usize;
         let k = 1 + (seed % 3) as usize;
         let drift = 0.5 + (seed % 5) as f64;
-        let d = Deployment::clustered_rooms(rooms, nodes_per_room, 20.0, seed);
+        let d = Deployment::clustered_rooms(rooms, nodes_per_room, 20.0, kspot_net::rng::topology_seed(seed));
         let spec = SnapshotSpec::new(k.min(rooms), AggFunc::Avg, ValueDomain::percentage());
 
         let reference: Vec<_> = {
@@ -392,7 +398,7 @@ pub fn e8_accuracy_study() -> Table {
 /// E9: how per-epoch drift affects MINT's savings and its corrective work (probes and
 /// threshold re-broadcasts) — the ablation of the threshold-slack design choice.
 pub fn e9_drift_ablation() -> Table {
-    let d = Deployment::clustered_rooms(16, 4, 20.0, 99);
+    let d = Deployment::clustered_rooms(16, 4, 20.0, kspot_net::rng::topology_seed(99));
     let epochs = 100usize;
     let mut table = Table::new(
         "E9 — drift ablation (64 nodes, 16 rooms, K=3, 100 epochs, slack = 2.0)",
@@ -455,6 +461,54 @@ pub fn e10_aggregate_mix() -> Table {
     table
 }
 
+// ---------------------------------------------------------------------------------
+// E11 — fault injection
+// ---------------------------------------------------------------------------------
+
+/// E11: MINT versus TAG across the testkit's fault profiles on a clustered scenario —
+/// the recovery overhead (ARQ retransmissions, dropped payloads) next to the savings.
+/// The scenario cells are the same definitions `cargo test -p kspot-testkit` checks
+/// for exactness, so every row of this table is backed by the matrix invariants.
+pub fn e11_fault_sweep() -> Table {
+    use kspot_testkit::scenario::{FaultProfile, ScenarioCell, TopologyKind, WorkloadProfile};
+
+    let mut table = Table::new(
+        "E11 — fault injection: MINT vs TAG per fault profile (24 nodes, 8 rooms, K=1, 40 epochs)",
+        "Expected shape: ARQ recovery pays retransmissions on lossy links; node death and duty cycling shrink the answer scope; exactness over delivered data is enforced by the kspot-testkit matrix.",
+        &["fault profile", "MINT bytes", "TAG bytes", "saved", "MINT retx", "MINT dropped"],
+    );
+    for fault in FaultProfile::ALL {
+        let cell = ScenarioCell {
+            topology: TopologyKind::ClusteredRooms,
+            workload: WorkloadProfile::RoomCorrelated,
+            fault,
+            nodes: 24,
+            groups: 8,
+            k: 1,
+            epochs: 40,
+            window: 16,
+            master_seed: 0xE11,
+        };
+        let d = cell.deployment();
+        let spec = cell.snapshot_spec();
+        let mut mint_net = cell.network(&d);
+        run_continuous(&mut MintViews::new(spec), &mut mint_net, &mut cell.workload(&d), cell.epochs);
+        let mut tag_net = cell.network(&d);
+        run_continuous(&mut TagTopK::new(spec), &mut tag_net, &mut cell.workload(&d), cell.epochs);
+        let mint = mint_net.metrics().totals();
+        let tag = tag_net.metrics().totals();
+        table.push_row(vec![
+            fault.label().to_string(),
+            mint.bytes.to_string(),
+            tag.bytes.to_string(),
+            format!("{}%", fmt_f(pct_saved(tag.bytes as f64, mint.bytes as f64), 1)),
+            mint.retransmissions.to_string(),
+            mint.dropped_messages.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +543,19 @@ mod tests {
             "expected positive savings vs centralized collection: {:?}",
             table.rows[2]
         );
+    }
+
+    #[test]
+    fn e11_lossy_profile_pays_retransmissions() {
+        let table = e11_fault_sweep();
+        assert_eq!(table.rows.len(), 4, "one row per fault profile");
+        let row_of = |label: &str| {
+            table.rows.iter().find(|r| r[0] == label).unwrap_or_else(|| panic!("{label} row"))
+        };
+        let lossless_retx: u64 = row_of("lossless")[4].parse().unwrap();
+        let lossy_retx: u64 = row_of("lossy")[4].parse().unwrap();
+        assert_eq!(lossless_retx, 0, "a healthy network never retransmits");
+        assert!(lossy_retx > 0, "25% link loss must trigger ARQ retries");
     }
 
     #[test]

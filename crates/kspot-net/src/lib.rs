@@ -12,6 +12,8 @@
 //! * [`radio`] + [`message`] — the message/byte cost model of the CC1000 radio on MICA2;
 //! * [`energy`] — per-node batteries and a calibrated µJ-per-byte energy model, plus the
 //!   network-lifetime metric;
+//! * [`fault`] — fault injection: lossy links with ARQ recovery, scheduled node deaths
+//!   and duty-cycled sleeping, threaded through [`sim::NetworkConfig`];
 //! * [`storage`] — the per-node sliding-window buffer used by historic queries
 //!   (the paper cites MicroHash for this role);
 //! * [`workload`] — synthetic sensed-value generators (room-correlated sound levels,
@@ -31,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod energy;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod radio;
@@ -43,6 +46,7 @@ pub mod types;
 pub mod workload;
 
 pub use energy::{Battery, BatteryBank, EnergyModel};
+pub use fault::{DutyCycle, FaultPlan};
 pub use message::{Message, MessageKind};
 pub use metrics::{NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, Savings};
 pub use radio::RadioModel;

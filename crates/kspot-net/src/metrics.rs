@@ -65,6 +65,9 @@ pub struct NodeCounters {
     pub rx_bytes: u64,
     /// Result tuples the node placed on the air.
     pub tuples_sent: u64,
+    /// Payloads this node failed to deliver even after its ARQ retries (or because the
+    /// receiver was dead or asleep for the whole epoch).
+    pub dropped_messages: u64,
     /// Total energy drawn, µJ (radio + sensing + CPU).
     pub energy_uj: f64,
 }
@@ -93,6 +96,12 @@ pub struct PhaseTotals {
     pub bytes: u64,
     /// Result tuples transmitted network-wide.
     pub tuples: u64,
+    /// ARQ retransmission attempts (already included in `messages`/`bytes`; this
+    /// counter isolates the overhead the recovery policy paid).
+    pub retransmissions: u64,
+    /// Payloads that were never delivered: lost after exhausting their ARQ retries, or
+    /// addressed to a node that was dead or asleep.
+    pub dropped_messages: u64,
     /// Energy drawn network-wide (sensor nodes only, the sink is mains-powered), µJ.
     pub energy_uj: f64,
 }
@@ -209,6 +218,56 @@ impl NetworkMetrics {
         }
     }
 
+    /// Records one transmission whose receiver never listened (dead or asleep): the
+    /// sender pays and the attempt counts as a message on the air, but no reception is
+    /// booked anywhere.
+    pub fn record_unheard_transmission(
+        &mut self,
+        from: NodeId,
+        epoch: Epoch,
+        phase: PhaseTag,
+        bytes: u32,
+        tuples: u32,
+        tx_energy: f64,
+    ) {
+        self.counters_mut(from).add_tx(bytes, tuples, tx_energy);
+        let sensor_energy = if from != crate::types::SINK { tx_energy } else { 0.0 };
+        for totals in [
+            self.per_phase.entry(phase).or_default(),
+            self.per_epoch.entry(epoch).or_default(),
+            &mut self.totals,
+        ] {
+            totals.messages += 1;
+            totals.bytes += u64::from(bytes);
+            totals.tuples += u64::from(tuples);
+            totals.energy_uj += sensor_energy;
+        }
+    }
+
+    /// Books one ARQ retransmission attempt (the attempt itself is recorded separately
+    /// through [`Self::record_transmission`]).
+    pub fn note_retransmission(&mut self, epoch: Epoch, phase: PhaseTag) {
+        for totals in [
+            self.per_phase.entry(phase).or_default(),
+            self.per_epoch.entry(epoch).or_default(),
+            &mut self.totals,
+        ] {
+            totals.retransmissions += 1;
+        }
+    }
+
+    /// Books one payload that was never delivered, attributed to its sender.
+    pub fn note_drop(&mut self, from: NodeId, epoch: Epoch, phase: PhaseTag) {
+        self.counters_mut(from).dropped_messages += 1;
+        for totals in [
+            self.per_phase.entry(phase).or_default(),
+            self.per_epoch.entry(epoch).or_default(),
+            &mut self.totals,
+        ] {
+            totals.dropped_messages += 1;
+        }
+    }
+
     /// Records node-local (non-radio) energy consumption: sensing, CPU, idle listening.
     pub fn record_local_energy(&mut self, node: NodeId, epoch: Epoch, uj: f64) {
         if node != crate::types::SINK {
@@ -246,6 +305,11 @@ impl NetworkMetrics {
     /// All phases that actually saw traffic, with their totals, in enum order.
     pub fn phases(&self) -> impl Iterator<Item = (PhaseTag, PhaseTotals)> + '_ {
         self.per_phase.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All epochs that actually saw traffic, with their totals, in epoch order.
+    pub fn epochs(&self) -> impl Iterator<Item = (Epoch, PhaseTotals)> + '_ {
+        self.per_epoch.iter().map(|(k, v)| (*k, *v))
     }
 
     /// The highest per-node energy draw, i.e. the bottleneck node's consumption (µJ).
@@ -406,8 +470,10 @@ mod tests {
 
     #[test]
     fn savings_percentages_and_factor() {
-        let baseline = PhaseTotals { messages: 100, bytes: 1000, tuples: 500, energy_uj: 2000.0 };
-        let ours = PhaseTotals { messages: 40, bytes: 250, tuples: 100, energy_uj: 500.0 };
+        let baseline =
+            PhaseTotals { messages: 100, bytes: 1000, tuples: 500, energy_uj: 2000.0, ..PhaseTotals::default() };
+        let ours =
+            PhaseTotals { messages: 40, bytes: 250, tuples: 100, energy_uj: 500.0, ..PhaseTotals::default() };
         let s = Savings::between(baseline, ours);
         assert!((s.message_savings_pct() - 60.0).abs() < 1e-9);
         assert!((s.byte_savings_pct() - 75.0).abs() < 1e-9);
@@ -420,7 +486,7 @@ mod tests {
     #[test]
     fn savings_handle_zero_baseline_and_zero_ours() {
         let zero = PhaseTotals::default();
-        let some = PhaseTotals { messages: 5, bytes: 50, tuples: 5, energy_uj: 10.0 };
+        let some = PhaseTotals { messages: 5, bytes: 50, tuples: 5, energy_uj: 10.0, ..PhaseTotals::default() };
         let s = Savings::between(zero, some);
         assert_eq!(s.message_savings_pct(), 0.0);
         let s2 = Savings::between(some, zero);
@@ -435,6 +501,31 @@ mod tests {
         m.record_local_energy(2, 0, 30.0);
         m.record_local_energy(3, 0, 20.0);
         assert!((m.max_node_energy_uj() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retransmissions_and_drops_are_booked() {
+        let mut m = NetworkMetrics::new(2);
+        m.record_transmission(1, 2, 0, PhaseTag::Update, 10, 1, 100.0, 50.0);
+        m.note_retransmission(0, PhaseTag::Update);
+        m.record_transmission(1, 2, 0, PhaseTag::Update, 10, 1, 100.0, 50.0);
+        m.note_drop(1, 0, PhaseTag::Update);
+        assert_eq!(m.totals().retransmissions, 1);
+        assert_eq!(m.totals().dropped_messages, 1);
+        assert_eq!(m.node(1).dropped_messages, 1);
+        assert_eq!(m.phase(PhaseTag::Update).retransmissions, 1);
+        assert_eq!(m.epoch(0).dropped_messages, 1);
+        assert_eq!(m.totals().messages, 2, "both attempts stay counted as messages");
+    }
+
+    #[test]
+    fn unheard_transmissions_charge_only_the_sender() {
+        let mut m = NetworkMetrics::new(2);
+        m.record_unheard_transmission(1, 0, PhaseTag::Update, 10, 1, 100.0);
+        assert_eq!(m.totals().messages, 1);
+        assert_eq!(m.node(1).tx_messages, 1);
+        assert_eq!(m.node(2).rx_messages, 0, "nobody heard it");
+        assert!((m.totals().energy_uj - 100.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,12 +1,65 @@
-//! Deterministic random-number utilities.
+//! Deterministic random-number utilities and the workspace seeding convention.
 //!
 //! Every stochastic component of the substrate (deployment jitter, workload drift, radio
 //! loss) derives its randomness from an explicit `u64` seed so that experiments are
 //! reproducible.  Per-node / per-epoch streams are derived from the master seed with a
 //! SplitMix64-style mixer so that changing one node's stream never perturbs another's.
+//!
+//! ## The seeding convention
+//!
+//! A scenario has **one** master seed.  Every component that needs randomness derives
+//! its own seed from the master through a dedicated stream identifier:
+//!
+//! * [`topology_seed`] — deployment placement jitter ([`crate::topology::Deployment`]);
+//! * [`workload_seed`] — sensed-value generation ([`crate::workload::Workload`]);
+//! * [`substrate_seed`] — the network's own randomness (message loss,
+//!   [`crate::sim::NetworkConfig::seed`]).
+//!
+//! Never pass the same raw seed to two different components: a workload seeded with the
+//! topology seed is *correlated* with the placement (the first rooms drawn hot are the
+//! first rooms placed), which silently biases sweeps that vary only one of the two.
+//! Call sites should look like:
+//!
+//! ```
+//! use kspot_net::rng::{topology_seed, workload_seed};
+//! use kspot_net::types::ValueDomain;
+//! use kspot_net::{Deployment, RoomModelParams, Workload};
+//!
+//! let master = 42;
+//! let d = Deployment::clustered_rooms(6, 3, 20.0, topology_seed(master));
+//! let w = Workload::room_correlated(
+//!     &d,
+//!     ValueDomain::percentage(),
+//!     RoomModelParams::default(),
+//!     workload_seed(master),
+//! );
+//! # let _ = w;
+//! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stream identifier behind [`topology_seed`].
+pub const STREAM_TOPOLOGY: u64 = 0x7359_0001;
+/// Stream identifier behind [`workload_seed`].
+pub const STREAM_WORKLOAD: u64 = 0x7359_0002;
+/// Stream identifier behind [`substrate_seed`].
+pub const STREAM_SUBSTRATE: u64 = 0x7359_0003;
+
+/// The deployment-placement seed derived from a scenario's master seed.
+pub fn topology_seed(master: u64) -> u64 {
+    mix_seed(master, &[STREAM_TOPOLOGY])
+}
+
+/// The sensed-value-generation seed derived from a scenario's master seed.
+pub fn workload_seed(master: u64) -> u64 {
+    mix_seed(master, &[STREAM_WORKLOAD])
+}
+
+/// The substrate (message-loss) seed derived from a scenario's master seed.
+pub fn substrate_seed(master: u64) -> u64 {
+    mix_seed(master, &[STREAM_SUBSTRATE])
+}
 
 /// Mixes a master seed with an arbitrary number of stream identifiers, producing a new
 /// seed that is statistically independent for every distinct identifier tuple.
@@ -66,5 +119,18 @@ mod tests {
     #[test]
     fn empty_stream_list_still_mixes_master() {
         assert_ne!(mix_seed(1, &[]), mix_seed(2, &[]));
+    }
+
+    #[test]
+    fn component_seeds_are_pairwise_distinct() {
+        for master in [0u64, 1, 42, u64::MAX] {
+            let t = topology_seed(master);
+            let w = workload_seed(master);
+            let s = substrate_seed(master);
+            assert_ne!(t, w);
+            assert_ne!(t, s);
+            assert_ne!(w, s);
+            assert_ne!(t, master, "derived seeds never collide with the raw master");
+        }
     }
 }

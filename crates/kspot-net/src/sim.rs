@@ -13,6 +13,7 @@
 //! schedule while staying fast enough for the large parameter sweeps of E4–E7.
 
 use crate::energy::{BatteryBank, EnergyModel};
+use crate::fault::FaultPlan;
 use crate::message::{Message, MessageKind};
 use crate::metrics::{NetworkMetrics, PhaseTag};
 use crate::radio::RadioModel;
@@ -25,7 +26,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Static configuration of a simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
     /// Radio byte/packet model.
     pub radio: RadioModel,
@@ -38,6 +39,9 @@ pub struct NetworkConfig {
     pub charge_epoch_baseline: bool,
     /// Seed for the substrate's own randomness (message loss).
     pub seed: u64,
+    /// Injected faults (lossy links, node deaths, duty cycling) and the ARQ recovery
+    /// policy.  Defaults to no faults.
+    pub faults: FaultPlan,
 }
 
 impl NetworkConfig {
@@ -49,6 +53,7 @@ impl NetworkConfig {
             battery_capacity_uj: 20.0e9,
             charge_epoch_baseline: true,
             seed: 0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -61,6 +66,7 @@ impl NetworkConfig {
             battery_capacity_uj: 1.0e12,
             charge_epoch_baseline: false,
             seed: 0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -79,6 +85,12 @@ impl NetworkConfig {
     /// Overrides the radio model.
     pub fn with_radio(mut self, radio: RadioModel) -> Self {
         self.radio = radio;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -106,13 +118,15 @@ impl Network {
     pub fn new(deployment: Deployment, config: NetworkConfig) -> Self {
         let tree = RoutingTree::build(&deployment);
         let n = deployment.num_nodes();
+        let batteries = BatteryBank::uniform(n, config.battery_capacity_uj);
+        let loss_rng = stream_rng(config.seed, &[0x10_55]);
         Self {
             deployment,
             tree,
             config,
             metrics: NetworkMetrics::new(n),
-            batteries: BatteryBank::uniform(n, config.battery_capacity_uj),
-            loss_rng: stream_rng(config.seed, &[0x10_55]),
+            batteries,
+            loss_rng,
             current_epoch: 0,
         }
     }
@@ -157,9 +171,40 @@ impl Network {
         !self.batteries.any_depleted()
     }
 
-    /// True if the given node still has energy.
+    /// True if the given node still has energy and is not scheduled dead by the fault
+    /// plan as of the current epoch.
     pub fn node_alive(&self, node: NodeId) -> bool {
-        node == SINK || !self.batteries.get(node).is_depleted()
+        node == SINK
+            || (!self.batteries.get(node).is_depleted()
+                && !self.config.faults.is_scheduled_dead(node, self.current_epoch))
+    }
+
+    /// True when `node` can take part in the current epoch's protocol round: alive
+    /// (battery and fault schedule) and awake (duty cycle).  The sink always
+    /// participates.
+    pub fn node_participating(&self, node: NodeId) -> bool {
+        node == SINK
+            || (self.node_alive(node) && self.config.faults.is_awake(node, self.current_epoch))
+    }
+
+    /// The sensor nodes currently able to take part in the protocol, ascending.
+    pub fn participating_nodes(&self) -> Vec<NodeId> {
+        self.deployment
+            .node_ids()
+            .into_iter()
+            .filter(|&id| self.node_participating(id))
+            .collect()
+    }
+
+    /// The nearest participating ancestor of `node` in the routing tree (possibly the
+    /// sink).  This is where a node's reports go when its parent is dead or asleep —
+    /// the degrade-to-partial tree repair documented in [`crate::fault`].
+    pub fn effective_parent(&self, node: NodeId) -> NodeId {
+        let mut parent = self.tree.parent(node);
+        while parent != SINK && !self.node_participating(parent) {
+            parent = self.tree.parent(parent);
+        }
+        parent
     }
 
     /// Resets metrics and batteries while keeping the deployment, tree and config —
@@ -172,8 +217,9 @@ impl Network {
         self.current_epoch = 0;
     }
 
-    /// Marks the beginning of an epoch: charges every alive node its fixed sampling and
-    /// idle-listening cost (if the configuration says so).
+    /// Marks the beginning of an epoch: charges every participating node its fixed
+    /// sampling and idle-listening cost (if the configuration says so).  Nodes that are
+    /// dead or duty-cycled asleep neither sample nor listen, so they are not charged.
     pub fn begin_epoch(&mut self, epoch: Epoch) {
         self.current_epoch = epoch;
         if !self.config.charge_epoch_baseline {
@@ -181,7 +227,7 @@ impl Network {
         }
         let cost = self.config.energy.epoch_baseline_cost();
         for id in self.deployment.node_ids() {
-            if self.node_alive(id) {
+            if self.node_participating(id) {
                 self.metrics.record_local_energy(id, epoch, cost);
                 self.batteries.drain(id, cost);
             }
@@ -199,47 +245,92 @@ impl Network {
         self.batteries.drain(node, cost);
     }
 
-    /// Transmits a single-hop [`Message`], charging both endpoints and recording it
-    /// under `phase`.  Returns `true` if the message was delivered (it may be lost when
-    /// the radio model has a non-zero loss probability; the sender still pays).
+    /// Transmits a single-hop [`Message`] under the configured recovery policy,
+    /// charging the endpoints and recording every attempt under `phase`.  Returns
+    /// `true` if the payload was delivered.
+    ///
+    /// * A dead or sleeping sender stays silent: nothing is sent or charged.
+    /// * A lost attempt is one whose CRC check fails at the receiver: the receiver's
+    ///   radio still spent the energy listening, so both ends pay; the sender then
+    ///   retries up to [`FaultPlan::max_retransmits`] times before dropping the
+    ///   payload.
+    /// * A receiver that is dead or asleep for the whole epoch hears nothing and pays
+    ///   nothing; retrying is futile, so the payload is dropped after one attempt.
     pub fn send(&mut self, msg: Message, phase: PhaseTag) -> bool {
+        if msg.from != SINK && !self.node_participating(msg.from) {
+            return false;
+        }
         let payload = self.config.radio.payload_bytes(msg.data_tuples, msg.control_tuples);
         let bytes = self.config.radio.on_air_bytes(payload);
         let tx = self.config.energy.tx_cost(bytes);
-        // A lost message is one whose CRC check fails at the receiver: the receiver's
-        // radio still spent the energy listening to it, so both ends always pay.
-        let lost = self.config.radio.loss_probability > 0.0
-            && self.loss_rng.gen_bool(self.config.radio.loss_probability);
         let rx = self.config.energy.rx_cost(bytes);
-        self.metrics.record_transmission(
-            msg.from,
-            msg.to,
-            msg.epoch,
-            phase,
-            bytes,
-            msg.data_tuples,
-            tx,
-            rx,
-        );
-        if msg.from != SINK {
-            self.batteries.drain(msg.from, tx);
+
+        if msg.to != SINK && !self.node_participating(msg.to) {
+            self.metrics
+                .record_unheard_transmission(msg.from, msg.epoch, phase, bytes, msg.data_tuples, tx);
+            if msg.from != SINK {
+                self.batteries.drain(msg.from, tx);
+            }
+            self.metrics.note_drop(msg.from, msg.epoch, phase);
+            return false;
         }
-        if msg.to != SINK {
-            self.batteries.drain(msg.to, rx);
+
+        let loss = {
+            let radio = self.config.radio.loss_probability;
+            let fault = self.config.faults.loss_probability(msg.from, msg.to);
+            // Independent loss sources: the attempt survives only if it survives both.
+            1.0 - (1.0 - radio) * (1.0 - fault)
+        };
+        let max_attempts = 1 + self.config.faults.max_retransmits;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.metrics.note_retransmission(msg.epoch, phase);
+            }
+            let lost = loss > 0.0 && self.loss_rng.gen_bool(loss.min(1.0));
+            self.metrics.record_transmission(
+                msg.from,
+                msg.to,
+                msg.epoch,
+                phase,
+                bytes,
+                msg.data_tuples,
+                tx,
+                rx,
+            );
+            if msg.from != SINK {
+                self.batteries.drain(msg.from, tx);
+            }
+            if msg.to != SINK {
+                self.batteries.drain(msg.to, rx);
+            }
+            if !lost {
+                return true;
+            }
+            if attempt >= max_attempts {
+                self.metrics.note_drop(msg.from, msg.epoch, phase);
+                return false;
+            }
         }
-        !lost
     }
 
-    /// Sends a per-epoch data report from `from` to its routing parent.
-    pub fn send_report_to_parent(
+    /// Sends a per-epoch data report from `from` towards the sink, routing around dead
+    /// or sleeping ancestors.  Returns the node that received the report (its nearest
+    /// participating ancestor, possibly the sink), or `None` when the sender is not
+    /// participating or the payload was dropped.
+    pub fn send_report_up(
         &mut self,
         from: NodeId,
         epoch: Epoch,
         data_tuples: u32,
         control_tuples: u32,
         phase: PhaseTag,
-    ) -> bool {
-        let parent = self.tree.parent(from);
+    ) -> Option<NodeId> {
+        if !self.node_participating(from) {
+            return None;
+        }
+        let parent = self.effective_parent(from);
         let msg = Message {
             from,
             to: parent,
@@ -248,25 +339,52 @@ impl Network {
             data_tuples,
             control_tuples,
         };
-        self.send(msg, phase)
+        self.send(msg, phase).then_some(parent)
     }
 
-    /// Floods a control payload of `control_entries` entries from the sink to every node
-    /// using local broadcasts: the sink and every internal node transmit once, every
-    /// node receives once.  Returns the number of broadcast transmissions made.
+    /// Sends a per-epoch data report from `from` to its routing parent.  Convenience
+    /// wrapper around [`Self::send_report_up`]; returns `true` on delivery.
+    pub fn send_report_to_parent(
+        &mut self,
+        from: NodeId,
+        epoch: Epoch,
+        data_tuples: u32,
+        control_tuples: u32,
+        phase: PhaseTag,
+    ) -> bool {
+        self.send_report_up(from, epoch, data_tuples, control_tuples, phase).is_some()
+    }
+
+    /// Floods a control payload of `control_entries` entries from the sink to every
+    /// participating node using local broadcasts: the sink and every participating
+    /// internal node transmit once, every participating node receives once.  Returns
+    /// the number of broadcast transmissions made.
+    ///
+    /// Dissemination is modelled as reliable (redundant flooding masks individual
+    /// losses), but dead or sleeping nodes still miss the update — their subtrees hear
+    /// it from the nearest participating ancestor instead.
     pub fn flood_down(&mut self, epoch: Epoch, control_entries: u32, phase: PhaseTag) -> u32 {
         let payload = self.config.radio.payload_bytes(0, control_entries);
         let bytes = self.config.radio.on_air_bytes(payload);
         let tx = self.config.energy.tx_cost(bytes);
         let rx = self.config.energy.rx_cost(bytes);
+        // Children re-attached past dead/sleeping ancestors, mirroring the upstream
+        // effective-parent routing.
+        let mut eff_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for id in self.deployment.node_ids() {
+            if self.node_participating(id) {
+                eff_children.entry(self.effective_parent(id)).or_default().push(id);
+            }
+        }
         let mut transmissions = 0;
         let mut senders = vec![SINK];
         senders.extend(self.tree.pre_order());
         for sender in senders {
-            let children = self.tree.children(sender).to_vec();
-            if children.is_empty() {
+            if sender != SINK && !self.node_participating(sender) {
                 continue;
             }
+            let Some(children) = eff_children.remove(&sender) else { continue };
             self.metrics
                 .record_broadcast(sender, &children, epoch, phase, bytes, 0, tx, rx);
             if sender != SINK {
@@ -280,12 +398,31 @@ impl Network {
         transmissions
     }
 
-    /// Sends `control_entries` control entries from the sink to a specific node, hop by
-    /// hop down the routing path.  Returns the number of hops taken.
-    pub fn unicast_down(&mut self, to: NodeId, epoch: Epoch, control_entries: u32, phase: PhaseTag) -> u32 {
-        let mut path = self.tree.path_to_sink(to);
+    /// The downward path `sink, …, to` through participating relays only, or `None`
+    /// when `to` itself is not participating.
+    fn participating_path(&self, to: NodeId) -> Option<Vec<NodeId>> {
+        if !self.node_participating(to) {
+            return None;
+        }
+        let mut path: Vec<NodeId> =
+            self.tree.path_to_sink(to).into_iter().filter(|&n| self.node_participating(n)).collect();
         path.push(SINK);
         path.reverse(); // sink, …, to
+        Some(path)
+    }
+
+    /// Sends `control_entries` control entries from the sink to a specific node, hop by
+    /// hop down the routing path (through participating relays only).  Returns the
+    /// number of hops taken when every hop delivered, or `None` when the target is
+    /// unreachable (dead/asleep) or a hop dropped the payload after its retries.
+    pub fn unicast_down(
+        &mut self,
+        to: NodeId,
+        epoch: Epoch,
+        control_entries: u32,
+        phase: PhaseTag,
+    ) -> Option<u32> {
+        let path = self.participating_path(to)?;
         let mut hops = 0;
         for pair in path.windows(2) {
             let msg = Message {
@@ -296,32 +433,43 @@ impl Network {
                 data_tuples: 0,
                 control_tuples: control_entries,
             };
-            self.send(msg, phase);
+            if !self.send(msg, phase) {
+                return None;
+            }
             hops += 1;
         }
-        hops
+        Some(hops)
     }
 
     /// Sends `data_tuples` data tuples from a node to the sink, hop by hop up the
     /// routing path (used for probe replies, which bypass epoch-synchronous merging).
-    /// Returns the number of hops taken.
-    pub fn unicast_up(&mut self, from: NodeId, epoch: Epoch, data_tuples: u32, phase: PhaseTag) -> u32 {
-        let path = self.tree.path_to_sink(from);
+    /// Returns the number of hops taken when every hop delivered, or `None` when the
+    /// sender is not participating or a hop dropped the payload after its retries.
+    pub fn unicast_up(
+        &mut self,
+        from: NodeId,
+        epoch: Epoch,
+        data_tuples: u32,
+        phase: PhaseTag,
+    ) -> Option<u32> {
+        let mut path = self.participating_path(from)?;
+        path.reverse(); // from, …, sink
         let mut hops = 0;
-        for (i, &hop) in path.iter().enumerate() {
-            let to = if i + 1 < path.len() { path[i + 1] } else { SINK };
+        for pair in path.windows(2) {
             let msg = Message {
-                from: hop,
-                to,
+                from: pair[0],
+                to: pair[1],
                 epoch,
                 kind: MessageKind::ProbeReply,
                 data_tuples,
                 control_tuples: 0,
             };
-            self.send(msg, phase);
+            if !self.send(msg, phase) {
+                return None;
+            }
             hops += 1;
         }
-        hops
+        Some(hops)
     }
 
     /// Convenience for experiments: total energy (µJ) the sensor nodes have consumed.
@@ -387,9 +535,9 @@ mod tests {
     fn unicast_down_and_up_walk_the_tree_path() {
         let mut n = net(NetworkConfig::ideal());
         let down = n.unicast_down(9, 3, 1, PhaseTag::Probe);
-        assert_eq!(down, 3, "sink → 7 → 4 → 9 is three hops");
+        assert_eq!(down, Some(3), "sink → 7 → 4 → 9 is three hops");
         let up = n.unicast_up(9, 3, 2, PhaseTag::Probe);
-        assert_eq!(up, 3);
+        assert_eq!(up, Some(3));
         assert_eq!(n.metrics().phase(PhaseTag::Probe).messages, 6);
     }
 
@@ -433,6 +581,110 @@ mod tests {
         assert!(!n.is_alive());
         assert!(!n.node_alive(1));
         assert!(n.node_alive(SINK), "the sink is mains powered");
+    }
+
+    #[test]
+    fn retransmits_recover_most_losses_and_are_accounted() {
+        let config = NetworkConfig {
+            radio: RadioModel::mica2().with_loss(0.5),
+            faults: FaultPlan::none().with_retransmits(8),
+            ..NetworkConfig::mica2()
+        };
+        let mut n = net(config);
+        let mut delivered = 0;
+        for i in 0..100 {
+            if n.send(Message::data(9, 4, i, 1), PhaseTag::Update) {
+                delivered += 1;
+            }
+        }
+        // Residual drop probability is 0.5^9 ≈ 0.2 %, so effectively everything lands.
+        assert!(delivered >= 99, "ARQ should recover almost every payload, got {delivered}");
+        let totals = n.metrics().totals();
+        assert!(totals.retransmissions > 0, "half the first attempts are lost");
+        assert_eq!(
+            totals.messages,
+            100 + totals.retransmissions,
+            "every attempt is a message on the air"
+        );
+        assert_eq!(totals.dropped_messages as usize, 100 - delivered);
+    }
+
+    #[test]
+    fn scheduled_node_death_silences_the_node_and_reroutes_children() {
+        let config =
+            NetworkConfig::ideal().with_faults(FaultPlan::none().with_node_death(4, 5));
+        let mut n = net(config);
+        n.begin_epoch(4);
+        assert!(n.node_participating(4));
+        assert_eq!(n.effective_parent(9), 4);
+
+        n.begin_epoch(5);
+        assert!(!n.node_participating(4));
+        assert!(!n.node_alive(4));
+        assert_eq!(n.effective_parent(9), 7, "node 9 routes around its dead parent to node 7");
+        // The dead node cannot send…
+        assert!(!n.send(Message::data(4, 7, 5, 1), PhaseTag::Update));
+        assert_eq!(n.metrics().node(4).tx_messages, 0);
+        // …and payloads addressed to it are dropped, with only the sender paying.
+        let before = n.metrics().node(9).tx_messages;
+        assert!(!n.send(Message::data(9, 4, 5, 1), PhaseTag::Update));
+        assert_eq!(n.metrics().node(9).tx_messages, before + 1);
+        assert_eq!(n.metrics().node(4).rx_messages, 0);
+        // Only the payload that was actually put on the air counts as dropped; the dead
+        // sender's attempt never left its radio.
+        assert_eq!(n.metrics().totals().dropped_messages, 1);
+    }
+
+    #[test]
+    fn duty_cycled_nodes_sleep_and_wake_on_schedule() {
+        use crate::fault::DutyCycle;
+        let config = NetworkConfig::ideal()
+            .with_faults(FaultPlan::none().with_duty_cycle(DutyCycle::new(4, 3)));
+        let mut n = net(config);
+        // Node 1 sleeps when (epoch + 1) % 4 == 3, i.e. epochs 2, 6, 10, …
+        n.begin_epoch(2);
+        assert!(!n.node_participating(1));
+        assert!(n.node_alive(1), "sleeping is not death");
+        n.begin_epoch(3);
+        assert!(n.node_participating(1));
+        // A 9-node deployment has some nodes asleep each epoch under this schedule.
+        n.begin_epoch(0);
+        let awake = n.participating_nodes().len();
+        assert!((6..9).contains(&awake), "roughly 3/4 of the nodes are awake, got {awake}");
+    }
+
+    #[test]
+    fn flood_down_skips_sleeping_subtree_roots_but_reaches_their_children() {
+        let config =
+            NetworkConfig::ideal().with_faults(FaultPlan::none().with_node_death(4, 0));
+        let mut n = net(config);
+        n.begin_epoch(0);
+        let tx = n.flood_down(0, 1, PhaseTag::Dissemination);
+        assert!(tx >= 1);
+        // Node 9 (child of the dead node 4) still hears the flood, from node 7.
+        assert_eq!(n.metrics().node(9).rx_messages, 1);
+        assert_eq!(n.metrics().node(4).rx_messages, 0, "the dead node hears nothing");
+    }
+
+    #[test]
+    fn unicast_to_dead_node_fails_without_traffic() {
+        let config =
+            NetworkConfig::ideal().with_faults(FaultPlan::none().with_node_death(9, 0));
+        let mut n = net(config);
+        n.begin_epoch(0);
+        assert_eq!(n.unicast_down(9, 0, 1, PhaseTag::Probe), None);
+        assert_eq!(n.unicast_up(9, 0, 1, PhaseTag::Probe), None);
+        assert_eq!(n.metrics().totals().messages, 0);
+    }
+
+    #[test]
+    fn per_link_loss_overrides_apply_to_the_right_link() {
+        let faults = FaultPlan::none().with_link_loss_override(9, 4, 1.0);
+        let config = NetworkConfig::ideal().with_faults(faults);
+        let mut n = net(config);
+        assert!(!n.send(Message::data(9, 4, 0, 1), PhaseTag::Update), "the broken link loses all");
+        assert!(n.send(Message::data(8, 7, 0, 1), PhaseTag::Update), "other links are clean");
+        assert_eq!(n.metrics().totals().dropped_messages, 1);
     }
 
     #[test]

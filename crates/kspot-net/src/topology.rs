@@ -65,6 +65,9 @@ pub enum DeploymentKind {
     UniformRandom,
     /// Nodes clustered into rooms placed on a grid of rooms.
     ClusteredRooms,
+    /// Nodes strung out in a single line away from the sink (a corridor or pipeline
+    /// deployment); the routing tree degenerates to a chain of depth `n`.
+    LinearChain,
     /// A hand-built deployment.
     Custom,
 }
@@ -339,6 +342,28 @@ impl Deployment {
         Self::from_parts(DeploymentKind::UniformRandom, Position::new(0.0, 0.0), nodes, range)
     }
 
+    /// `n` nodes in a single line at `spacing`-metre intervals leading away from the
+    /// sink, assigned round-robin to `groups` groups (every node its own group when
+    /// `None`).  The radio range covers only the next neighbour, so the routing tree is
+    /// a chain of depth `n` — the worst case for convergecast relaying and the regime
+    /// where a single node death severs the deepest subtree.
+    pub fn linear_chain(n: usize, spacing: f64, groups: Option<usize>) -> Self {
+        assert!(n >= 1, "a chain needs at least one node");
+        assert!(spacing > 0.0, "chain spacing must be positive");
+        let nodes = (1..=n as NodeId)
+            .map(|id| NodeSpec {
+                id,
+                position: Position::new(f64::from(id) * spacing, 0.0),
+                group: match groups {
+                    Some(g) => ((id - 1) as usize % g.max(1)) as GroupId,
+                    None => id - 1,
+                },
+            })
+            .collect();
+        // 1.2 × spacing hears only the adjacent neighbours, keeping the chain a chain.
+        Self::from_parts(DeploymentKind::LinearChain, Position::new(0.0, 0.0), nodes, spacing * 1.2)
+    }
+
     /// `rooms` rooms laid out on a grid of rooms, each monitored by `nodes_per_room`
     /// sensors jittered around the room centre.  This is the deployment family used by
     /// the MINT-style sweeps (E4/E5) because it mirrors the clustered conference set-up.
@@ -462,6 +487,20 @@ mod tests {
         for g in 0..6 {
             assert_eq!(d.group_size(g), 4);
         }
+    }
+
+    #[test]
+    fn linear_chain_routes_as_a_chain() {
+        let d = Deployment::linear_chain(6, 10.0, Some(3));
+        assert_eq!(d.num_nodes(), 6);
+        assert_eq!(d.num_groups(), 3);
+        assert_eq!(d.kind(), DeploymentKind::LinearChain);
+        // Each node only hears its immediate neighbours (and node 1 hears the sink).
+        assert_eq!(d.neighbors(1), vec![0, 2]);
+        assert_eq!(d.neighbors(3), vec![2, 4]);
+        let tree = crate::tree::RoutingTree::build(&d);
+        assert_eq!(tree.height(), 6, "the chain degenerates to maximum depth");
+        assert_eq!(tree.path_to_sink(6), vec![6, 5, 4, 3, 2, 1]);
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub enum WorkloadKind {
     RandomWalk,
     /// Independent uniform redraw per node per epoch (no temporal correlation).
     UniformIid,
+    /// One group at a time is "hot"; the hot spot hops to the next group every few
+    /// epochs (adversarial for threshold-based pruning: the ranking churns on a clock).
+    DriftingHotSpot,
     /// Replay of an explicit trace.
     Trace,
 }
@@ -69,6 +72,14 @@ enum Generator {
         node_levels: BTreeMap<NodeId, Value>,
     },
     UniformIid,
+    DriftingHotSpot {
+        /// Epochs the hot spot dwells on one group before hopping to the next.
+        dwell: u64,
+        /// Standard deviation of the per-sensor observation noise.
+        noise_sigma: f64,
+        /// All group ids of the deployment, ascending (the hop order).
+        groups: Vec<GroupId>,
+    },
     Trace {
         /// `values[epoch][node-1]`.
         values: Vec<Vec<Value>>,
@@ -157,6 +168,31 @@ impl Workload {
         Self::base(deployment, WorkloadKind::UniformIid, domain, seed, Generator::UniformIid)
     }
 
+    /// One group at a time runs hot (near the top of the domain) while every other
+    /// group idles near the bottom; the hot spot hops to the next group every `dwell`
+    /// epochs.  Sensors add Gaussian observation noise of deviation `noise_sigma`.
+    ///
+    /// This is the adversarial regime for threshold-based pruning: the Top-K membership
+    /// churns on a clock, so installed thresholds go stale in a single hop.
+    pub fn drifting_hotspot(
+        deployment: &Deployment,
+        domain: ValueDomain,
+        dwell: u64,
+        noise_sigma: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(dwell >= 1, "the hot spot must dwell for at least one epoch");
+        assert!(noise_sigma >= 0.0, "noise deviation must be non-negative");
+        let groups: Vec<GroupId> = deployment.group_members().keys().copied().collect();
+        Self::base(
+            deployment,
+            WorkloadKind::DriftingHotSpot,
+            domain,
+            seed,
+            Generator::DriftingHotSpot { dwell, noise_sigma, groups },
+        )
+    }
+
     /// Replays `values[epoch][node_index]` (node index = id − 1).  The trace is repeated
     /// cyclically if the simulation outlives it.
     pub fn trace(deployment: &Deployment, domain: ValueDomain, values: Vec<Vec<Value>>) -> Self {
@@ -232,6 +268,20 @@ impl Workload {
                     Reading::new(id, group, epoch, rng.gen_range(domain.min..=domain.max))
                 })
                 .collect(),
+            Generator::DriftingHotSpot { dwell, noise_sigma, groups } => {
+                let hot = groups[((epoch / *dwell) as usize) % groups.len().max(1)];
+                let hot_level = domain.min + 0.9 * domain.width();
+                let cold_level = domain.min + 0.1 * domain.width();
+                self.nodes
+                    .iter()
+                    .map(|&(id, group)| {
+                        let mut rng = stream_rng(seed, &[0x5001, u64::from(id), epoch]);
+                        let base = if group == hot { hot_level } else { cold_level };
+                        let v = base + gaussian(&mut rng) * *noise_sigma;
+                        Reading::new(id, group, epoch, domain.clamp(v))
+                    })
+                    .collect()
+            }
             Generator::Trace { values } => {
                 let row = &values[(epoch as usize) % values.len()];
                 self.nodes
@@ -294,8 +344,13 @@ mod tests {
 
     #[test]
     fn room_correlated_nodes_in_same_room_read_similar_values() {
-        let d = Deployment::clustered_rooms(4, 5, 20.0, 11);
-        let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 11);
+        let d = Deployment::clustered_rooms(4, 5, 20.0, crate::rng::topology_seed(11));
+        let mut w = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            RoomModelParams::default(),
+            crate::rng::workload_seed(11),
+        );
         let readings = w.next_epoch();
         let members = d.group_members();
         for (_, ids) in members {
@@ -308,8 +363,13 @@ mod tests {
 
     #[test]
     fn room_correlated_is_temporally_correlated() {
-        let d = Deployment::clustered_rooms(4, 3, 20.0, 5);
-        let mut w = Workload::room_correlated(&d, ValueDomain::percentage(), RoomModelParams::default(), 5);
+        let d = Deployment::clustered_rooms(4, 3, 20.0, crate::rng::topology_seed(5));
+        let mut w = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            RoomModelParams::default(),
+            crate::rng::workload_seed(5),
+        );
         let e0 = w.next_epoch();
         let e1 = w.next_epoch();
         for (a, b) in e0.iter().zip(e1.iter()) {
@@ -356,6 +416,31 @@ mod tests {
         for readings in w.generate(50) {
             for r in readings {
                 assert!(domain.contains(r.value), "value {} escaped the domain", r.value);
+            }
+        }
+    }
+
+    #[test]
+    fn drifting_hotspot_moves_the_hot_group_on_schedule() {
+        let d = Deployment::clustered_rooms(4, 2, 20.0, 3);
+        let domain = ValueDomain::percentage();
+        let mut w = Workload::drifting_hotspot(&d, domain, 3, 1.0, 7);
+        let mean_of = |readings: &[Reading], g: GroupId| {
+            let vals: Vec<f64> =
+                readings.iter().filter(|r| r.group == g).map(|r| r.value).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        // Epochs 0–2: group 0 is hot; epochs 3–5: group 1 is hot.
+        for epoch in 0..6u64 {
+            let readings = w.next_epoch();
+            let hot = (epoch / 3) as GroupId;
+            for g in 0..4 {
+                let mean = mean_of(&readings, g);
+                if g == hot {
+                    assert!(mean > 70.0, "epoch {epoch}: hot group {g} should run high, got {mean}");
+                } else {
+                    assert!(mean < 30.0, "epoch {epoch}: cold group {g} should idle low, got {mean}");
+                }
             }
         }
     }

@@ -1,0 +1,105 @@
+//! Ledger conservation of [`NetworkMetrics`] under random traffic, including the
+//! fault-injection paths (loss, ARQ retransmissions, node death, duty cycling).
+//!
+//! The invariant: whatever mix of sends, floods, unicasts, CPU charges and baseline
+//! epochs a run performs, the run's totals equal (a) the sum of per-node charges,
+//! (b) the sum of the per-phase totals, and (c) the sum of the per-epoch totals —
+//! traffic and energy may be lost *on the air*, but never in the books.  Battery
+//! drain must also agree with the metrics ledger as long as no battery saturates.
+
+use kspot_net::fault::{DutyCycle, FaultPlan};
+use kspot_net::types::SINK;
+use kspot_net::{Deployment, Message, Network, NetworkConfig, PhaseTag, RadioModel};
+use kspot_testkit::invariants::check_ledger;
+use proptest::prelude::*;
+
+const PHASES: &[PhaseTag] = &[
+    PhaseTag::Dissemination,
+    PhaseTag::Creation,
+    PhaseTag::Update,
+    PhaseTag::Control,
+    PhaseTag::Probe,
+    PhaseTag::LowerBound,
+    PhaseTag::HierarchicalJoin,
+    PhaseTag::CleanUp,
+];
+
+// The three-axis conservation checker itself is `kspot_testkit::invariants::check_ledger`
+// (a dev-only dependency cycle: the testkit depends on this crate's library); keeping a
+// single implementation means a new `PhaseTotals` field cannot silently weaken one copy.
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random traffic over a random faulted network conserves every ledger axis, and
+    /// the battery bank agrees with the metrics ledger.
+    #[test]
+    fn ledgers_conserve_under_random_faulted_traffic(
+        rooms in 2usize..5,
+        per_room in 1usize..4,
+        loss_pct in 0u32..60,
+        retransmits in 0u32..4,
+        kill in prop_oneof![Just(false), Just(true)],
+        duty in prop_oneof![Just(false), Just(true)],
+        epochs in 1usize..6,
+        ops in prop::collection::vec((0u64..4, 1u64..1000), 5..60),
+        seed in 0u64..10_000,
+    ) {
+        let d = Deployment::clustered_rooms(rooms, per_room, 20.0, kspot_net::rng::topology_seed(seed));
+        let n = d.num_nodes() as u32;
+        let mut faults = FaultPlan::none()
+            .with_link_loss(f64::from(loss_pct) / 100.0)
+            .with_retransmits(retransmits);
+        if kill {
+            faults = faults.with_node_death(1 + (seed % u64::from(n)) as u32, (epochs / 2) as u64);
+        }
+        if duty {
+            faults = faults.with_duty_cycle(DutyCycle::new(3, 2));
+        }
+        let config = NetworkConfig::mica2()
+            .with_radio(RadioModel::mica2().with_loss(0.05))
+            .with_seed(kspot_net::rng::substrate_seed(seed))
+            .with_faults(faults);
+        let mut net = Network::new(d, config);
+
+        let mut op_rng = kspot_net::rng::stream_rng(seed, &[0x0_FF]);
+        use rand::Rng;
+        for e in 0..epochs as u64 {
+            net.begin_epoch(e);
+            for &(op, payload) in &ops {
+                let phase = PHASES[(payload % PHASES.len() as u64) as usize];
+                let from = 1 + op_rng.gen_range(0..n);
+                let to_raw = op_rng.gen_range(0..=n);
+                let to = if to_raw == from { SINK } else { to_raw };
+                match op {
+                    0 => {
+                        let _ = net.send(
+                            Message::data(from, to, e, (payload % 7) as u32),
+                            phase,
+                        );
+                    }
+                    1 => {
+                        let _ = net.unicast_down(from, e, (payload % 3) as u32 + 1, phase);
+                        let _ = net.unicast_up(from, e, (payload % 3) as u32 + 1, phase);
+                    }
+                    2 => {
+                        net.flood_down(e, (payload % 4) as u32 + 1, phase);
+                    }
+                    _ => net.charge_cpu(from, (payload % 9) as u32),
+                }
+            }
+        }
+
+        let violations = check_ledger(net.metrics());
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+
+        // Battery drain equals the metrics energy ledger (huge batteries never
+        // saturate, and dead/sleeping nodes were never charged).
+        let consumed = net.total_energy_uj();
+        let booked = net.metrics().totals().energy_uj;
+        prop_assert!(
+            (consumed - booked).abs() <= 1e-6 * booked.abs().max(1.0),
+            "batteries drained {consumed} µJ but the ledger booked {booked} µJ"
+        );
+    }
+}

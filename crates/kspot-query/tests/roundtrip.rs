@@ -1,0 +1,161 @@
+//! Pretty-print / re-parse round-trip properties for the query AST.
+//!
+//! `Query: Display` is the canonical spelling of a query (the Query Panel shows it and
+//! the docs quote it), so it must be a fixed point of the parser: pretty-printing any
+//! well-formed AST and parsing the text back yields the identical AST.  The generator
+//! draws ASTs directly — including every clause combination the grammar allows — and
+//! the custom [`Strategy::shrink`] drops clauses one at a time so a failure reports
+//! the smallest query that still breaks.
+
+use kspot_query::ast::{CompareOp, Duration, Predicate, Query, SelectItem, TimeUnit};
+use kspot_query::parser::parse_unvalidated;
+use kspot_query::{parse, AggFunc};
+use proptest::prelude::*;
+use proptest::TestRng;
+use rand::Rng;
+
+/// Identifiers that lex as plain identifiers (no keywords) — usable everywhere.
+const COLUMNS: &[&str] = &["roomid", "nodeid", "sound", "temperature", "light", "humidity"];
+const SOURCES: &[&str] = &["sensors", "motes"];
+const AGGS: &[AggFunc] =
+    &[AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+const OPS: &[CompareOp] =
+    &[CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge];
+const UNITS: &[TimeUnit] =
+    &[TimeUnit::Seconds, TimeUnit::Minutes, TimeUnit::Hours, TimeUnit::Days, TimeUnit::Epochs];
+
+fn pick<'a, T>(rng: &mut TestRng, pool: &'a [T]) -> &'a T {
+    &pool[rng.gen_range(0..pool.len())]
+}
+
+fn gen_duration(rng: &mut TestRng) -> Duration {
+    Duration::new(rng.gen_range(1..120u64), *pick(rng, UNITS))
+}
+
+fn gen_select_item(rng: &mut TestRng) -> SelectItem {
+    if rng.gen_range(0..3u8) == 0 {
+        let column =
+            if rng.gen_range(0..4u8) == 0 { "*".to_string() } else { pick(rng, COLUMNS).to_string() };
+        SelectItem::Aggregate { func: *pick(rng, AGGS), column }
+    } else if rng.gen_range(0..6u8) == 0 {
+        // `epoch` is a keyword the grammar special-cases as a column name.
+        SelectItem::Column("epoch".to_string())
+    } else {
+        SelectItem::Column(pick(rng, COLUMNS).to_string())
+    }
+}
+
+/// Draws a well-formed query AST covering every clause the grammar supports.
+struct QueryStrategy;
+
+impl proptest::strategy::Strategy for QueryStrategy {
+    type Value = Query;
+
+    fn generate(&self, rng: &mut TestRng) -> Query {
+        let select = if rng.gen_range(0..8u8) == 0 {
+            vec![SelectItem::Column("*".to_string())]
+        } else {
+            (0..rng.gen_range(1..4usize)).map(|_| gen_select_item(rng)).collect()
+        };
+        let predicates = (0..rng.gen_range(0..3usize))
+            .map(|_| Predicate {
+                column: pick(rng, COLUMNS).to_string(),
+                op: *pick(rng, OPS),
+                // Quarter steps print as exact decimals ("10", "10.25", "-3.5"), so the
+                // lexer reads back the identical f64.
+                value: f64::from(rng.gen_range(0..2000u32)) / 4.0 - 100.0,
+            })
+            .collect();
+        Query {
+            select,
+            top_k: if rng.gen_range(0..3u8) > 0 { Some(rng.gen_range(1..20u32)) } else { None },
+            source: pick(rng, SOURCES).to_string(),
+            predicates,
+            group_by: match rng.gen_range(0..4u8) {
+                0 => None,
+                1 => Some("epoch".to_string()),
+                _ => Some(pick(rng, COLUMNS).to_string()),
+            },
+            epoch_duration: if rng.gen_range(0..2u8) == 0 { Some(gen_duration(rng)) } else { None },
+            history: if rng.gen_range(0..3u8) == 0 { Some(gen_duration(rng)) } else { None },
+            lifetime: if rng.gen_range(0..3u8) == 0 { Some(gen_duration(rng)) } else { None },
+        }
+    }
+
+    /// Drops one clause at a time (and shortens lists), so the reported counterexample
+    /// is the smallest query whose round trip still breaks.
+    fn shrink(&self, q: &Query) -> Vec<Query> {
+        let mut out = Vec::new();
+        let mut drop_clause = |f: &dyn Fn(&mut Query)| {
+            let mut smaller = q.clone();
+            f(&mut smaller);
+            out.push(smaller);
+        };
+        if !q.predicates.is_empty() {
+            drop_clause(&|c| {
+                c.predicates.pop();
+            });
+        }
+        if q.lifetime.is_some() {
+            drop_clause(&|c| c.lifetime = None);
+        }
+        if q.history.is_some() {
+            drop_clause(&|c| c.history = None);
+        }
+        if q.epoch_duration.is_some() {
+            drop_clause(&|c| c.epoch_duration = None);
+        }
+        if q.group_by.is_some() {
+            drop_clause(&|c| c.group_by = None);
+        }
+        if q.top_k.is_some() {
+            drop_clause(&|c| c.top_k = None);
+        }
+        if q.select.len() > 1 {
+            drop_clause(&|c| {
+                c.select.pop();
+            });
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Pretty-printing any generated AST and re-parsing it yields the identical AST.
+    #[test]
+    fn display_then_parse_is_the_identity(q in QueryStrategy) {
+        let text = q.to_string();
+        let reparsed = parse_unvalidated(&text)
+            .unwrap_or_else(|e| panic!("canonical spelling failed to parse: {text:?}: {e}"));
+        prop_assert_eq!(reparsed, q, "round trip changed the AST for {:?}", text);
+    }
+
+    /// The canonical spelling is a fixed point: printing the re-parsed query prints
+    /// the same text again.
+    #[test]
+    fn display_is_a_fixed_point(q in QueryStrategy) {
+        let once = q.to_string();
+        let twice = parse_unvalidated(&once).expect("parses").to_string();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+/// The validated entry point agrees with the round trip on the paper's own queries.
+#[test]
+fn paper_queries_round_trip_through_the_validated_parser() {
+    let corpus = [
+        "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
+        "SELECT TOP 5 epoch, AVG(temperature) FROM sensors GROUP BY epoch EPOCH DURATION 1 h WITH HISTORY 3 days",
+        "SELECT TOP 3 nodeid, sound FROM sensors EPOCH DURATION 10 s",
+        "SELECT roomid, COUNT(*) FROM sensors GROUP BY roomid",
+        "SELECT * FROM sensors",
+        "SELECT TOP 2 roomid, MAX(sound) FROM sensors WHERE sound > 10 AND sound <= 95 GROUP BY roomid LIFETIME 2 h",
+    ];
+    for sql in corpus {
+        let q = parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let reparsed = parse(&q.to_string()).unwrap_or_else(|e| panic!("{}: {e}", q));
+        assert_eq!(reparsed, q, "round trip changed {sql:?}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Invariant checkers applied to every cell of the scenario matrix.
+//!
+//! Each checker returns a list of human-readable violations (empty = pass) so that one
+//! matrix run can report every broken cell at once instead of stopping at the first.
+
+use kspot_algos::{SnapshotSpec, TopKResult};
+use kspot_net::{NetworkMetrics, PhaseTotals};
+use std::collections::BTreeSet;
+
+fn feq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-6 * scale
+}
+
+/// Ledger conservation: the run's totals must equal the sum of the per-node charges,
+/// the sum of the per-phase totals and the sum of the per-epoch totals — no traffic or
+/// energy may appear or vanish, including on the loss/death/retransmission paths.
+pub fn check_ledger(metrics: &NetworkMetrics) -> Vec<String> {
+    let mut violations = Vec::new();
+    let totals = metrics.totals();
+
+    // Per-node sums (the sink transmits control traffic but its energy is not part of
+    // the network totals).
+    let mut tx_messages = metrics.sink().tx_messages;
+    let mut tx_bytes = metrics.sink().tx_bytes;
+    let mut tuples = metrics.sink().tuples_sent;
+    let mut dropped = metrics.sink().dropped_messages;
+    let mut energy = 0.0;
+    for id in 1..=metrics.num_nodes() as u32 {
+        let c = metrics.node(id);
+        tx_messages += c.tx_messages;
+        tx_bytes += c.tx_bytes;
+        tuples += c.tuples_sent;
+        dropped += c.dropped_messages;
+        energy += c.energy_uj;
+    }
+    if tx_messages != totals.messages {
+        violations.push(format!(
+            "node-ledger messages {tx_messages} != totals {}",
+            totals.messages
+        ));
+    }
+    if tx_bytes != totals.bytes {
+        violations.push(format!("node-ledger bytes {tx_bytes} != totals {}", totals.bytes));
+    }
+    if tuples != totals.tuples {
+        violations.push(format!("node-ledger tuples {tuples} != totals {}", totals.tuples));
+    }
+    if dropped != totals.dropped_messages {
+        violations.push(format!(
+            "node-ledger drops {dropped} != totals {}",
+            totals.dropped_messages
+        ));
+    }
+    if !feq(energy, totals.energy_uj) {
+        violations.push(format!(
+            "node-ledger energy {energy} µJ != totals {} µJ",
+            totals.energy_uj
+        ));
+    }
+
+    // `check_energy`: node-local energy (sensing, CPU, idle listening) is booked per
+    // epoch and in the totals but has no phase, so the per-phase axis only bounds the
+    // energy from below while the per-epoch axis must match it exactly.
+    let sum_axis =
+        |name: &str, parts: Vec<PhaseTotals>, check_energy: bool, violations: &mut Vec<String>| {
+            let mut sum = PhaseTotals::default();
+            for p in parts {
+                sum.messages += p.messages;
+                sum.bytes += p.bytes;
+                sum.tuples += p.tuples;
+                sum.retransmissions += p.retransmissions;
+                sum.dropped_messages += p.dropped_messages;
+                sum.energy_uj += p.energy_uj;
+            }
+            let energy_ok = if check_energy {
+                feq(sum.energy_uj, totals.energy_uj)
+            } else {
+                sum.energy_uj <= totals.energy_uj * (1.0 + 1e-9) + 1e-6
+            };
+            if sum.messages != totals.messages
+                || sum.bytes != totals.bytes
+                || sum.tuples != totals.tuples
+                || sum.retransmissions != totals.retransmissions
+                || sum.dropped_messages != totals.dropped_messages
+                || !energy_ok
+            {
+                violations.push(format!("{name} ledger {sum:?} != totals {totals:?}"));
+            }
+        };
+    sum_axis("per-phase", metrics.phases().map(|(_, t)| t).collect(), false, &mut violations);
+    sum_axis("per-epoch", metrics.epochs().map(|(_, t)| t).collect(), true, &mut violations);
+
+    violations
+}
+
+/// Structural sanity of a ranked answer: at most K items, distinct keys drawn from the
+/// legal key space, values finite, inside the domain and sorted best-first.  This is
+/// the unconditional floor every answer must meet, including degraded (lossy) ones.
+pub fn check_well_formed(
+    result: &TopKResult,
+    spec: &SnapshotSpec,
+    legal_keys: &BTreeSet<u64>,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if result.items.len() > spec.k {
+        violations.push(format!("answer has {} items, K = {}", result.items.len(), spec.k));
+    }
+    let mut seen = BTreeSet::new();
+    for pair in result.items.windows(2) {
+        if pair[0].value < pair[1].value {
+            violations.push(format!("answer not sorted best-first: {result}"));
+            break;
+        }
+    }
+    for item in &result.items {
+        if !seen.insert(item.key) {
+            violations.push(format!("duplicate key {} in {result}", item.key));
+        }
+        if !legal_keys.contains(&item.key) {
+            violations.push(format!("key {} is outside the legal key space", item.key));
+        }
+        if !item.value.is_finite()
+            || item.value < spec.domain.min - 1e-9
+            || item.value > spec.domain.max + 1e-9
+        {
+            violations.push(format!("value {} escapes the domain in {result}", item.value));
+        }
+    }
+    violations
+}
+
+/// Rank-for-rank agreement with the oracle, with values matching to tolerance.
+pub fn check_matches_oracle(
+    who: &str,
+    result: &TopKResult,
+    oracle: &TopKResult,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !result.same_ranking(oracle) {
+        violations.push(format!("{who}: ranking {result} != oracle {oracle}"));
+    } else if !result.approx_eq(oracle, 1e-6) {
+        violations.push(format!("{who}: values {result} drift from oracle {oracle}"));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspot_algos::RankedItem;
+    use kspot_net::types::ValueDomain;
+    use kspot_net::{PhaseTag, SINK};
+    use kspot_query::AggFunc;
+
+    #[test]
+    fn ledger_checker_accepts_a_consistent_run() {
+        let mut m = NetworkMetrics::new(3);
+        m.record_transmission(2, 1, 0, PhaseTag::Update, 19, 1, 380.0, 285.0);
+        m.record_transmission(1, SINK, 1, PhaseTag::Update, 31, 2, 620.0, 465.0);
+        m.record_broadcast(SINK, &[1, 2, 3], 1, PhaseTag::Control, 13, 0, 260.0, 195.0);
+        m.note_retransmission(1, PhaseTag::Update);
+        m.note_drop(1, 1, PhaseTag::Update);
+        m.record_local_energy(3, 0, 140.0);
+        m.record_unheard_transmission(3, 2, PhaseTag::Probe, 9, 0, 180.0);
+        let clean = check_ledger(&m);
+        assert!(clean.is_empty(), "public API keeps ledgers consistent: {clean:?}");
+    }
+
+    #[test]
+    fn empty_ledger_is_trivially_balanced() {
+        assert!(check_ledger(&NetworkMetrics::new(4)).is_empty());
+    }
+
+    #[test]
+    fn well_formedness_catches_bad_answers() {
+        let spec = SnapshotSpec::new(2, AggFunc::Avg, ValueDomain::percentage());
+        let legal: BTreeSet<u64> = [0u64, 1, 2, 3].into_iter().collect();
+
+        let good = TopKResult::new(0, vec![RankedItem::new(2, 75.0), RankedItem::new(0, 74.5)]);
+        assert!(check_well_formed(&good, &spec, &legal).is_empty());
+
+        let too_many = TopKResult::new(
+            0,
+            vec![RankedItem::new(2, 75.0), RankedItem::new(0, 74.5), RankedItem::new(1, 41.0)],
+        );
+        assert!(!check_well_formed(&too_many, &spec, &legal).is_empty());
+
+        let alien_key = TopKResult::new(0, vec![RankedItem::new(9, 75.0)]);
+        assert!(!check_well_formed(&alien_key, &spec, &legal).is_empty());
+
+        let out_of_domain = TopKResult::new(0, vec![RankedItem::new(2, 175.0)]);
+        assert!(!check_well_formed(&out_of_domain, &spec, &legal).is_empty());
+    }
+
+    #[test]
+    fn oracle_matcher_flags_rank_and_value_drift() {
+        let oracle = TopKResult::new(0, vec![RankedItem::new(2, 75.0), RankedItem::new(0, 74.5)]);
+        let same = TopKResult::new(0, vec![RankedItem::new(2, 75.0), RankedItem::new(0, 74.5)]);
+        assert!(check_matches_oracle("x", &same, &oracle).is_empty());
+        let flipped = TopKResult::new(0, vec![RankedItem::new(0, 76.0), RankedItem::new(2, 75.0)]);
+        assert!(!check_matches_oracle("x", &flipped, &oracle).is_empty());
+        let drifted = TopKResult::new(0, vec![RankedItem::new(2, 75.1), RankedItem::new(0, 74.5)]);
+        assert!(!check_matches_oracle("x", &drifted, &oracle).is_empty());
+    }
+}

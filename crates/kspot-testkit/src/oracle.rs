@@ -1,0 +1,74 @@
+//! Exact reference answers, scoped to the nodes a fault plan lets participate.
+//!
+//! Participation is a pure function of `(FaultPlan, node, epoch)` — scheduled deaths
+//! and duty cycles are deterministic, and the testkit gives nodes effectively infinite
+//! batteries — so the oracle can predict exactly which readings a fault-free algorithm
+//! run *could* have seen without simulating anything.
+
+use kspot_algos::snapshot::exact_reference;
+use kspot_algos::{SnapshotSpec, TopKResult};
+use kspot_net::types::cmp_value;
+use kspot_net::{Deployment, Epoch, FaultPlan, NodeId, Reading};
+
+/// The sensor nodes able to take part in `epoch` under `plan`, ascending.
+pub fn participating_nodes(plan: &FaultPlan, deployment: &Deployment, epoch: Epoch) -> Vec<NodeId> {
+    deployment.node_ids().into_iter().filter(|&id| plan.participates(id, epoch)).collect()
+}
+
+/// The epoch's readings restricted to participating nodes.
+pub fn participating_readings(plan: &FaultPlan, readings: &[Reading]) -> Vec<Reading> {
+    readings.iter().filter(|r| plan.participates(r.node, r.epoch)).copied().collect()
+}
+
+/// Ground-truth snapshot ranking over the readings of participating nodes — what an
+/// exact algorithm must report in an epoch with no post-retry drops.
+pub fn snapshot_oracle(spec: &SnapshotSpec, plan: &FaultPlan, readings: &[Reading]) -> TopKResult {
+    exact_reference(spec, &participating_readings(plan, readings))
+}
+
+/// Ground-truth Top-K *node* membership (FILA's query): the keys of the `k` highest
+/// participating readings, sorted ascending for set comparison.
+pub fn node_membership_oracle(plan: &FaultPlan, readings: &[Reading], k: usize) -> Vec<u64> {
+    let mut ranked: Vec<(u64, f64)> = participating_readings(plan, readings)
+        .iter()
+        .map(|r| (u64::from(r.node), r.value))
+        .collect();
+    ranked.sort_by(|a, b| cmp_value(b.1, a.1).then(a.0.cmp(&b.0)));
+    let mut keys: Vec<u64> = ranked.into_iter().take(k).map(|(n, _)| n).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspot_net::types::ValueDomain;
+    use kspot_net::Workload;
+    use kspot_query::AggFunc;
+
+    #[test]
+    fn oracle_excludes_dead_nodes() {
+        let d = Deployment::figure1();
+        let readings = Workload::figure1(&d).next_epoch();
+        let spec = SnapshotSpec::new(4, AggFunc::Avg, ValueDomain::percentage());
+
+        let healthy = snapshot_oracle(&spec, &FaultPlan::none(), &readings);
+        assert_eq!(healthy.keys(), vec![2, 0, 3, 1], "C > A > D > B");
+
+        // Killing s9 (the 39-value sensor of room D) lifts room D's average to 76.5 —
+        // exactly the biased value the naive strategy reports in Figure 1.
+        let plan = FaultPlan::none().with_node_death(9, 0);
+        let degraded = snapshot_oracle(&spec, &plan, &readings);
+        assert_eq!(degraded.keys(), vec![3, 2, 0, 1], "room D now leads");
+        assert!((degraded.items[0].value - 76.5).abs() < 1e-9);
+        assert_eq!(participating_nodes(&plan, &d, 0).len(), 8);
+    }
+
+    #[test]
+    fn node_membership_oracle_ranks_raw_readings() {
+        let d = Deployment::figure1();
+        let readings = Workload::figure1(&d).next_epoch();
+        let top3 = node_membership_oracle(&FaultPlan::none(), &readings, 3);
+        assert_eq!(top3, vec![3, 5, 7], "s7 = 78, then the 75s with smallest ids");
+    }
+}

@@ -1,0 +1,52 @@
+//! The scenario matrix: every cell is run through every algorithm and checked against
+//! the participation-scoped oracle and the ledger/cost invariants.
+//!
+//! Failures report *all* broken cells at once, with the cell label carrying the exact
+//! topology/workload/fault/seed combination needed to reproduce it in isolation.
+
+use kspot_testkit::{matrix, run_historic_cell, run_snapshot_cell, CellOutcome};
+
+fn report(outcomes: Vec<CellOutcome>) {
+    let failed: Vec<&CellOutcome> = outcomes.iter().filter(|o| !o.passed()).collect();
+    if !failed.is_empty() {
+        let mut msg = format!("{} of {} cells violated invariants:\n", failed.len(), outcomes.len());
+        for outcome in failed {
+            msg.push_str(&format!("\n[{}]\n", outcome.label));
+            for v in &outcome.violations {
+                msg.push_str(&format!("  - {v}\n"));
+            }
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn the_matrix_is_large_enough_to_mean_something() {
+    let cells = matrix();
+    // The acceptance bar: >= 3 topologies x >= 2 workloads x >= 2 fault profiles x a
+    // K/N sweep, >= 48 cells in total (the smoke feature intentionally runs fewer).
+    if cfg!(feature = "smoke") {
+        assert!(cells.len() >= 12, "smoke matrix shrank below a useful size");
+    } else {
+        assert!(cells.len() >= 48, "full matrix must enumerate at least 48 cells, got {}", cells.len());
+        let topologies: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.topology.label()).collect();
+        let workloads: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.workload.label()).collect();
+        let faults: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.fault.label()).collect();
+        assert!(topologies.len() >= 3, "need >= 3 topology families, got {topologies:?}");
+        assert!(workloads.len() >= 2, "need >= 2 workload families, got {workloads:?}");
+        assert!(faults.len() >= 2, "need >= 2 fault profiles, got {faults:?}");
+    }
+}
+
+#[test]
+fn snapshot_algorithms_survive_the_whole_matrix() {
+    report(matrix().iter().map(run_snapshot_cell).collect());
+}
+
+#[test]
+fn historic_algorithms_survive_the_whole_matrix() {
+    report(matrix().iter().map(run_historic_cell).collect());
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the core correctness invariants of the reproduction,
+//! driven by randomly drawn testkit scenario cells.
+//!
+//! The single most important property of the KSpot algorithms is *exactness*: whatever
+//! the deployment, the workload, K or the fault profile, MINT and TJA must return the
+//! same ranking TAG / a centralized collection would over the data that could be
+//! delivered.  Instead of hand-rolling deployments and workloads with pinned seeds
+//! (the old `kspot-algos/tests/properties.rs`), the properties draw whole
+//! [`ScenarioCell`]s and reuse the matrix runner's invariant checkers, so every random
+//! case exercises exactly the semantics the scenario matrix documents.
+
+use kspot_algos::snapshot::{exact_reference, run_continuous};
+use kspot_algos::{AggState, MintViews, NaiveLocalPrune, SnapshotSpec};
+use kspot_net::types::ValueDomain;
+use kspot_query::AggFunc;
+use kspot_testkit::scenario::{FaultProfile, ScenarioCell, TopologyKind, WorkloadProfile};
+use kspot_testkit::{run_historic_cell, run_snapshot_cell};
+use proptest::prelude::*;
+
+fn agg_strategy() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Avg),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Count),
+    ]
+}
+
+/// Uniform draw from a slice — built from the `*::ALL` consts so the property tests
+/// can never silently fall behind when the scenario matrix grows a variant.
+fn choice<T: Copy + 'static>(pool: &'static [T]) -> proptest::strategy::Union<T> {
+    proptest::strategy::Union(
+        pool.iter()
+            .map(|&v| Box::new(Just(v)) as Box<dyn proptest::strategy::Strategy<Value = T>>)
+            .collect(),
+    )
+}
+
+fn topology_strategy() -> impl Strategy<Value = TopologyKind> {
+    choice(&TopologyKind::ALL)
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadProfile> {
+    choice(&WorkloadProfile::ALL)
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultProfile> {
+    choice(&FaultProfile::ALL)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Partial-aggregate bounds always enclose the final exact value, no matter how the
+    /// contributions are split between "seen" and "missing".
+    #[test]
+    fn aggregate_bounds_enclose_the_exact_value(
+        values in prop::collection::vec(0.0f64..100.0, 1..12),
+        split in 0usize..12,
+        func in agg_strategy(),
+    ) {
+        let split = split.min(values.len());
+        let (seen, missing) = values.split_at(split);
+        let mut state = AggState::empty(func);
+        for &v in seen {
+            state.add(v);
+        }
+        let exact = {
+            let mut all = AggState::empty(func);
+            for &v in &values {
+                all.add(v);
+            }
+            all.partial_value(func).unwrap()
+        };
+        let domain = ValueDomain::percentage();
+        let ub = state.upper_bound(func, missing.len() as u32, domain.max);
+        let lb = state.lower_bound(func, missing.len() as u32, domain.min);
+        prop_assert!(lb <= exact + 1e-9, "{func}: lower bound {lb} above exact {exact}");
+        prop_assert!(ub >= exact - 1e-9, "{func}: upper bound {ub} below exact {exact}");
+    }
+
+    /// Every randomly drawn snapshot cell — any topology, workload, fault profile, K
+    /// and seed — passes the full invariant suite: exact algorithms match the
+    /// participation-scoped oracle on clean epochs, ledgers conserve, runs replay
+    /// deterministically and the cost orderings hold where predicted.
+    #[test]
+    fn random_snapshot_cells_uphold_all_invariants(
+        topology in topology_strategy(),
+        workload in workload_strategy(),
+        fault in fault_strategy(),
+        groups in 2usize..7,
+        per_group in 1usize..4,
+        k in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let cell = ScenarioCell {
+            topology,
+            workload,
+            fault,
+            nodes: groups * per_group,
+            groups,
+            k: k.min(groups),
+            epochs: 10,
+            window: 12,
+            master_seed: seed,
+        };
+        let outcome = run_snapshot_cell(&cell);
+        prop_assert!(outcome.passed(), "[{}] {:#?}", outcome.label, outcome.violations);
+    }
+
+    /// The same, for the historic algorithm pool (TJA, TPUT, centralized windows,
+    /// local-aggregate).
+    #[test]
+    fn random_historic_cells_uphold_all_invariants(
+        topology in topology_strategy(),
+        workload in workload_strategy(),
+        fault in fault_strategy(),
+        groups in 2usize..6,
+        per_group in 1usize..4,
+        k in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let cell = ScenarioCell {
+            topology,
+            workload,
+            fault,
+            nodes: groups * per_group,
+            groups,
+            k,
+            epochs: 8,
+            window: 16,
+            master_seed: seed,
+        };
+        let outcome = run_historic_cell(&cell);
+        prop_assert!(outcome.passed(), "[{}] {:#?}", outcome.label, outcome.violations);
+    }
+
+    /// The naive strategy is never *more* accurate than MINT: whenever naive gets the
+    /// ranking right, MINT does too (MINT is always right on healthy networks).
+    #[test]
+    fn naive_is_never_better_than_mint(
+        groups in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let cell = ScenarioCell {
+            topology: TopologyKind::ClusteredRooms,
+            workload: WorkloadProfile::RoomCorrelated,
+            fault: FaultProfile::Lossless,
+            nodes: groups * 3,
+            groups,
+            k: 1,
+            epochs: 8,
+            window: 8,
+            master_seed: seed,
+        };
+        let d = cell.deployment();
+        let spec = SnapshotSpec::new(1, AggFunc::Avg, ValueDomain::percentage());
+
+        let mut naive_net = cell.network(&d);
+        let naive_results = run_continuous(
+            &mut NaiveLocalPrune::new(spec),
+            &mut naive_net,
+            &mut cell.workload(&d),
+            cell.epochs,
+        );
+        let mut mint_net = cell.network(&d);
+        let mint_results = run_continuous(
+            &mut MintViews::new(spec),
+            &mut mint_net,
+            &mut cell.workload(&d),
+            cell.epochs,
+        );
+
+        let mut reference_workload = cell.workload(&d);
+        for (naive, mint) in naive_results.iter().zip(mint_results.iter()) {
+            let reference = exact_reference(&spec, &reference_workload.next_epoch());
+            prop_assert!(mint.same_ranking(&reference));
+            let _ = naive; // naive may or may not match; no assertion either way
+        }
+    }
+}

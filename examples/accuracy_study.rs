@@ -9,6 +9,7 @@
 
 use kspot::algos::snapshot::{exact_reference, run_continuous, AccuracyReport};
 use kspot::algos::{MintViews, NaiveLocalPrune, SnapshotSpec, TagTopK};
+use kspot::net::rng::{topology_seed, workload_seed};
 use kspot::net::types::ValueDomain;
 use kspot::net::{Deployment, Network, NetworkConfig, RoomModelParams, Workload};
 use kspot::query::AggFunc;
@@ -25,10 +26,13 @@ fn main() {
     for seed in 0..scenarios {
         let rooms = 3 + (seed % 6) as usize;
         let k = 1 + (seed % 3) as usize;
-        let d = Deployment::clustered_rooms(rooms, 3, 20.0, seed);
+        // `seed` is the scenario's master seed; the topology and the workload draw
+        // from distinct derived streams (the kspot-net seeding convention).
+        let d = Deployment::clustered_rooms(rooms, 3, 20.0, topology_seed(seed));
         let spec = SnapshotSpec::new(k.min(rooms), AggFunc::Avg, ValueDomain::percentage());
         let params = RoomModelParams { drift_sigma: 2.0, sensor_noise_sigma: 1.0 };
-        let workload = || Workload::room_correlated(&d, ValueDomain::percentage(), params, seed);
+        let workload =
+            || Workload::room_correlated(&d, ValueDomain::percentage(), params, workload_seed(seed));
 
         let reference: Vec<_> = {
             let mut w = workload();

@@ -1,15 +1,25 @@
 //! Hermetic stand-in for the slice of `proptest` the workspace uses.
 //!
 //! The workspace builds offline, so the real `proptest` cannot be fetched.  This shim
-//! keeps the property tests in `crates/kspot-algos/tests/properties.rs` runnable with
-//! the same source: the [`proptest!`] macro expands each property into a `#[test]`
-//! that draws `cases` random inputs from the given [`strategy::Strategy`]s using a seed derived
-//! from the property's name, so failures are reproducible run to run.
+//! keeps the property tests runnable with the same source: the [`proptest!`] macro
+//! expands each property into a `#[test]` that draws `cases` random inputs from the
+//! given [`strategy::Strategy`]s using a seed derived from the property's name, so
+//! failures are reproducible run to run.
 //!
-//! What is intentionally missing relative to the real crate: input shrinking,
-//! persisted failure files, and the full strategy combinator library.  The supported
-//! surface is ranges (`0usize..12`, `0.0f64..100.0`, …), [`strategy::Just`],
-//! [`prop_oneof!`], `prop::collection::vec`, [`prop_assert!`]/[`prop_assert_eq!`] and
+//! ## Shrinking
+//!
+//! When a case fails, the runner greedily shrinks each argument through its strategy's
+//! [`strategy::Strategy::shrink`] candidates (bounded by
+//! [`ProptestConfig::max_shrink_iters`] probes), prints the minimal failing inputs with
+//! their `Debug` representation, and re-runs the body on them so the original
+//! assertion message surfaces.  Shrinking is deliberately simple — numeric values move
+//! toward the low end of their range, vectors lose elements — which is enough to turn
+//! "failed on some 11-element input" into a readable two-line reproduction.
+//!
+//! What is intentionally missing relative to the real crate: persisted failure files
+//! and the full strategy/combinator library.  The supported surface is ranges
+//! (`0usize..12`, `0.0f64..100.0`, …), [`strategy::Just`], [`prop_oneof!`],
+//! `prop::collection::vec`, [`prop_assert!`]/[`prop_assert_eq!`] and
 //! `ProptestConfig { cases, .. }`.  Swapping the shim for the crates.io release in
 //! `[workspace.dependencies]` requires no source change.
 
@@ -19,18 +29,18 @@
 pub use rand::rngs::StdRng as TestRng;
 use rand::SeedableRng;
 
-/// Runner configuration; only `cases` is consulted.
+/// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases each property is exercised with.
     pub cases: u32,
-    /// Accepted for parity with the real crate; the shim never shrinks, so unused.
+    /// Upper bound on the number of shrink probes attempted after a failure.
     pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        ProptestConfig { cases: 64, max_shrink_iters: 256 }
     }
 }
 
@@ -45,6 +55,51 @@ pub fn test_rng(property_name: &str) -> TestRng {
     TestRng::seed_from_u64(hash)
 }
 
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Serialises shrink phases across test threads: the panic hook is process-global, so
+/// two properties shrinking concurrently would interleave their take/restore pairs and
+/// could leave the no-op hook installed forever.
+static SHRINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Guard returned by [`silence_panics`]: restores the previous panic hook on drop and
+/// holds the global shrink lock for its lifetime.
+#[doc(hidden)]
+pub struct QuietPanicGuard {
+    previous: Option<PanicHook>,
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for QuietPanicGuard {
+    fn drop(&mut self) {
+        if let Some(hook) = self.previous.take() {
+            std::panic::set_hook(hook);
+        }
+    }
+}
+
+/// Temporarily installs a no-op panic hook so that shrink probes (each of which
+/// panics by design) do not spam the test output; the previous hook is restored when
+/// the guard drops.  Only one property can shrink at a time (the hook is global); a
+/// concurrently *failing* test on another thread still fails — at worst its panic
+/// message is suppressed for the duration of this (already-failing) shrink phase.
+#[doc(hidden)]
+pub fn silence_panics() -> QuietPanicGuard {
+    let lock = SHRINK_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    QuietPanicGuard { previous: Some(previous), _lock: lock }
+}
+
+/// Pins a property closure's tuple-parameter type to the type of `witness` (the first
+/// drawn arguments), so the [`proptest!`] expansion can define the closure without
+/// spelling out the strategies' value types.
+#[doc(hidden)]
+pub fn typed_property<T, F: Fn(T)>(witness: &T, property: F) -> F {
+    let _ = witness;
+    property
+}
+
 pub mod strategy {
     //! The [`Strategy`] trait and the combinators the workspace uses.
 
@@ -54,14 +109,22 @@ pub mod strategy {
 
     /// A recipe for generating random values of an output type.
     ///
-    /// Unlike real proptest there is no value tree and no shrinking: a strategy is
-    /// simply a function from an RNG to a value.
+    /// Unlike real proptest there is no value tree: a strategy is a function from an
+    /// RNG to a value, plus an optional [`Strategy::shrink`] step proposing simpler
+    /// variants of a failing value.
     pub trait Strategy {
         /// The type of value this strategy generates.
         type Value;
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes simpler candidates for a failing `value` (tried in order by the
+        /// runner; empty = the value cannot be shrunk further).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -69,12 +132,18 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for Box<S> {
         type Value = S::Value;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
         }
     }
 
@@ -89,18 +158,83 @@ pub mod strategy {
         }
     }
 
-    macro_rules! range_strategy {
+    macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    let lo = self.start;
+                    if *value > lo {
+                        out.push(lo);
+                        let mid = lo + (*value - lo) / 2;
+                        if mid != lo && mid != *value {
+                            out.push(mid);
+                        }
+                        if *value - 1 != lo {
+                            out.push(*value - 1);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
 
-    range_strategy!(usize, u64, u32, u16, u8, f64);
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let mut out = Vec::new();
+            let lo = self.start;
+            if *value > lo {
+                out.push(lo);
+                let mid = lo + (*value - lo) / 2.0;
+                if mid != lo && mid != *value {
+                    out.push(mid);
+                }
+            }
+            out
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$v:ident/$idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for $v in self.$idx.shrink(&value.$idx) {
+                            let mut simpler = value.clone();
+                            simpler.$idx = $v;
+                            out.push(simpler);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/a/0, B/b/1);
+        (A/a/0, B/b/1, C/c/2);
+        (A/a/0, B/b/1, C/c/2, D/d/3);
+    }
 
     /// A uniform choice among boxed strategies; built by [`prop_oneof!`](crate::prop_oneof).
     pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
@@ -135,11 +269,35 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.size.start;
+            // Shorter first: half the length, then one element less.
+            if value.len() > min_len {
+                let half = (value.len() / 2).max(min_len);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then simplify the last element in place.
+            if let Some(last) = value.last() {
+                for candidate in self.element.shrink(last) {
+                    let mut simpler = value.clone();
+                    *simpler.last_mut().expect("non-empty") = candidate;
+                    out.push(simpler);
+                }
+            }
+            out
         }
     }
 }
@@ -178,7 +336,8 @@ macro_rules! prop_oneof {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, …) { body }` becomes a
-/// `#[test]` that runs `body` against `cases` random draws of its arguments.
+/// `#[test]` that runs `body` against `cases` random draws of its arguments, shrinking
+/// failing inputs before reporting them.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -203,18 +362,84 @@ macro_rules! __proptest_fns {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-            for _case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
-                $body
+            for case in 0..config.cases {
+                $(let mut $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                // The body as a reusable closure over a tuple of the arguments, so the
+                // shrink loop can re-run it on candidate inputs; `typed_property` pins
+                // the closure's parameter types to the drawn arguments.
+                let property = $crate::typed_property(
+                    &($(::std::clone::Clone::clone(&$arg),)*),
+                    |($($arg,)*)| { $body },
+                );
+                let failed = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || property(($(::std::clone::Clone::clone(&$arg),)*)),
+                ))
+                .is_err();
+                if failed {
+                    let mut probes_left: u32 = config.max_shrink_iters;
+                    {
+                        let _quiet = $crate::silence_panics();
+                        loop {
+                            let mut improved = false;
+                            $crate::__shrink_args!(
+                                property, probes_left, improved,
+                                [$($arg),*] $(($arg, $strategy))*
+                            );
+                            if !improved || probes_left == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    ::std::eprintln!(
+                        "proptest: {} failed on case {case}; minimal failing input:",
+                        stringify!($name),
+                    );
+                    $(::std::eprintln!("    {} = {:?}", stringify!($arg), $arg);)*
+                    // Re-run unshielded so the original assertion message surfaces.
+                    property(($($arg,)*));
+                    ::std::unreachable!("the shrunk input no longer fails; shrinking is unsound");
+                }
             }
         }
         $crate::__proptest_fns!(($config) $($rest)*);
     };
 }
 
+/// Implementation detail of [`proptest!`]: greedily shrinks one argument at a time
+/// while keeping every other argument fixed.  `$all` is the full argument list (used
+/// to invoke the property), the `($focus, $strategy)` pairs are consumed one per
+/// recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_args {
+    ($property:ident, $probes:ident, $improved:ident, [$($all:ident),*]) => {};
+    ($property:ident, $probes:ident, $improved:ident, [$($all:ident),*]
+        ($focus:ident, $strategy:expr) $($rest:tt)*
+    ) => {
+        for candidate in $crate::strategy::Strategy::shrink(&($strategy), &$focus) {
+            if $probes == 0 {
+                break;
+            }
+            $probes -= 1;
+            let previous = ::std::mem::replace(&mut $focus, candidate);
+            let still_fails = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                || $property(($(::std::clone::Clone::clone(&$all),)*)),
+            ))
+            .is_err();
+            if still_fails {
+                $improved = true;
+                break;
+            }
+            $focus = previous;
+        }
+        $crate::__shrink_args!($property, $probes, $improved, [$($all),*] $($rest)*);
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::strategy::Strategy;
 
     proptest! {
         #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
@@ -234,11 +459,78 @@ mod tests {
 
     #[test]
     fn same_property_name_same_stream() {
-        use crate::strategy::Strategy;
         let mut a = crate::test_rng("p");
         let mut b = crate::test_rng("p");
         for _ in 0..32 {
             assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
         }
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_their_low_end() {
+        let strategy = 3usize..100;
+        let candidates = strategy.shrink(&80);
+        assert!(candidates.contains(&3), "the range start is always proposed");
+        assert!(candidates.iter().all(|&c| c < 80), "candidates only move down: {candidates:?}");
+        assert!(strategy.shrink(&3).is_empty(), "the start cannot shrink further");
+    }
+
+    #[test]
+    fn float_ranges_shrink_toward_their_low_end() {
+        let strategy = 0.0f64..100.0;
+        let candidates = strategy.shrink(&64.0);
+        assert!(candidates.contains(&0.0));
+        assert!(candidates.contains(&32.0));
+        assert!(strategy.shrink(&0.0).is_empty());
+    }
+
+    #[test]
+    fn vectors_shrink_by_length_then_by_last_element() {
+        let strategy = crate::collection::vec(0usize..100, 1..10);
+        let value = vec![50, 60, 70, 80];
+        let candidates = strategy.shrink(&value);
+        assert!(candidates.contains(&vec![50, 60]), "half-length prefix");
+        assert!(candidates.contains(&vec![50, 60, 70]), "drop the last element");
+        assert!(
+            candidates.contains(&vec![50, 60, 70, 0]),
+            "shrink the last element in place: {candidates:?}"
+        );
+        // The minimum length is respected.
+        let at_min = strategy.shrink(&vec![7]);
+        assert!(at_min.iter().all(|v| v.len() == 1), "cannot go below the size range: {at_min:?}");
+    }
+
+    #[test]
+    fn greedy_shrinking_finds_the_boundary_of_a_failing_predicate() {
+        // Simulate what the runner does for a property that fails iff value >= 10:
+        // starting from 77, greedy shrinking must land exactly on 10.
+        let strategy = 0u64..1000;
+        let fails = |v: &u64| *v >= 10;
+        let mut value = 77u64;
+        loop {
+            let mut improved = false;
+            for candidate in strategy.shrink(&value) {
+                if fails(&candidate) {
+                    value = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        assert_eq!(value, 10, "greedy shrink should find the minimal failing input");
+    }
+
+    #[test]
+    fn silencing_panics_restores_the_previous_hook() {
+        // Install a recognisable hook, silence, then check it is restored.
+        let guard = crate::silence_panics();
+        drop(guard);
+        // If the hook were not restored, this panic inside catch_unwind would print
+        // nothing; we only assert the mechanism round-trips without deadlocking.
+        let caught = std::panic::catch_unwind(|| panic!("probe")).is_err();
+        assert!(caught);
     }
 }

@@ -92,7 +92,7 @@ fn scenario_configuration_round_trip_survives_query_execution() {
 
 #[test]
 fn custom_deployments_work_through_the_full_stack() {
-    let deployment = Deployment::clustered_rooms(8, 3, 15.0, 9);
+    let deployment = Deployment::clustered_rooms(8, 3, 15.0, kspot::net::rng::topology_seed(9));
     let scenario = ScenarioConfig::custom("office floor", "temperature", deployment);
     let server = KSpotServer::new(scenario)
         .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
