@@ -50,7 +50,10 @@ pub use historic::{
 pub use mint::{MintConfig, MintStats, MintViews};
 pub use naive::NaiveLocalPrune;
 pub use result::{RankedItem, TopKResult};
-pub use snapshot::{exact_reference, run_continuous, AccuracyReport, SnapshotAlgorithm, SnapshotSpec};
+pub use snapshot::{
+    exact_reference, run_continuous, run_shared_epoch, AccuracyReport, SnapshotAlgorithm,
+    SnapshotSpec,
+};
 pub use tag::TagTopK;
 pub use tja::{Tja, TjaStats};
 pub use tput::{Tput, TputStats};

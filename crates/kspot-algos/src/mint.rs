@@ -215,14 +215,21 @@ impl MintViews {
             let func = self.spec.func;
             let domain_max = self.spec.domain.max;
             let domain_min = self.spec.domain.min;
+            // A NaN lower bound (corrupted reading) carries no evidence, so it is
+            // demoted to -inf *before* the sort: were it left in place, a descending
+            // `total_cmp` would rank it above every real value and inflate the k-th
+            // bound to the (k-1)-th — an unsafely high threshold that could prune a
+            // true answer.  With NaN-free input `total_cmp` keeps the sort a total
+            // order (an inconsistent comparator could silently misorder real values).
             let mut local_lbs: Vec<f64> = view
                 .iter()
                 .map(|(g, state)| {
                     let total = group_sizes.get(&g).copied().unwrap_or_else(|| state.count());
-                    state.lower_bound(func, total.saturating_sub(state.count()), domain_min)
+                    let lb = state.lower_bound(func, total.saturating_sub(state.count()), domain_min);
+                    if lb.is_nan() { f64::NEG_INFINITY } else { lb }
                 })
                 .collect();
-            local_lbs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            local_lbs.sort_by(|a, b| b.total_cmp(a));
             let local_tau = local_lbs.get(self.spec.k - 1).copied().unwrap_or(f64::NEG_INFINITY);
             let effective_tau = tau.max(local_tau);
             view.retain(|g, state| {

@@ -88,20 +88,49 @@ pub fn exact_reference(spec: &SnapshotSpec, readings: &[Reading]) -> TopKResult 
     result
 }
 
+/// Drives one epoch of several independently specified snapshot queries over **one**
+/// shared substrate sweep: the epoch is begun exactly once (so the fixed per-epoch
+/// sampling/idle-listening cost is charged once, not once per query), the acquired
+/// readings are shared, and each algorithm then moves only its own protocol traffic.
+///
+/// `scope` is invoked with the index of the algorithm about to execute, right before
+/// its traffic starts — callers that need per-query accounting install a metrics
+/// scope there (see [`Network::set_query_scope`]); the scope is cleared when the
+/// epoch's sweep is complete.  Results are returned in algorithm order.
+pub fn run_shared_epoch(
+    algos: &mut [&mut dyn SnapshotAlgorithm],
+    net: &mut Network,
+    readings: &[Reading],
+    mut scope: impl FnMut(&mut Network, usize),
+) -> Vec<TopKResult> {
+    let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+    net.begin_epoch(epoch);
+    let results = algos
+        .iter_mut()
+        .enumerate()
+        .map(|(i, algo)| {
+            scope(net, i);
+            algo.execute_epoch(net, readings)
+        })
+        .collect();
+    net.set_query_scope(None);
+    results
+}
+
 /// Runs a continuous snapshot query for `epochs` epochs, driving the workload, charging
-/// the per-epoch baseline energy and collecting the per-epoch answers.
+/// the per-epoch baseline energy and collecting the per-epoch answers.  This is the
+/// single-query special case of [`run_shared_epoch`].
 pub fn run_continuous(
     algo: &mut dyn SnapshotAlgorithm,
     net: &mut Network,
     workload: &mut Workload,
     epochs: usize,
 ) -> Vec<TopKResult> {
+    let mut algos: [&mut dyn SnapshotAlgorithm; 1] = [algo];
     let mut out = Vec::with_capacity(epochs);
     for _ in 0..epochs {
         let readings = workload.next_epoch();
-        let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
-        net.begin_epoch(epoch);
-        out.push(algo.execute_epoch(net, &readings));
+        out.extend(run_shared_epoch(&mut algos, net, &readings, |_, _| {}));
     }
     out
 }

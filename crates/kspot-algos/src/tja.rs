@@ -124,8 +124,16 @@ impl HistoricAlgorithm for Tja {
         self.stats.lsink_size = assembled.len();
 
         // τ₁ = K-th highest partial sum over L_sink; θ = τ₁ / n.
-        let mut partial_sums: Vec<f64> = assembled.values().map(|p| p.sum).collect();
-        partial_sums.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        // A partial sum poisoned by a corrupted NaN reading carries no evidence for
+        // the threshold algebra, so it is demoted to -inf before the sort: left in
+        // place, a descending `total_cmp` would rank it above every real sum and
+        // inflate τ₁ to the (k-1)-th real value — an unsafely high θ that could
+        // eliminate a true answer.  A -inf τ₁ instead degrades θ to the domain
+        // minimum (no elimination).  With NaN-free input `total_cmp` keeps the sort
+        // a total order (an inconsistent comparator could silently misorder reals).
+        let mut partial_sums: Vec<f64> =
+            assembled.values().map(|p| if p.sum.is_nan() { f64::NEG_INFINITY } else { p.sum }).collect();
+        partial_sums.sort_by(|a, b| b.total_cmp(a));
         let tau1 = partial_sums.get(k - 1).copied().unwrap_or(0.0);
         let theta = (tau1 / n as f64).max(self.spec.domain.min);
         let lsink: BTreeSet<Epoch> = assembled.keys().copied().collect();
@@ -193,8 +201,16 @@ impl HistoricAlgorithm for Tja {
         // missing·domain.min.
         let lower_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * self.spec.domain.min;
         let upper_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * theta;
-        let mut lower_bounds: Vec<f64> = assembled.values().map(lower_of).collect();
-        lower_bounds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN lower bounds are demoted to -inf for the same reason as in the LB
+        // phase: a poisoned bound must weaken the clean-up threshold, not inflate it.
+        let mut lower_bounds: Vec<f64> = assembled
+            .values()
+            .map(|p| {
+                let lb = lower_of(p);
+                if lb.is_nan() { f64::NEG_INFINITY } else { lb }
+            })
+            .collect();
+        lower_bounds.sort_by(|a, b| b.total_cmp(a));
         let kth_lower = lower_bounds.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY);
 
         let to_resolve: Vec<Epoch> = assembled

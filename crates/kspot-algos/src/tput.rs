@@ -103,8 +103,12 @@ impl HistoricAlgorithm for Tput {
             local_topk.insert(node, list);
         }
         self.stats.phase1_objects = assembled.len();
-        let mut partial_sums: Vec<f64> = assembled.values().map(|p| p.sum).collect();
-        partial_sums.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN partial sums are demoted to -inf before the NaN-free `total_cmp` sort;
+        // see the matching comment in `tja.rs` — a poisoned sum must weaken θ (down
+        // to the domain minimum), never inflate it above the true k-th value.
+        let mut partial_sums: Vec<f64> =
+            assembled.values().map(|p| if p.sum.is_nan() { f64::NEG_INFINITY } else { p.sum }).collect();
+        partial_sums.sort_by(|a, b| b.total_cmp(a));
         let tau1 = partial_sums.get(k - 1).copied().unwrap_or(0.0);
         let theta = (tau1 / n as f64).max(self.spec.domain.min);
 
@@ -133,8 +137,15 @@ impl HistoricAlgorithm for Tput {
         // --------------------------------------------------------------- phase 3
         let lower_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * self.spec.domain.min;
         let upper_of = |p: &EpochPartial| p.sum + (n - p.contributors.len()) as f64 * theta;
-        let mut lower_bounds: Vec<f64> = assembled.values().map(lower_of).collect();
-        lower_bounds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        // As in phase 1: poisoned bounds weaken the fetch threshold, never raise it.
+        let mut lower_bounds: Vec<f64> = assembled
+            .values()
+            .map(|p| {
+                let lb = lower_of(p);
+                if lb.is_nan() { f64::NEG_INFINITY } else { lb }
+            })
+            .collect();
+        lower_bounds.sort_by(|a, b| b.total_cmp(a));
         let kth_lower = lower_bounds.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY);
         let to_resolve: Vec<Epoch> = assembled
             .iter()

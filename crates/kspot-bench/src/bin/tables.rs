@@ -1,14 +1,19 @@
-//! Prints the experiment tables (E1–E10) that regenerate the paper's quantitative
-//! claims.
+//! Prints the experiment tables (E1–E12) that regenerate the paper's quantitative
+//! claims and the engine's throughput trajectory.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p kspot-bench --bin tables -- all
 //! cargo run --release -p kspot-bench --bin tables -- e1 e2 e9
+//! cargo run --release -p kspot-bench --bin tables -- e12   # also writes BENCH_engine.json
 //! ```
+//!
+//! `e12` additionally writes its machine-readable results to `BENCH_engine.json` in the
+//! current directory (override the path with the `BENCH_ENGINE_OUT` environment
+//! variable, and set `KSPOT_BENCH_SMOKE=1` for CI-sized runs).
 
-use kspot_bench::{run, ALL_EXPERIMENTS};
+use kspot_bench::{e12_engine_throughput, run, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +25,21 @@ fn main() {
 
     let mut unknown = Vec::new();
     for id in &requested {
+        if id.eq_ignore_ascii_case("e12") {
+            // The throughput experiment doubles as the perf-trajectory artifact.
+            let (table, json) = e12_engine_throughput();
+            println!("{table}");
+            let path = std::env::var("BENCH_ENGINE_OUT")
+                .unwrap_or_else(|_| "BENCH_engine.json".to_string());
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            continue;
+        }
         match run(id) {
             Some(table) => println!("{table}"),
             None => unknown.push(id.clone()),

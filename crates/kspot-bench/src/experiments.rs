@@ -19,7 +19,7 @@ use kspot_query::AggFunc;
 
 /// The identifiers of every experiment in the suite.
 pub const ALL_EXPERIMENTS: &[&str] =
-    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
 
 /// Runs one experiment by id ("e1" … "e10"), returning its table.
 pub fn run(id: &str) -> Option<Table> {
@@ -35,6 +35,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e9" => Some(e9_drift_ablation()),
         "e10" => Some(e10_aggregate_mix()),
         "e11" => Some(e11_fault_sweep()),
+        "e12" => Some(e12_engine_throughput().0),
         _ => None,
     }
 }
@@ -509,6 +510,131 @@ pub fn e11_fault_sweep() -> Table {
     table
 }
 
+// ---------------------------------------------------------------------------------
+// E12 — multi-query engine throughput
+// ---------------------------------------------------------------------------------
+
+/// E12: query throughput of the multi-query front-ends versus batch size — the one-shot
+/// facade run serially, the same batch fanned across cores (`BatchMode::Parallel`), and
+/// the shared-epoch engine serving the whole batch as concurrent sessions over one
+/// substrate.  Returns the printable table together with the `BENCH_engine.json`
+/// payload the `tables` binary writes for the CI perf trajectory.
+///
+/// The parallel column can only beat serial where the host has cores to fan out to
+/// (the artifact records the core count); the shared-loop column's speedup is
+/// algorithmic — one substrate sweep amortised over the whole batch — and shows on a
+/// single core too.  Set `KSPOT_BENCH_SMOKE=1` to shrink the sizes for CI smoke runs.
+pub fn e12_engine_throughput() -> (Table, String) {
+    if std::env::var("KSPOT_BENCH_SMOKE").is_ok() {
+        engine_throughput_sized(10, &[1, 2, 4], ScenarioConfig::conference(), true)
+    } else {
+        // A denser venue than the 14-node conference demo, so each query moves enough
+        // traffic for the timings to dominate scheduling noise.
+        let deployment =
+            Deployment::clustered_rooms(8, 8, 20.0, kspot_net::rng::topology_seed(12));
+        let scenario = ScenarioConfig::custom("throughput venue", "sound", deployment);
+        engine_throughput_sized(80, &[1, 2, 4, 8, 16], scenario, false)
+    }
+}
+
+/// The sized core of E12 (the unit tests call it with tiny parameters).
+fn engine_throughput_sized(
+    epochs: usize,
+    batch_sizes: &[usize],
+    scenario: ScenarioConfig,
+    smoke: bool,
+) -> (Table, String) {
+    use kspot_core::{BatchMode, BatchQuery};
+    use std::time::Instant;
+
+    // Answers only (lazy baselines): throughput is about serving queries, not about
+    // regenerating the System Panel's comparison runs.
+    let server = KSpotServer::new(scenario).with_seed(12).with_lazy_baselines(true);
+    let sql_for = |i: usize| -> String {
+        match i % 4 {
+            0 => format!("SELECT TOP {} roomid, AVG(sound) FROM sensors GROUP BY roomid", 1 + i % 3),
+            1 => format!("SELECT TOP {} roomid, MAX(sound) FROM sensors GROUP BY roomid", 1 + i % 4),
+            2 => "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid".to_string(),
+            _ => "SELECT TOP 2 nodeid, sound FROM sensors".to_string(),
+        }
+    };
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut table = Table::new(
+        format!("E12 — multi-query throughput vs batch size ({epochs} epochs per query, {cores} core(s))"),
+        "Serial = one-shot submits in sequence; parallel = the same submits fanned across cores (byte-identical results; needs >1 core to win); shared loop = all queries as concurrent engine sessions over ONE substrate sweep.",
+        &["batch", "serial ms", "parallel ms", "shared ms", "par qps", "shared qps", "par speedup", "shared speedup", "identical"],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for &n in batch_sizes {
+        let requests: Vec<BatchQuery> =
+            (0..n).map(|i| BatchQuery::new(sql_for(i), epochs)).collect();
+
+        let t = Instant::now();
+        let serial = server.submit_batch(&requests, BatchMode::Serial);
+        let serial_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let parallel = server.submit_batch(&requests, BatchMode::Parallel);
+        let parallel_s = t.elapsed().as_secs_f64();
+
+        let identical = serial.len() == parallel.len()
+            && serial.iter().zip(parallel.iter()).all(|(s, p)| match (s, p) {
+                (Ok(a), Ok(b)) => a == b,
+                (Err(a), Err(b)) => a.to_string() == b.to_string(),
+                _ => false,
+            });
+
+        let t = Instant::now();
+        let mut engine = server.engine();
+        for req in &requests {
+            engine.register(&req.sql).expect("the batch queries admit");
+        }
+        engine.run_epochs(epochs);
+        let shared_s = t.elapsed().as_secs_f64();
+
+        let qps = |secs: f64| if secs > 0.0 { n as f64 / secs } else { f64::INFINITY };
+        let speedup = |secs: f64| if secs > 0.0 { serial_s / secs } else { f64::INFINITY };
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(serial_s * 1e3, 2),
+            fmt_f(parallel_s * 1e3, 2),
+            fmt_f(shared_s * 1e3, 2),
+            fmt_f(qps(parallel_s), 1),
+            fmt_f(qps(shared_s), 1),
+            fmt_f(speedup(parallel_s), 2),
+            fmt_f(speedup(shared_s), 2),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"batch\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
+                "\"shared_loop_ms\": {:.3}, \"serial_qps\": {:.2}, \"parallel_qps\": {:.2}, ",
+                "\"shared_loop_qps\": {:.2}, \"parallel_speedup\": {:.3}, ",
+                "\"shared_loop_speedup\": {:.3}, \"parallel_identical_to_serial\": {}}}"
+            ),
+            n,
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            shared_s * 1e3,
+            qps(serial_s),
+            qps(parallel_s),
+            qps(shared_s),
+            speedup(parallel_s),
+            speedup(shared_s),
+            identical,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"engine-throughput\",\n  \"epochs_per_query\": {epochs},\n  \
+         \"cores\": {cores},\n  \"smoke\": {smoke},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +682,20 @@ mod tests {
         let lossy_retx: u64 = row_of("lossy")[4].parse().unwrap();
         assert_eq!(lossless_retx, 0, "a healthy network never retransmits");
         assert!(lossy_retx > 0, "25% link loss must trigger ARQ retries");
+    }
+
+    #[test]
+    fn e12_parallel_batches_match_serial_and_emit_json() {
+        let (table, json) =
+            engine_throughput_sized(6, &[1, 3], ScenarioConfig::conference(), true);
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "yes", "parallel must be byte-identical to serial: {row:?}");
+        }
+        assert!(json.contains("\"experiment\": \"engine-throughput\""));
+        assert!(json.contains("\"parallel_identical_to_serial\": true"));
+        assert!(json.contains("\"cores\""));
+        assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
     }
 
     #[test]

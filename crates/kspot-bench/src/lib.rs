@@ -15,5 +15,5 @@
 pub mod experiments;
 pub mod table;
 
-pub use experiments::{run, run_all, ALL_EXPERIMENTS};
+pub use experiments::{e12_engine_throughput, run, run_all, ALL_EXPERIMENTS};
 pub use table::Table;

@@ -1,0 +1,616 @@
+//! The shared-epoch multi-query engine — the long-lived heart of the KSpot server.
+//!
+//! The demonstration system is a *server*: many users type queries into the Query
+//! Panel against **one** live sensor field, concurrently.  [`QueryEngine`] models that
+//! directly.  It owns a single [`Network`] + [`Workload`] substrate and a set of
+//! registered query *sessions*; one shared epoch loop acquires each epoch's readings
+//! once, charges the fixed per-epoch substrate cost (sampling, idle listening) once,
+//! and then drives every active session's in-network protocol over the shared sweep —
+//! instead of rebuilding the whole simulation per query the way the one-shot
+//! [`crate::KSpotServer::submit`] compatibility facade historically did.
+//!
+//! Per-session accounting rides on the attribution scopes of
+//! [`kspot_net::NetworkMetrics`]: the engine installs the session id as the metrics
+//! scope right before a session's traffic starts, so every session gets its own
+//! message/byte/energy totals even though all of them share the substrate ledgers.
+//! Loss randomness is also scoped — each session id keys its own loss stream (see
+//! [`Network::set_query_scope`]) — which yields the engine's central guarantee,
+//! *session isolation*:
+//!
+//! > a session's per-epoch answers and attributed totals are a function of the
+//! > substrate and its own session id alone: **byte-identical** no matter which
+//! > other sessions run, register or cancel alongside it, as long as no battery
+//! > depletes during the run.
+//!
+//! (The isolated comparison baseline is the same session id with every other session
+//! cancelled — the loss stream is keyed by the id, so the same query re-registered
+//! under a different id draws a different, equally deterministic channel.)  The
+//! battery proviso is intended physics, not nondeterminism: batteries are a genuinely
+//! shared resource, so on a nearly drained field the extra load of other sessions can
+//! kill a relay earlier than it would die solo, changing participation for everyone
+//! (see ADR-003).  Session isolation is what makes the engine safely composable —
+//! admitting one more query can never perturb the answers an already-running query
+//! observes — and it is asserted cell-by-cell by `tests/engine_cells.rs` against the
+//! kspot-testkit scenario matrix.
+//!
+//! A parallel *batch* front-end ([`crate::KSpotServer::submit_batch`]) complements the
+//! engine for offline workloads: independent executions fan out across cores with
+//! `std::thread::scope` and return results byte-identical to the serial order.
+
+use crate::config::ScenarioConfig;
+use crate::server::WorkloadSpec;
+use kspot_algos::{
+    run_shared_epoch, CentralizedCollection, FilaMonitor, MintViews, SnapshotAlgorithm,
+    SnapshotSpec, TagTopK, TopKResult,
+};
+use kspot_net::{Epoch, Network, NetworkConfig, NetworkMetrics, PhaseTotals, RoomModelParams, Workload};
+use kspot_query::plan::{classify, ExecutionStrategy, QueryPlan};
+use kspot_query::{parse, QueryError};
+use std::collections::BTreeMap;
+
+/// Identifier of a registered query session.  Session ids double as the metrics
+/// attribution scope (see [`kspot_net::QueryScope`]), so they are stable for the
+/// lifetime of the engine and never reused.
+pub type QueryId = kspot_net::QueryScope;
+
+/// Lifecycle state of a query session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session takes part in every shared epoch sweep.
+    Active,
+    /// The query's `LIFETIME` elapsed; its results remain readable.
+    Completed,
+    /// The user cancelled the session; its results remain readable.
+    Cancelled,
+}
+
+/// One registered query session.
+struct Session {
+    sql: String,
+    plan: QueryPlan,
+    algorithm: Box<dyn SnapshotAlgorithm>,
+    results: Vec<TopKResult>,
+    /// Engine epoch index (not workload epoch number) at which the session joined.
+    registered_at: u64,
+    status: SessionStatus,
+}
+
+impl Session {
+    /// Lifetime bookkeeping: a session whose `LIFETIME n epochs` clause has been
+    /// served completes on its own.
+    fn expire_if_due(&mut self, now: u64) {
+        if self.status == SessionStatus::Active {
+            if let Some(lifetime) = self.plan.lifetime_epochs {
+                if now.saturating_sub(self.registered_at) >= lifetime {
+                    self.status = SessionStatus::Completed;
+                }
+            }
+        }
+    }
+}
+
+/// The snapshot spec a continuous plan executes with.  This is the **single** source
+/// of the plan→spec policy, shared between the engine's query router and the server's
+/// System-Panel baseline builder, so the executed algorithm and the baselines it is
+/// compared against can never be derived from diverging specs.
+pub(crate) fn continuous_spec(
+    scenario: &ScenarioConfig,
+    plan: &QueryPlan,
+) -> Result<SnapshotSpec, QueryError> {
+    let domain = scenario.domain;
+    match plan.strategy {
+        ExecutionStrategy::SnapshotTopK => SnapshotSpec::from_plan(plan, domain),
+        ExecutionStrategy::InNetworkAggregate => {
+            let func = plan
+                .aggregate
+                .ok_or_else(|| QueryError::semantic("an aggregate query needs an aggregate"))?;
+            Ok(SnapshotSpec::new(scenario.num_clusters().max(1), func, domain))
+        }
+        ExecutionStrategy::RawCollection => Ok(SnapshotSpec::new(
+            scenario.num_clusters().max(1),
+            kspot_query::AggFunc::Avg,
+            domain,
+        )),
+        ExecutionStrategy::NodeMonitoringTopK => Ok(SnapshotSpec::new(
+            plan.k.max(1) as usize,
+            kspot_query::AggFunc::Max,
+            domain,
+        )),
+        ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK => {
+            Err(QueryError::semantic(
+                "historic one-shot queries answer from locally buffered windows and do not \
+                 join the shared epoch loop; submit them through KSpotServer::submit",
+            ))
+        }
+    }
+}
+
+/// The long-lived multi-query execution engine (see the module docs).
+pub struct QueryEngine {
+    scenario: ScenarioConfig,
+    workload_spec: WorkloadSpec,
+    net_config: NetworkConfig,
+    seed: u64,
+    max_sessions: usize,
+    net: Network,
+    workload: Workload,
+    /// True when the substrate was injected via [`Self::from_substrate`]; the config
+    /// builders then refuse to rebuild it.
+    injected_substrate: bool,
+    sessions: BTreeMap<QueryId, Session>,
+    next_id: QueryId,
+    epochs_run: u64,
+}
+
+impl QueryEngine {
+    /// Default cap on concurrently active sessions (admission control).
+    pub const DEFAULT_MAX_SESSIONS: usize = 64;
+
+    /// Boots an engine for a scenario with the default (room-correlated) workload and
+    /// the MICA2 cost model, seed 0.
+    pub fn new(scenario: ScenarioConfig) -> Self {
+        Self::from_config(
+            scenario,
+            WorkloadSpec::RoomCorrelated(RoomModelParams::default()),
+            NetworkConfig::mica2(),
+            0,
+        )
+    }
+
+    /// Boots an engine from explicit configuration, building the substrate exactly
+    /// once (the path [`crate::KSpotServer::engine`] uses).
+    pub(crate) fn from_config(
+        scenario: ScenarioConfig,
+        workload_spec: WorkloadSpec,
+        net_config: NetworkConfig,
+        seed: u64,
+    ) -> Self {
+        let (net, workload) = Self::build_substrate(&scenario, &workload_spec, &net_config, seed);
+        Self::assemble(scenario, workload_spec, net_config, seed, net, workload, false)
+    }
+
+    /// Boots an engine over an explicitly constructed substrate — the entry point for
+    /// test harnesses (e.g. kspot-testkit cells) that build faulted networks and
+    /// exotic workloads the [`WorkloadSpec`] vocabulary cannot express.  The builder
+    /// methods that re-derive the substrate ([`Self::with_workload`],
+    /// [`Self::with_network_config`], [`Self::with_seed`]) panic afterwards: they
+    /// would silently replace the injected substrate.
+    pub fn from_substrate(scenario: ScenarioConfig, net: Network, workload: Workload) -> Self {
+        Self::assemble(
+            scenario,
+            WorkloadSpec::RoomCorrelated(RoomModelParams::default()),
+            NetworkConfig::mica2(),
+            0,
+            net,
+            workload,
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        scenario: ScenarioConfig,
+        workload_spec: WorkloadSpec,
+        net_config: NetworkConfig,
+        seed: u64,
+        net: Network,
+        workload: Workload,
+        injected_substrate: bool,
+    ) -> Self {
+        Self {
+            scenario,
+            workload_spec,
+            net_config,
+            seed,
+            max_sessions: Self::DEFAULT_MAX_SESSIONS,
+            net,
+            workload,
+            injected_substrate,
+            sessions: BTreeMap::new(),
+            next_id: 0,
+            epochs_run: 0,
+        }
+    }
+
+    fn build_substrate(
+        scenario: &ScenarioConfig,
+        workload_spec: &WorkloadSpec,
+        net_config: &NetworkConfig,
+        seed: u64,
+    ) -> (Network, Workload) {
+        let config = net_config.clone().with_seed(kspot_net::rng::substrate_seed(seed));
+        let net = Network::new(scenario.deployment.clone(), config);
+        let workload = workload_spec.build(scenario, kspot_net::rng::workload_seed(seed));
+        (net, workload)
+    }
+
+    fn rebuild_substrate(&mut self) {
+        assert!(
+            !self.injected_substrate,
+            "this engine runs an explicitly injected substrate (from_substrate); \
+             the config builders would silently replace it"
+        );
+        assert!(
+            self.sessions.is_empty() && self.epochs_run == 0,
+            "engine substrate builders must be called before any query registers or runs"
+        );
+        let (net, workload) =
+            Self::build_substrate(&self.scenario, &self.workload_spec, &self.net_config, self.seed);
+        self.net = net;
+        self.workload = workload;
+    }
+
+    /// Selects the workload driving the sensors (discards the current substrate; call
+    /// before registering queries).
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload_spec = workload;
+        self.rebuild_substrate();
+        self
+    }
+
+    /// Selects the network cost model (discards the current substrate; call before
+    /// registering queries).
+    pub fn with_network_config(mut self, config: NetworkConfig) -> Self {
+        self.net_config = config;
+        self.rebuild_substrate();
+        self
+    }
+
+    /// Sets the master seed (discards the current substrate; call before registering
+    /// queries).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rebuild_substrate();
+        self
+    }
+
+    /// Overrides the admission cap on concurrently active sessions.
+    pub fn with_max_sessions(mut self, max: usize) -> Self {
+        self.max_sessions = max.max(1);
+        self
+    }
+
+    /// The configured scenario.
+    pub fn scenario(&self) -> &ScenarioConfig {
+        &self.scenario
+    }
+
+    /// Number of shared epochs the engine has executed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Number of sessions currently taking part in the shared loop.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.values().filter(|s| s.status == SessionStatus::Active).count()
+    }
+
+    /// Every session ever registered, in registration order.
+    pub fn session_ids(&self) -> Vec<QueryId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Parses, classifies and admits a query into the shared epoch loop, returning its
+    /// session id.  Only *continuous* (snapshot-class) queries can register — historic
+    /// one-shot queries read locally buffered windows and are served by
+    /// [`crate::KSpotServer::submit`] instead.
+    pub fn register(&mut self, sql: &str) -> Result<QueryId, QueryError> {
+        let query = parse(sql)?;
+        let plan = classify(&query)?;
+        self.register_plan_with_sql(plan, sql.to_string())
+    }
+
+    /// Admits an already classified plan (the path [`crate::KSpotServer::submit`]
+    /// uses).
+    pub fn register_plan(&mut self, plan: QueryPlan) -> Result<QueryId, QueryError> {
+        let sql = plan.query.to_string();
+        self.register_plan_with_sql(plan, sql)
+    }
+
+    fn register_plan_with_sql(&mut self, plan: QueryPlan, sql: String) -> Result<QueryId, QueryError> {
+        if self.active_sessions() >= self.max_sessions {
+            return Err(QueryError::semantic(format!(
+                "admission rejected: the engine already serves {} concurrent queries (cap {})",
+                self.active_sessions(),
+                self.max_sessions
+            )));
+        }
+        let algorithm = self.executor_for(&plan)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                sql,
+                plan,
+                algorithm,
+                results: Vec::new(),
+                registered_at: self.epochs_run,
+                status: SessionStatus::Active,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Routes a continuous plan to its in-network executor, mirroring the routing
+    /// table of the one-shot server (Section III of the paper).
+    fn executor_for(&self, plan: &QueryPlan) -> Result<Box<dyn SnapshotAlgorithm>, QueryError> {
+        let spec = continuous_spec(&self.scenario, plan)?;
+        Ok(match plan.strategy {
+            ExecutionStrategy::SnapshotTopK => Box::new(MintViews::new(spec)),
+            ExecutionStrategy::InNetworkAggregate => Box::new(TagTopK::new(spec)),
+            ExecutionStrategy::RawCollection => Box::new(CentralizedCollection::new(spec)),
+            ExecutionStrategy::NodeMonitoringTopK => Box::new(FilaMonitor::new(spec)),
+            ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK => {
+                unreachable!("continuous_spec rejects historic plans")
+            }
+        })
+    }
+
+    /// Cancels a session.  Returns `false` when the id is unknown or the session is no
+    /// longer active.  Cancelled sessions keep their id, results and attributed
+    /// metrics readable.
+    pub fn cancel(&mut self, id: QueryId) -> bool {
+        match self.sessions.get_mut(&id) {
+            Some(s) if s.status == SessionStatus::Active => {
+                s.status = SessionStatus::Cancelled;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Runs `epochs` shared epochs: per epoch, the workload is acquired once, the
+    /// substrate's fixed cost is charged once, and every active session executes its
+    /// own protocol sweep with its metrics scope installed.  The substrate advances
+    /// even when no session is active (the field keeps living between queries).
+    pub fn run_epochs(&mut self, epochs: usize) {
+        for _ in 0..epochs {
+            let readings = self.workload.next_epoch();
+            let now = self.epochs_run;
+            let mut ids: Vec<QueryId> = Vec::new();
+            let mut algos: Vec<&mut dyn SnapshotAlgorithm> = Vec::new();
+            for (&id, session) in self.sessions.iter_mut() {
+                session.expire_if_due(now);
+                if session.status == SessionStatus::Active {
+                    ids.push(id);
+                    algos.push(session.algorithm.as_mut());
+                }
+            }
+            let results = run_shared_epoch(&mut algos, &mut self.net, &readings, |net, i| {
+                net.set_query_scope(Some(ids[i]));
+            });
+            for (id, result) in ids.iter().zip(results) {
+                self.sessions.get_mut(id).expect("session exists").results.push(result);
+            }
+            self.epochs_run += 1;
+            // A session whose LIFETIME was fully served this epoch completes now, so
+            // it neither holds an admission slot nor reports Active between runs.
+            for session in self.sessions.values_mut() {
+                session.expire_if_due(self.epochs_run);
+            }
+        }
+    }
+
+    fn session(&self, id: QueryId) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// The SQL text a session was registered with.
+    pub fn sql(&self, id: QueryId) -> Option<&str> {
+        self.session(id).map(|s| s.sql.as_str())
+    }
+
+    /// The classified plan of a session.
+    pub fn plan(&self, id: QueryId) -> Option<&QueryPlan> {
+        self.session(id).map(|s| &s.plan)
+    }
+
+    /// The name of the in-network algorithm a session was routed to.
+    pub fn algorithm(&self, id: QueryId) -> Option<&'static str> {
+        self.session(id).map(|s| s.algorithm.name())
+    }
+
+    /// A session's lifecycle state.
+    pub fn status(&self, id: QueryId) -> Option<SessionStatus> {
+        self.session(id).map(|s| s.status)
+    }
+
+    /// A session's per-epoch ranked answers so far (one entry per epoch the session
+    /// was active in).
+    pub fn results(&self, id: QueryId) -> Option<&[TopKResult]> {
+        self.session(id).map(|s| s.results.as_slice())
+    }
+
+    /// A session's most recent ranked answer.
+    pub fn latest(&self, id: QueryId) -> Option<&TopKResult> {
+        self.session(id).and_then(|s| s.results.last())
+    }
+
+    /// The message/byte/energy totals attributed to one session — the per-query slice
+    /// of the shared substrate's ledger.
+    pub fn query_totals(&self, id: QueryId) -> PhaseTotals {
+        self.net.query_totals(id)
+    }
+
+    /// The shared substrate's full metrics ledger (all sessions plus the unscoped
+    /// per-epoch baseline cost).
+    pub fn metrics(&self) -> &NetworkMetrics {
+        self.net.metrics()
+    }
+
+    /// The shared network substrate.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The workload epoch number the next [`Self::run_epochs`] sweep will acquire.
+    pub fn upcoming_epoch(&self) -> Epoch {
+        self.workload.upcoming_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::WorkloadSpec;
+    use kspot_net::RoomModelParams;
+
+    fn engine(seed: u64) -> QueryEngine {
+        QueryEngine::new(ScenarioConfig::conference())
+            .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
+            .with_network_config(NetworkConfig::mica2())
+            .with_seed(seed)
+    }
+
+    const EIGHT_QUERIES: [&str; 8] = [
+        "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+        "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+        "SELECT TOP 3 roomid, MAX(sound) FROM sensors GROUP BY roomid",
+        "SELECT TOP 4 roomid, SUM(sound) FROM sensors GROUP BY roomid",
+        "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+        "SELECT * FROM sensors",
+        "SELECT TOP 2 nodeid, sound FROM sensors",
+        "SELECT TOP 5 roomid, MIN(sound) FROM sensors GROUP BY roomid",
+    ];
+
+    #[test]
+    fn eight_concurrent_sessions_share_one_epoch_loop_with_attribution() {
+        let mut engine = engine(3);
+        let ids: Vec<QueryId> =
+            EIGHT_QUERIES.iter().map(|sql| engine.register(sql).expect("registers")).collect();
+        assert_eq!(engine.active_sessions(), 8);
+        engine.run_epochs(20);
+        assert_eq!(engine.epochs_run(), 20);
+
+        let mut attributed_energy = 0.0;
+        for &id in &ids {
+            let results = engine.results(id).expect("session exists");
+            assert_eq!(results.len(), 20, "every session answers every epoch");
+            let totals = engine.query_totals(id);
+            assert!(totals.messages > 0, "session {id} moved traffic");
+            attributed_energy += totals.energy_uj;
+        }
+        // Attribution decomposes the shared ledger: scoped totals account for all
+        // radio traffic; the remainder of the grand total is the unscoped per-epoch
+        // substrate baseline, charged once per epoch rather than once per query.
+        let grand = engine.metrics().totals();
+        let attributed_messages: u64 = ids.iter().map(|&id| engine.query_totals(id).messages).sum();
+        assert_eq!(attributed_messages, grand.messages);
+        assert!(attributed_energy < grand.energy_uj);
+        let baseline = grand.energy_uj - attributed_energy;
+        let per_epoch = engine.network().config().energy.epoch_baseline_cost();
+        let expected = per_epoch * 20.0 * engine.network().num_nodes() as f64;
+        assert!((baseline - expected).abs() < 1e-6, "baseline charged once per epoch: {baseline} vs {expected}");
+    }
+
+    #[test]
+    fn registration_routes_by_query_semantics() {
+        let mut engine = engine(1);
+        let mint = engine.register(EIGHT_QUERIES[0]).unwrap();
+        let tag = engine.register(EIGHT_QUERIES[4]).unwrap();
+        let raw = engine.register(EIGHT_QUERIES[5]).unwrap();
+        let fila = engine.register(EIGHT_QUERIES[6]).unwrap();
+        assert_eq!(engine.algorithm(mint), Some("KSpot (MINT views)"));
+        assert_eq!(engine.algorithm(tag), Some("TAG + sink Top-K"));
+        assert!(engine.algorithm(raw).unwrap().contains("centralized"));
+        assert!(engine.algorithm(fila).unwrap().contains("FILA"));
+        assert_eq!(engine.sql(mint), Some(EIGHT_QUERIES[0]));
+        assert_eq!(engine.plan(mint).unwrap().k, 1);
+    }
+
+    #[test]
+    fn historic_queries_are_rejected_at_admission() {
+        let mut engine = engine(1);
+        let err = engine
+            .register("SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs")
+            .unwrap_err();
+        assert!(err.to_string().contains("shared epoch loop"), "{err}");
+        assert!(engine.register("SELEKT nope").is_err(), "parse errors propagate");
+        assert_eq!(engine.active_sessions(), 0);
+    }
+
+    #[test]
+    fn admission_cap_rejects_excess_queries() {
+        let mut engine = engine(1).with_max_sessions(2);
+        engine.register(EIGHT_QUERIES[0]).unwrap();
+        engine.register(EIGHT_QUERIES[1]).unwrap();
+        let err = engine.register(EIGHT_QUERIES[2]).unwrap_err();
+        assert!(err.to_string().contains("admission"), "{err}");
+        // Cancellation frees a slot.
+        assert!(engine.cancel(0));
+        engine.register(EIGHT_QUERIES[2]).expect("slot freed by cancellation");
+    }
+
+    #[test]
+    fn cancelled_sessions_stop_executing_but_keep_their_results() {
+        let mut engine = engine(5);
+        let a = engine.register(EIGHT_QUERIES[0]).unwrap();
+        let b = engine.register(EIGHT_QUERIES[1]).unwrap();
+        engine.run_epochs(4);
+        assert!(engine.cancel(a));
+        assert!(!engine.cancel(a), "double-cancel reports false");
+        assert!(!engine.cancel(99), "unknown ids report false");
+        engine.run_epochs(4);
+        assert_eq!(engine.results(a).unwrap().len(), 4, "no further epochs after cancel");
+        assert_eq!(engine.results(b).unwrap().len(), 8);
+        assert_eq!(engine.status(a), Some(SessionStatus::Cancelled));
+        assert_eq!(engine.status(b), Some(SessionStatus::Active));
+        let frozen = engine.query_totals(a);
+        engine.run_epochs(2);
+        assert_eq!(engine.query_totals(a), frozen, "cancelled sessions accrue no traffic");
+    }
+
+    #[test]
+    fn sessions_join_mid_stream_and_lifetimes_expire() {
+        let mut engine = engine(7);
+        let early = engine.register(EIGHT_QUERIES[0]).unwrap();
+        engine.run_epochs(5);
+        let late = engine
+            .register("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 3 epochs")
+            .unwrap();
+        engine.run_epochs(10);
+        assert_eq!(engine.results(early).unwrap().len(), 15);
+        let late_results = engine.results(late).unwrap();
+        assert_eq!(late_results.len(), 3, "LIFETIME 3 epochs serves exactly 3 epochs");
+        assert_eq!(late_results[0].epoch, 5, "late sessions join the live epoch stream");
+        assert_eq!(engine.status(late), Some(SessionStatus::Completed));
+    }
+
+    #[test]
+    fn a_fully_served_lifetime_completes_immediately_and_frees_its_admission_slot() {
+        let mut engine = engine(2).with_max_sessions(1);
+        engine
+            .register("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 3 epochs")
+            .unwrap();
+        engine.run_epochs(3);
+        assert_eq!(engine.status(0), Some(SessionStatus::Completed), "served in full");
+        assert_eq!(engine.results(0).unwrap().len(), 3);
+        engine
+            .register(EIGHT_QUERIES[1])
+            .expect("the slot frees the moment the lifetime is served");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected substrate")]
+    fn config_builders_refuse_to_replace_an_injected_substrate() {
+        let scenario = ScenarioConfig::conference();
+        let net = Network::new(scenario.deployment.clone(), NetworkConfig::ideal());
+        let workload = WorkloadSpec::UniformIid.build(&scenario, 1);
+        let _ = QueryEngine::from_substrate(scenario, net, workload).with_seed(9);
+    }
+
+    #[test]
+    fn engine_is_deterministic_in_the_seed() {
+        let run = |seed| {
+            let mut e = engine(seed);
+            let ids: Vec<QueryId> =
+                EIGHT_QUERIES.iter().map(|sql| e.register(sql).unwrap()).collect();
+            e.run_epochs(12);
+            ids.iter()
+                .map(|&id| (e.results(id).unwrap().to_vec(), e.query_totals(id)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -10,9 +10,13 @@
 //! * [`client::NodeRuntime`] — the KSpot client that runs on every node: local query
 //!   router (SELECT/GROUP-BY → local engine, TOP-K → top-k operator) plus the local
 //!   sliding-window buffer;
+//! * [`engine::QueryEngine`] — the long-lived multi-query engine: N registered query
+//!   sessions (with admission and cancellation) share one live substrate and one epoch
+//!   loop, with per-session metrics attribution — see ADR-003;
 //! * [`server::KSpotServer`] — the base station: parses Query Panel SQL, routes it to
-//!   MINT / TJA / TAG / FILA based on the query semantics, executes it over the
-//!   simulated network and produces the ranked answers and the Display Panel bullets;
+//!   MINT / TJA / TAG / FILA based on the query semantics, executes it over the engine
+//!   and produces the ranked answers and the Display Panel bullets, serially or as a
+//!   parallel batch ([`server::KSpotServer::submit_batch`]);
 //! * [`panel::SystemPanel`] — the System Panel: message/byte/energy savings of the KSpot
 //!   execution against the conventional acquisition baselines, plus lifetime estimates.
 //!
@@ -33,10 +37,12 @@
 
 pub mod client;
 pub mod config;
+pub mod engine;
 pub mod panel;
 pub mod server;
 
 pub use client::{route_plan, LocalOperator, NodeRuntime};
 pub use config::{ConfigError, ScenarioConfig};
+pub use engine::{QueryEngine, QueryId, SessionStatus};
 pub use panel::{StrategyReport, SystemPanel};
-pub use server::{KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};
+pub use server::{BatchMode, BatchQuery, KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};

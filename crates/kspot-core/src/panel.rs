@@ -11,7 +11,7 @@ use kspot_net::{NetworkMetrics, PhaseTotals, Savings};
 use std::fmt;
 
 /// Metrics of one named execution strategy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyReport {
     /// Strategy name ("KSpot (MINT views)", "TAG + sink Top-K", …).
     pub name: String,
@@ -48,7 +48,7 @@ impl StrategyReport {
 }
 
 /// The System Panel: the KSpot run next to its baselines.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemPanel {
     /// The KSpot execution (whatever algorithm the query was routed to).
     pub kspot: StrategyReport,

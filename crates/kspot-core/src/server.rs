@@ -9,12 +9,12 @@
 //! savings against the conventional acquisition baselines.
 
 use crate::config::ScenarioConfig;
+use crate::engine::QueryEngine;
 use crate::panel::{StrategyReport, SystemPanel};
 use kspot_algos::historic::HistoricAlgorithm;
 use kspot_algos::{
-    CentralizedCollection, CentralizedHistoric, FilaMonitor, HistoricDataset, HistoricSpec,
-    LocalAggregateHistoric, MintViews, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult,
-    Tput,
+    CentralizedCollection, CentralizedHistoric, HistoricDataset, HistoricSpec,
+    LocalAggregateHistoric, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult, Tput,
 };
 use kspot_net::{
     Epoch, GroupId, Network, NetworkConfig, PhaseTag, RoomModelParams, Workload,
@@ -37,7 +37,9 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    fn build(&self, config: &ScenarioConfig, seed: u64) -> Workload {
+    /// Materialises the workload over a scenario's deployment (used by the server and
+    /// by [`crate::engine::QueryEngine`]).
+    pub(crate) fn build(&self, config: &ScenarioConfig, seed: u64) -> Workload {
         match self {
             WorkloadSpec::Figure1 => Workload::figure1(&config.deployment),
             WorkloadSpec::RoomCorrelated(params) => {
@@ -72,7 +74,7 @@ impl fmt::Display for KSpotBullet {
 
 /// The outcome of executing one query: the routing decision, the ranked answers, and the
 /// System Panel comparing KSpot against the conventional baselines.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryExecution {
     /// The classified plan.
     pub plan: QueryPlan,
@@ -91,6 +93,34 @@ impl QueryExecution {
     }
 }
 
+/// One entry of a batch submission: the SQL text plus the number of epochs to run the
+/// continuous strategies for (see [`KSpotServer::submit`] for the `epochs` semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQuery {
+    /// The Query Panel SQL.
+    pub sql: String,
+    /// Epochs to run continuous strategies for (ignored by one-shot historic queries).
+    pub epochs: usize,
+}
+
+impl BatchQuery {
+    /// Creates a batch entry.
+    pub fn new(sql: impl Into<String>, epochs: usize) -> Self {
+        Self { sql: sql.into(), epochs }
+    }
+}
+
+/// How [`KSpotServer::submit_batch`] schedules the independent executions of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One execution after another on the calling thread.
+    Serial,
+    /// Executions fan out across the available cores with `std::thread::scope`.
+    /// Every execution is self-contained and deterministic in the server seed, so the
+    /// returned vector is byte-identical to [`BatchMode::Serial`]'s, in request order.
+    Parallel,
+}
+
 /// The KSpot base station.
 #[derive(Debug, Clone)]
 pub struct KSpotServer {
@@ -98,6 +128,7 @@ pub struct KSpotServer {
     workload: WorkloadSpec,
     net_config: NetworkConfig,
     seed: u64,
+    lazy_baselines: bool,
 }
 
 impl KSpotServer {
@@ -109,6 +140,7 @@ impl KSpotServer {
             workload: WorkloadSpec::RoomCorrelated(RoomModelParams::default()),
             net_config: NetworkConfig::mica2(),
             seed: 0,
+            lazy_baselines: false,
         }
     }
 
@@ -130,9 +162,31 @@ impl KSpotServer {
         self
     }
 
+    /// Opts into lazy baselines: [`Self::submit`] then executes only the algorithm the
+    /// query is routed to, skipping the TAG / centralized / per-epoch-collection
+    /// comparison runs, and the returned [`SystemPanel`] has no baselines.  Use this
+    /// when the caller wants answers, not savings read-outs — it cuts the work of a
+    /// snapshot submission to roughly a third.
+    pub fn with_lazy_baselines(mut self, lazy: bool) -> Self {
+        self.lazy_baselines = lazy;
+        self
+    }
+
     /// The configured scenario.
     pub fn scenario(&self) -> &ScenarioConfig {
         &self.scenario
+    }
+
+    /// Boots a long-lived multi-query engine sharing this server's scenario, workload,
+    /// cost model and seed — the primary interface for serving many concurrent queries
+    /// over one live substrate (see [`QueryEngine`]).
+    pub fn engine(&self) -> QueryEngine {
+        QueryEngine::from_config(
+            self.scenario.clone(),
+            self.workload,
+            self.net_config.clone(),
+            self.seed,
+        )
     }
 
     fn fresh_network(&self) -> Network {
@@ -161,22 +215,107 @@ impl KSpotServer {
             .collect()
     }
 
-    /// Parses, classifies, routes and executes a query for `epochs` epochs (one-shot
-    /// historic queries interpret `epochs` as a cap on nothing — their window length
-    /// comes from the WITH HISTORY clause).
+    /// Parses, classifies, routes and executes a query.
+    ///
+    /// `epochs` is the number of epochs a *continuous* strategy (snapshot Top-K, plain
+    /// aggregation, raw collection, node monitoring) runs for, and must be positive for
+    /// those queries.  One-shot `WITH HISTORY` queries ignore `epochs` entirely: they
+    /// answer once from the locally buffered windows, whose length comes from the WITH
+    /// HISTORY clause, so the single result they return is neither capped nor repeated
+    /// by `epochs`.
+    ///
+    /// This is a one-shot compatibility facade over [`QueryEngine`]: each call boots an
+    /// engine, registers the query as its only session and runs the loop to completion.
+    /// Callers serving several concurrent queries should keep one engine instead
+    /// ([`Self::engine`]) so the substrate and its per-epoch cost are shared.
     pub fn submit(&self, sql: &str, epochs: usize) -> Result<QueryExecution, QueryError> {
         let query = parse(sql)?;
         let plan = classify(&query)?;
+        let historic = matches!(
+            plan.strategy,
+            ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK
+        );
+        if !historic && epochs == 0 {
+            return Err(QueryError::semantic(
+                "a continuous query needs epochs > 0 (an empty execution answers nothing); \
+                 only one-shot WITH HISTORY queries ignore the epoch count",
+            ));
+        }
         Ok(match plan.strategy {
-            ExecutionStrategy::SnapshotTopK => self.run_snapshot_topk(plan, epochs)?,
-            ExecutionStrategy::InNetworkAggregate => self.run_plain_aggregate(plan, epochs)?,
-            ExecutionStrategy::RawCollection => self.run_raw_collection(plan, epochs),
-            ExecutionStrategy::NodeMonitoringTopK => self.run_node_monitoring(plan, epochs),
             ExecutionStrategy::HistoricVerticalTopK => self.run_historic_vertical(plan)?,
             ExecutionStrategy::HistoricHorizontalTopK => self.run_historic_horizontal(plan)?,
+            _ => self.run_continuous_via_engine(plan, epochs)?,
         })
     }
 
+    /// Executes a batch of independent submissions, returning one outcome per request
+    /// in request order.  [`BatchMode::Parallel`] fans the executions across the
+    /// available cores with `std::thread::scope`; every execution derives its own
+    /// substrate from the server seed, so the outcomes are byte-identical to
+    /// [`BatchMode::Serial`]'s regardless of scheduling.
+    pub fn submit_batch(
+        &self,
+        requests: &[BatchQuery],
+        mode: BatchMode,
+    ) -> Vec<Result<QueryExecution, QueryError>> {
+        let workers = match mode {
+            BatchMode::Serial => 1,
+            BatchMode::Parallel => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(requests.len().max(1)),
+        };
+        if workers <= 1 {
+            return requests.iter().map(|r| self.submit(&r.sql, r.epochs)).collect();
+        }
+        let chunk = requests.len().div_ceil(workers);
+        let mut out: Vec<Option<Result<QueryExecution, QueryError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (reqs, slots) in requests.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (req, slot) in reqs.iter().zip(slots.iter_mut()) {
+                        *slot = Some(self.submit(&req.sql, req.epochs));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|slot| slot.expect("every batch slot is filled")).collect()
+    }
+
+    /// Runs one continuous query through a single-session [`QueryEngine`] and, unless
+    /// lazy baselines are selected, executes the conventional acquisition baselines the
+    /// System Panel compares against.
+    fn run_continuous_via_engine(
+        &self,
+        plan: QueryPlan,
+        epochs: usize,
+    ) -> Result<QueryExecution, QueryError> {
+        // A LIFETIME clause bounds the query itself; clamp the whole execution —
+        // engine run, report span and baseline runs alike — to it, so the System
+        // Panel always compares strategies over the same number of epochs.
+        let epochs = match plan.lifetime_epochs {
+            Some(lifetime) => epochs.min(lifetime as usize),
+            None => epochs,
+        };
+        let mut engine = self.engine();
+        let id = engine.register_plan(plan.clone())?;
+        engine.run_epochs(epochs);
+        let algorithm = engine.algorithm(id).expect("session exists").to_string();
+        let kspot_report = StrategyReport::from_metrics(algorithm.clone(), engine.metrics(), epochs);
+        let results = engine.results(id).expect("session exists").to_vec();
+        let baselines =
+            if self.lazy_baselines { Vec::new() } else { self.baseline_reports(&plan, epochs)? };
+        Ok(QueryExecution {
+            algorithm,
+            plan,
+            results,
+            panel: SystemPanel::new(kspot_report, baselines),
+        })
+    }
+
+    /// Runs a conventional-acquisition comparison strategy over a fresh copy of the
+    /// same scenario/workload/seed and reports its costs.
     fn run_snapshot<A: SnapshotAlgorithm>(
         &self,
         algo: &mut A,
@@ -189,78 +328,47 @@ impl KSpotServer {
         (results, report)
     }
 
-    fn run_snapshot_topk(&self, plan: QueryPlan, epochs: usize) -> Result<QueryExecution, QueryError> {
-        let spec = SnapshotSpec::from_plan(&plan, self.scenario.domain)?;
-        let mut mint = MintViews::new(spec);
-        let (results, kspot_report) = self.run_snapshot(&mut mint, epochs);
-        let (_, tag_report) = self.run_snapshot(&mut TagTopK::new(spec), epochs);
-        let (_, central_report) = self.run_snapshot(&mut CentralizedCollection::new(spec), epochs);
-        Ok(QueryExecution {
-            algorithm: mint.name().to_string(),
-            plan,
-            results,
-            panel: SystemPanel::new(kspot_report, vec![tag_report, central_report]),
-        })
-    }
-
-    fn run_plain_aggregate(&self, plan: QueryPlan, epochs: usize) -> Result<QueryExecution, QueryError> {
-        // Unranked grouped aggregation: TAG itself is the KSpot execution; the baseline
-        // is shipping raw tuples.
-        let func = plan
-            .aggregate
-            .ok_or_else(|| QueryError::semantic("an aggregate query needs an aggregate"))?;
-        let k = self.scenario.num_clusters().max(1);
-        let spec = SnapshotSpec::new(k, func, self.scenario.domain);
-        let mut tag = TagTopK::new(spec);
-        let (results, kspot_report) = self.run_snapshot(&mut tag, epochs);
-        let (_, central_report) = self.run_snapshot(&mut CentralizedCollection::new(spec), epochs);
-        Ok(QueryExecution {
-            algorithm: tag.name().to_string(),
-            plan,
-            results,
-            panel: SystemPanel::new(kspot_report, vec![central_report]),
-        })
-    }
-
-    fn run_raw_collection(&self, plan: QueryPlan, epochs: usize) -> QueryExecution {
-        let spec = SnapshotSpec::new(
-            self.scenario.num_clusters().max(1),
-            kspot_query::AggFunc::Avg,
-            self.scenario.domain,
-        );
-        let mut central = CentralizedCollection::new(spec);
-        let (results, report) = self.run_snapshot(&mut central, epochs);
-        QueryExecution {
-            algorithm: central.name().to_string(),
-            plan,
-            results,
-            panel: SystemPanel::new(report, Vec::new()),
-        }
-    }
-
-    fn run_node_monitoring(&self, plan: QueryPlan, epochs: usize) -> QueryExecution {
-        let k = plan.k.max(1) as usize;
-        let spec = SnapshotSpec::new(k, kspot_query::AggFunc::Max, self.scenario.domain);
-        let mut fila = FilaMonitor::new(spec);
-        let (results, kspot_report) = self.run_snapshot(&mut fila, epochs);
-
-        // Baseline: every node reports its reading to the sink every epoch.
-        let mut base_net = self.fresh_network();
-        let mut workload = self.fresh_workload();
-        for e in 0..epochs as Epoch {
-            base_net.begin_epoch(e);
-            for r in workload.next_epoch() {
-                base_net.unicast_up(r.node, e, 1, PhaseTag::Update);
+    /// The System Panel baselines of a continuous strategy, per the paper: TAG and
+    /// centralized collection for snapshot Top-K, centralized collection for plain
+    /// aggregation, per-epoch collection for node monitoring, none for raw collection
+    /// (it is its own baseline).
+    fn baseline_reports(
+        &self,
+        plan: &QueryPlan,
+        epochs: usize,
+    ) -> Result<Vec<StrategyReport>, QueryError> {
+        Ok(match plan.strategy {
+            ExecutionStrategy::SnapshotTopK => {
+                let spec = crate::engine::continuous_spec(&self.scenario, plan)?;
+                let (_, tag_report) = self.run_snapshot(&mut TagTopK::new(spec), epochs);
+                let (_, central_report) =
+                    self.run_snapshot(&mut CentralizedCollection::new(spec), epochs);
+                vec![tag_report, central_report]
             }
-        }
-        let base_report = StrategyReport::from_metrics("per-epoch collection", base_net.metrics(), epochs);
-
-        QueryExecution {
-            algorithm: fila.name().to_string(),
-            plan,
-            results,
-            panel: SystemPanel::new(kspot_report, vec![base_report]),
-        }
+            ExecutionStrategy::InNetworkAggregate => {
+                let spec = crate::engine::continuous_spec(&self.scenario, plan)?;
+                let (_, central_report) =
+                    self.run_snapshot(&mut CentralizedCollection::new(spec), epochs);
+                vec![central_report]
+            }
+            ExecutionStrategy::NodeMonitoringTopK => {
+                // Baseline: every node reports its reading to the sink every epoch.
+                let mut base_net = self.fresh_network();
+                let mut workload = self.fresh_workload();
+                for e in 0..epochs as Epoch {
+                    base_net.begin_epoch(e);
+                    for r in workload.next_epoch() {
+                        base_net.unicast_up(r.node, e, 1, PhaseTag::Update);
+                    }
+                }
+                vec![StrategyReport::from_metrics(
+                    "per-epoch collection",
+                    base_net.metrics(),
+                    epochs,
+                )]
+            }
+            _ => Vec::new(),
+        })
     }
 
     fn collect_history(&self, window: usize) -> HistoricDataset {
@@ -286,14 +394,19 @@ impl KSpotServer {
         };
         let mut tja = Tja::new(spec);
         let (result, kspot_report) = run(&mut tja);
-        let (_, tput_report) = run(&mut Tput::new(spec));
-        let (_, central_report) = run(&mut CentralizedHistoric::new(spec));
+        let baselines = if self.lazy_baselines {
+            Vec::new()
+        } else {
+            let (_, tput_report) = run(&mut Tput::new(spec));
+            let (_, central_report) = run(&mut CentralizedHistoric::new(spec));
+            vec![tput_report, central_report]
+        };
 
         Ok(QueryExecution {
             algorithm: tja.name().to_string(),
             plan,
             results: vec![result],
-            panel: SystemPanel::new(kspot_report, vec![tput_report, central_report]),
+            panel: SystemPanel::new(kspot_report, baselines),
         })
     }
 
@@ -311,26 +424,30 @@ impl KSpotServer {
         let kspot_report =
             StrategyReport::from_metrics("local filter + MINT update", kspot_net.metrics(), window);
 
-        let hist_spec = HistoricSpec::new(
-            spec.k,
-            kspot_query::AggFunc::Avg,
-            self.scenario.domain,
-            window,
-        );
-        let mut central_net = self.fresh_network();
-        let mut central_data = data;
-        CentralizedHistoric::new(hist_spec).execute(&mut central_net, &mut central_data);
-        let central_report = StrategyReport::from_metrics(
-            "centralized window collection",
-            central_net.metrics(),
-            window,
-        );
+        let baselines = if self.lazy_baselines {
+            Vec::new()
+        } else {
+            let hist_spec = HistoricSpec::new(
+                spec.k,
+                kspot_query::AggFunc::Avg,
+                self.scenario.domain,
+                window,
+            );
+            let mut central_net = self.fresh_network();
+            let mut central_data = data;
+            CentralizedHistoric::new(hist_spec).execute(&mut central_net, &mut central_data);
+            vec![StrategyReport::from_metrics(
+                "centralized window collection",
+                central_net.metrics(),
+                window,
+            )]
+        };
 
         Ok(QueryExecution {
             algorithm: "local filter + MINT update".to_string(),
             plan,
             results: vec![result],
-            panel: SystemPanel::new(kspot_report, vec![central_report]),
+            panel: SystemPanel::new(kspot_report, baselines),
         })
     }
 }
@@ -456,6 +573,96 @@ mod tests {
         let server = figure1_server();
         assert!(server.submit("SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid", 5).is_err());
         assert!(server.submit("SELEKT oops", 5).is_err());
+    }
+
+    #[test]
+    fn continuous_queries_reject_zero_epochs_but_historic_queries_ignore_the_count() {
+        let server = conference_server(2);
+        for sql in [
+            "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+            "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+            "SELECT * FROM sensors",
+            "SELECT TOP 2 nodeid, sound FROM sensors",
+        ] {
+            let err = server.submit(sql, 0).unwrap_err();
+            assert!(err.to_string().contains("epochs > 0"), "{sql}: {err}");
+        }
+        // One-shot historic queries answer from the WITH HISTORY window whatever the
+        // epoch count says.
+        let sql = "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs";
+        let at_zero = server.submit(sql, 0).expect("historic ignores epochs");
+        let at_nine = server.submit(sql, 9).expect("historic ignores epochs");
+        assert_eq!(at_zero.results, at_nine.results);
+        assert_eq!(at_zero.results.len(), 1);
+    }
+
+    #[test]
+    fn a_lifetime_clause_clamps_the_whole_execution_including_baselines() {
+        let server = conference_server(8);
+        let execution = server
+            .submit(
+                "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 3 epochs",
+                25,
+            )
+            .unwrap();
+        assert_eq!(execution.results.len(), 3, "LIFETIME bounds the query");
+        assert_eq!(execution.panel.kspot.epochs, 3);
+        for baseline in &execution.panel.baselines {
+            assert_eq!(baseline.epochs, 3, "baselines must cover the same span: {}", baseline.name);
+        }
+        // Like-for-like spans keep the savings comparison meaningful.
+        let short = server
+            .submit("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", 3)
+            .unwrap();
+        assert_eq!(execution.panel.kspot.totals, short.panel.kspot.totals);
+    }
+
+    #[test]
+    fn lazy_baselines_skip_the_comparison_runs_but_keep_the_answers() {
+        let eager = conference_server(3);
+        let lazy = conference_server(3).with_lazy_baselines(true);
+        let sql = "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid";
+        let eager_exec = eager.submit(sql, 25).unwrap();
+        let lazy_exec = lazy.submit(sql, 25).unwrap();
+        assert_eq!(eager_exec.results, lazy_exec.results, "answers are baseline-independent");
+        assert_eq!(eager_exec.panel.baselines.len(), 2);
+        assert!(lazy_exec.panel.baselines.is_empty());
+        assert_eq!(eager_exec.panel.kspot, lazy_exec.panel.kspot);
+
+        let historic = "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs";
+        assert!(lazy.submit(historic, 0).unwrap().panel.baselines.is_empty());
+        assert_eq!(eager.submit(historic, 0).unwrap().panel.baselines.len(), 2);
+    }
+
+    #[test]
+    fn parallel_batches_are_byte_identical_to_serial_ones() {
+        let server = conference_server(6).with_lazy_baselines(true);
+        let requests: Vec<BatchQuery> = vec![
+            BatchQuery::new("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid", 15),
+            BatchQuery::new("SELECT TOP 3 roomid, MAX(sound) FROM sensors GROUP BY roomid", 10),
+            BatchQuery::new("SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid", 8),
+            BatchQuery::new("SELECT * FROM sensors", 4),
+            BatchQuery::new("SELECT TOP 2 nodeid, sound FROM sensors", 12),
+            BatchQuery::new("SELEKT broken", 5),
+            BatchQuery::new(
+                "SELECT TOP 4 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs",
+                0,
+            ),
+        ];
+        let serial = server.submit_batch(&requests, BatchMode::Serial);
+        let parallel = server.submit_batch(&requests, BatchMode::Parallel);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+            match (s, p) {
+                (Ok(se), Ok(pe)) => assert_eq!(se, pe, "request {i} diverged"),
+                (Err(se), Err(pe)) => assert_eq!(se.to_string(), pe.to_string()),
+                _ => panic!("request {i}: serial and parallel disagree on success"),
+            }
+        }
+        // The batch preserves request order and per-request outcomes.
+        assert!(serial[5].is_err(), "the broken query fails in both modes");
+        assert_eq!(serial[0].as_ref().unwrap().results.len(), 15);
+        assert_eq!(serial[4].as_ref().unwrap().results.len(), 12);
     }
 
     #[test]

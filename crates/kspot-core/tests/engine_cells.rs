@@ -1,0 +1,153 @@
+//! The engine's central guarantee, checked against the kspot-testkit scenario matrix:
+//! a query session's per-epoch answers and attributed metrics are **byte-identical**
+//! whether it shares the epoch loop with other sessions or runs the loop alone.
+//!
+//! The cells below mirror the testkit `smoke` subset (2 topologies × 2 workloads ×
+//! 3 fault profiles × one K/N point = 12 cells), built explicitly so the comparison
+//! runs regardless of which feature set kspot-testkit itself was compiled with.
+//! Faulted cells matter most here: per-session loss streams are what keeps a lossy
+//! channel's draws independent of which other queries share the substrate.
+
+use kspot_core::{QueryEngine, QueryId, ScenarioConfig, SessionStatus};
+use kspot_net::rng::mix_seed;
+use kspot_testkit::{FaultProfile, ScenarioCell, TopologyKind, WorkloadProfile};
+
+/// The four concurrent queries every cell registers: one per continuous strategy
+/// (MINT snapshot Top-K, TAG aggregation, centralized raw collection, FILA node
+/// monitoring).
+const QUERIES: [&str; 4] = [
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT * FROM sensors",
+    "SELECT TOP 2 nodeid, sound FROM sensors",
+];
+
+/// The smoke-equivalent cell set (see `kspot_testkit::scenario` for the families).
+fn smoke_cells() -> Vec<ScenarioCell> {
+    let topologies = [TopologyKind::ClusteredRooms, TopologyKind::LinearChain];
+    let workloads = [WorkloadProfile::RoomCorrelated, WorkloadProfile::DriftingHotSpot];
+    let faults = [FaultProfile::Lossless, FaultProfile::LossyLinks, FaultProfile::NodeDeath];
+    let mut cells = Vec::new();
+    for (ti, &topology) in topologies.iter().enumerate() {
+        for (wi, &workload) in workloads.iter().enumerate() {
+            for (fi, &fault) in faults.iter().enumerate() {
+                cells.push(ScenarioCell {
+                    topology,
+                    workload,
+                    fault,
+                    nodes: 12,
+                    groups: 4,
+                    k: 2,
+                    epochs: 12,
+                    window: 16,
+                    master_seed: mix_seed(0xE16E, &[ti as u64, wi as u64, fi as u64]),
+                });
+            }
+        }
+    }
+    assert_eq!(cells.len(), 12);
+    cells
+}
+
+/// Boots an engine over a cell's exact substrate (topology + faulted network +
+/// workload) and registers every query, returning the engine and the session ids.
+fn engine_for(cell: &ScenarioCell) -> (QueryEngine, Vec<QueryId>) {
+    let d = cell.deployment();
+    let scenario = ScenarioConfig::custom(cell.label(), "sound", d.clone());
+    let mut engine =
+        QueryEngine::from_substrate(scenario, cell.network(&d), cell.workload(&d));
+    let ids = QUERIES
+        .iter()
+        .map(|sql| engine.register(sql).unwrap_or_else(|e| panic!("{}: {sql}: {e}", cell.label())))
+        .collect();
+    (engine, ids)
+}
+
+#[test]
+fn shared_loop_results_equal_per_query_loop_results_on_every_smoke_cell() {
+    for cell in smoke_cells() {
+        let label = cell.label();
+        let (mut shared, ids) = engine_for(&cell);
+        shared.run_epochs(cell.epochs);
+
+        for (i, &id) in ids.iter().enumerate() {
+            // The per-query loop: the same engine construction and registration order
+            // (ids must match — they key the per-session loss streams), with every
+            // *other* session cancelled before the first epoch runs.
+            let (mut solo, solo_ids) = engine_for(&cell);
+            assert_eq!(solo_ids, ids, "{label}: registration order must reproduce ids");
+            for &other in &solo_ids {
+                if other != id {
+                    assert!(solo.cancel(other));
+                }
+            }
+            solo.run_epochs(cell.epochs);
+            assert_eq!(solo.active_sessions(), 1);
+
+            assert_eq!(
+                shared.results(id),
+                solo.results(id),
+                "{label}: query {i} ({}) answers diverged between shared and solo loops",
+                QUERIES[i]
+            );
+            assert_eq!(
+                shared.query_totals(id),
+                solo.query_totals(id),
+                "{label}: query {i} ({}) attributed metrics diverged between shared and solo loops",
+                QUERIES[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_loop_replays_bit_for_bit_on_every_smoke_cell() {
+    for cell in smoke_cells() {
+        let label = cell.label();
+        let run = || {
+            let (mut engine, ids) = engine_for(&cell);
+            engine.run_epochs(cell.epochs);
+            ids.iter()
+                .map(|&id| (engine.results(id).unwrap().to_vec(), engine.query_totals(id)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "{label}: the shared loop is not deterministic");
+    }
+}
+
+#[test]
+fn mid_run_cancellation_does_not_perturb_the_surviving_sessions() {
+    // Stronger than the solo comparison: on a lossy cell, cancel half the sessions
+    // midway — the survivors' remaining answers must still match the uninterrupted
+    // shared run, because no session's channel depends on another's lifetime.
+    let cell = ScenarioCell {
+        topology: TopologyKind::ClusteredRooms,
+        workload: WorkloadProfile::RoomCorrelated,
+        fault: FaultProfile::LossyLinks,
+        nodes: 12,
+        groups: 4,
+        k: 2,
+        epochs: 12,
+        window: 16,
+        master_seed: mix_seed(0xE16E, &[99]),
+    };
+    let (mut uninterrupted, ids) = engine_for(&cell);
+    uninterrupted.run_epochs(12);
+
+    let (mut interrupted, ids2) = engine_for(&cell);
+    assert_eq!(ids, ids2);
+    interrupted.run_epochs(6);
+    assert!(interrupted.cancel(ids[1]));
+    assert!(interrupted.cancel(ids[2]));
+    interrupted.run_epochs(6);
+
+    for &survivor in [ids[0], ids[3]].iter() {
+        assert_eq!(
+            uninterrupted.results(survivor),
+            interrupted.results(survivor),
+            "a survivor's answers changed because other sessions were cancelled"
+        );
+    }
+    assert_eq!(interrupted.status(ids[1]), Some(SessionStatus::Cancelled));
+    assert_eq!(interrupted.results(ids[1]).unwrap().len(), 6);
+}

@@ -48,7 +48,7 @@ pub mod workload;
 pub use energy::{Battery, BatteryBank, EnergyModel};
 pub use fault::{DutyCycle, FaultPlan};
 pub use message::{Message, MessageKind};
-pub use metrics::{NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, Savings};
+pub use metrics::{NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, QueryScope, Savings};
 pub use radio::RadioModel;
 pub use sim::{Network, NetworkConfig};
 pub use storage::SlidingWindow;

@@ -106,6 +106,11 @@ pub struct PhaseTotals {
     pub energy_uj: f64,
 }
 
+/// Identifier of a metrics attribution scope — one registered query of the multi-query
+/// engine.  Traffic recorded while a scope is installed is additionally booked to that
+/// scope, so N queries sharing one substrate still get individual System-Panel numbers.
+pub type QueryScope = u32;
+
 /// Full accounting of a simulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkMetrics {
@@ -113,6 +118,8 @@ pub struct NetworkMetrics {
     sink: NodeCounters,
     per_phase: BTreeMap<PhaseTag, PhaseTotals>,
     per_epoch: BTreeMap<Epoch, PhaseTotals>,
+    per_scope: BTreeMap<QueryScope, PhaseTotals>,
+    current_scope: Option<QueryScope>,
     totals: PhaseTotals,
 }
 
@@ -124,6 +131,8 @@ impl NetworkMetrics {
             sink: NodeCounters::default(),
             per_phase: BTreeMap::new(),
             per_epoch: BTreeMap::new(),
+            per_scope: BTreeMap::new(),
+            current_scope: None,
             totals: PhaseTotals::default(),
         }
     }
@@ -138,6 +147,41 @@ impl NetworkMetrics {
             &mut self.sink
         } else {
             &mut self.per_node[(id - 1) as usize]
+        }
+    }
+
+    /// Installs (or clears) the attribution scope.  While a scope is installed, every
+    /// recorded transmission, retransmission, drop and local-energy charge is
+    /// additionally booked to that scope's [`PhaseTotals`], on top of the usual
+    /// per-node / per-phase / per-epoch / grand-total ledgers.
+    pub fn set_scope(&mut self, scope: Option<QueryScope>) {
+        self.current_scope = scope;
+    }
+
+    /// The currently installed attribution scope, if any.
+    pub fn current_scope(&self) -> Option<QueryScope> {
+        self.current_scope
+    }
+
+    /// Totals attributed to a scope (zero if the scope never saw traffic).
+    pub fn scope(&self, scope: QueryScope) -> PhaseTotals {
+        self.per_scope.get(&scope).copied().unwrap_or_default()
+    }
+
+    /// All scopes that actually saw traffic, with their totals, in scope order.
+    pub fn scopes(&self) -> impl Iterator<Item = (QueryScope, PhaseTotals)> + '_ {
+        self.per_scope.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Applies one booking to every aggregate ledger an event belongs to: per-phase,
+    /// per-epoch, grand total, and — when an attribution scope is installed — that
+    /// scope's totals.  Runs once per simulated transmission, so it must not allocate.
+    fn book(&mut self, epoch: Epoch, phase: PhaseTag, mut apply: impl FnMut(&mut PhaseTotals)) {
+        apply(self.per_phase.entry(phase).or_default());
+        apply(self.per_epoch.entry(epoch).or_default());
+        apply(&mut self.totals);
+        if let Some(scope) = self.current_scope {
+            apply(self.per_scope.entry(scope).or_default());
         }
     }
 
@@ -171,16 +215,12 @@ impl NetworkMetrics {
             }
             e
         };
-        for totals in [
-            self.per_phase.entry(phase).or_default(),
-            self.per_epoch.entry(epoch).or_default(),
-            &mut self.totals,
-        ] {
+        self.book(epoch, phase, |totals| {
             totals.messages += 1;
             totals.bytes += u64::from(bytes);
             totals.tuples += u64::from(tuples);
             totals.energy_uj += sensor_energy;
-        }
+        });
     }
 
     /// Records one local broadcast transmission heard by several children at once —
@@ -206,16 +246,12 @@ impl NetworkMetrics {
                 sensor_energy += rx_energy_each;
             }
         }
-        for totals in [
-            self.per_phase.entry(phase).or_default(),
-            self.per_epoch.entry(epoch).or_default(),
-            &mut self.totals,
-        ] {
+        self.book(epoch, phase, |totals| {
             totals.messages += 1;
             totals.bytes += u64::from(bytes);
             totals.tuples += u64::from(tuples);
             totals.energy_uj += sensor_energy;
-        }
+        });
     }
 
     /// Records one transmission whose receiver never listened (dead or asleep): the
@@ -232,40 +268,24 @@ impl NetworkMetrics {
     ) {
         self.counters_mut(from).add_tx(bytes, tuples, tx_energy);
         let sensor_energy = if from != crate::types::SINK { tx_energy } else { 0.0 };
-        for totals in [
-            self.per_phase.entry(phase).or_default(),
-            self.per_epoch.entry(epoch).or_default(),
-            &mut self.totals,
-        ] {
+        self.book(epoch, phase, |totals| {
             totals.messages += 1;
             totals.bytes += u64::from(bytes);
             totals.tuples += u64::from(tuples);
             totals.energy_uj += sensor_energy;
-        }
+        });
     }
 
     /// Books one ARQ retransmission attempt (the attempt itself is recorded separately
     /// through [`Self::record_transmission`]).
     pub fn note_retransmission(&mut self, epoch: Epoch, phase: PhaseTag) {
-        for totals in [
-            self.per_phase.entry(phase).or_default(),
-            self.per_epoch.entry(epoch).or_default(),
-            &mut self.totals,
-        ] {
-            totals.retransmissions += 1;
-        }
+        self.book(epoch, phase, |totals| totals.retransmissions += 1);
     }
 
     /// Books one payload that was never delivered, attributed to its sender.
     pub fn note_drop(&mut self, from: NodeId, epoch: Epoch, phase: PhaseTag) {
         self.counters_mut(from).dropped_messages += 1;
-        for totals in [
-            self.per_phase.entry(phase).or_default(),
-            self.per_epoch.entry(epoch).or_default(),
-            &mut self.totals,
-        ] {
-            totals.dropped_messages += 1;
-        }
+        self.book(epoch, phase, |totals| totals.dropped_messages += 1);
     }
 
     /// Records node-local (non-radio) energy consumption: sensing, CPU, idle listening.
@@ -274,6 +294,9 @@ impl NetworkMetrics {
             self.per_node[(node - 1) as usize].energy_uj += uj;
             self.totals.energy_uj += uj;
             self.per_epoch.entry(epoch).or_default().energy_uj += uj;
+            if let Some(scope) = self.current_scope {
+                self.per_scope.entry(scope).or_default().energy_uj += uj;
+            }
         }
     }
 
@@ -526,6 +549,45 @@ mod tests {
         assert_eq!(m.node(1).tx_messages, 1);
         assert_eq!(m.node(2).rx_messages, 0, "nobody heard it");
         assert!((m.totals().energy_uj - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoped_traffic_is_attributed_without_disturbing_the_global_ledgers() {
+        let mut m = NetworkMetrics::new(3);
+        assert_eq!(m.current_scope(), None);
+        m.record_transmission(1, 2, 0, PhaseTag::Update, 10, 1, 100.0, 50.0);
+
+        m.set_scope(Some(7));
+        assert_eq!(m.current_scope(), Some(7));
+        m.record_transmission(2, 1, 0, PhaseTag::Update, 20, 2, 200.0, 100.0);
+        m.note_retransmission(0, PhaseTag::Update);
+        m.note_drop(2, 0, PhaseTag::Update);
+        m.record_local_energy(2, 0, 40.0);
+
+        m.set_scope(Some(9));
+        m.record_transmission(3, 1, 1, PhaseTag::Probe, 5, 0, 50.0, 25.0);
+        m.set_scope(None);
+        m.record_local_energy(1, 1, 11.0);
+
+        let s7 = m.scope(7);
+        assert_eq!(s7.messages, 1);
+        assert_eq!(s7.bytes, 20);
+        assert_eq!(s7.tuples, 2);
+        assert_eq!(s7.retransmissions, 1);
+        assert_eq!(s7.dropped_messages, 1);
+        assert!((s7.energy_uj - (200.0 + 100.0 + 40.0)).abs() < 1e-9);
+
+        let s9 = m.scope(9);
+        assert_eq!(s9.messages, 1);
+        assert_eq!(s9.bytes, 5);
+
+        // Unscoped traffic and the global ledgers are untouched by attribution.
+        assert_eq!(m.scope(42).messages, 0, "unknown scopes report zero");
+        assert_eq!(m.totals().messages, 3);
+        assert_eq!(m.totals().bytes, 35);
+        assert_eq!(m.scopes().count(), 2);
+        let scoped_msgs: u64 = m.scopes().map(|(_, t)| t.messages).sum();
+        assert!(scoped_msgs <= m.totals().messages);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::energy::{BatteryBank, EnergyModel};
 use crate::fault::FaultPlan;
 use crate::message::{Message, MessageKind};
-use crate::metrics::{NetworkMetrics, PhaseTag};
+use crate::metrics::{NetworkMetrics, PhaseTag, QueryScope};
 use crate::radio::RadioModel;
 use crate::rng::stream_rng;
 use crate::topology::Deployment;
@@ -24,6 +24,7 @@ use crate::types::{Epoch, NodeId, SINK};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Static configuration of a simulated network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +111,12 @@ pub struct Network {
     metrics: NetworkMetrics,
     batteries: BatteryBank,
     loss_rng: StdRng,
+    /// One independent loss stream per installed query scope, created lazily.  Keyed
+    /// streams make a query's loss draws a function of *its own* traffic order only,
+    /// so a query registered in a shared epoch loop observes byte-identical channel
+    /// behaviour to the same query running the loop alone.
+    scope_loss_rngs: BTreeMap<QueryScope, StdRng>,
+    current_scope: Option<QueryScope>,
     current_epoch: Epoch,
 }
 
@@ -127,6 +134,8 @@ impl Network {
             metrics: NetworkMetrics::new(n),
             batteries,
             loss_rng,
+            scope_loss_rngs: BTreeMap::new(),
+            current_scope: None,
             current_epoch: 0,
         }
     }
@@ -207,6 +216,22 @@ impl Network {
         parent
     }
 
+    /// Installs (or clears, with `None`) the query-attribution scope.  While a scope is
+    /// installed every transmission is additionally booked to that scope's totals in
+    /// the metrics ledger (see [`NetworkMetrics::set_scope`]), and message-loss draws
+    /// come from a per-scope random stream derived from the substrate seed — so the
+    /// channel a query observes depends only on its own traffic order, never on which
+    /// other queries happen to share the epoch loop.
+    pub fn set_query_scope(&mut self, scope: Option<QueryScope>) {
+        self.current_scope = scope;
+        self.metrics.set_scope(scope);
+    }
+
+    /// Totals attributed to a query scope (zero if it never saw traffic).
+    pub fn query_totals(&self, scope: QueryScope) -> crate::metrics::PhaseTotals {
+        self.metrics.scope(scope)
+    }
+
     /// Resets metrics and batteries while keeping the deployment, tree and config —
     /// used when running several algorithms over the identical topology for a fair
     /// comparison.
@@ -214,6 +239,8 @@ impl Network {
         self.metrics = NetworkMetrics::new(self.deployment.num_nodes());
         self.batteries = BatteryBank::uniform(self.deployment.num_nodes(), self.config.battery_capacity_uj);
         self.loss_rng = stream_rng(self.config.seed, &[0x10_55]);
+        self.scope_loss_rngs.clear();
+        self.current_scope = None;
         self.current_epoch = 0;
     }
 
@@ -288,7 +315,17 @@ impl Network {
             if attempt > 1 {
                 self.metrics.note_retransmission(msg.epoch, phase);
             }
-            let lost = loss > 0.0 && self.loss_rng.gen_bool(loss.min(1.0));
+            let lost = loss > 0.0 && {
+                let seed = self.config.seed;
+                let rng = match self.current_scope {
+                    Some(scope) => self
+                        .scope_loss_rngs
+                        .entry(scope)
+                        .or_insert_with(|| stream_rng(seed, &[0x10_55, 1 + u64::from(scope)])),
+                    None => &mut self.loss_rng,
+                };
+                rng.gen_bool(loss.min(1.0))
+            };
             self.metrics.record_transmission(
                 msg.from,
                 msg.to,
@@ -685,6 +722,36 @@ mod tests {
         assert!(!n.send(Message::data(9, 4, 0, 1), PhaseTag::Update), "the broken link loses all");
         assert!(n.send(Message::data(8, 7, 0, 1), PhaseTag::Update), "other links are clean");
         assert_eq!(n.metrics().totals().dropped_messages, 1);
+    }
+
+    #[test]
+    fn scoped_loss_streams_are_independent_of_interleaving() {
+        let config = || NetworkConfig {
+            radio: RadioModel::mica2().with_loss(0.4),
+            ..NetworkConfig::mica2().with_seed(11)
+        };
+        // Run A: scope-3 sends interleaved with scope-5 sends sharing the substrate.
+        let mut a = net(config());
+        let mut a3 = Vec::new();
+        for i in 0..60 {
+            a.set_query_scope(Some(3));
+            a3.push(a.send(Message::data(9, 4, i, 1), PhaseTag::Update));
+            a.set_query_scope(Some(5));
+            a.send(Message::data(8, 7, i, 1), PhaseTag::Update);
+        }
+        // Run B: scope 3 runs alone.
+        let mut b = net(config());
+        b.set_query_scope(Some(3));
+        let b3: Vec<bool> = (0..60).map(|i| b.send(Message::data(9, 4, i, 1), PhaseTag::Update)).collect();
+        assert_eq!(a3, b3, "a scope's channel must not depend on other scopes' traffic");
+        // And the attribution ledger sees only the scope's own traffic.
+        assert_eq!(a.query_totals(3).messages, b.query_totals(3).messages);
+        assert_eq!(a.query_totals(5).messages, 60);
+        assert_eq!(b.query_totals(5).messages, 0);
+        // Resetting the accounting clears the scope ledgers and streams.
+        a.reset_accounting();
+        assert_eq!(a.query_totals(3).messages, 0, "reset clears scope ledgers");
+        assert_eq!(a.metrics().current_scope(), None);
     }
 
     #[test]
