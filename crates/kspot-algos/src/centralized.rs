@@ -35,7 +35,9 @@ impl SnapshotAlgorithm for CentralizedCollection {
         // descendants; on a healthy network the per-node tuple count is exactly the
         // subtree size.  The raw readings are threaded through the relays so that under
         // fault injection the sink honestly answers from what was *delivered*: a
-        // dropped report loses the whole batch it carried.
+        // dropped report loses the whole batch it carried.  Reports enter through the
+        // scheduler-aware send_report_up, so under frame batching the raw batch rides
+        // the hop's shared frame.
         let reading_of: BTreeMap<NodeId, &Reading> = readings.iter().map(|r| (r.node, r)).collect();
         let mut inbox: BTreeMap<NodeId, Vec<Reading>> = BTreeMap::new();
         for node in net.tree().post_order() {

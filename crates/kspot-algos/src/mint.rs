@@ -240,6 +240,9 @@ impl MintViews {
             // Update phase: silent when nothing survived the pruning.  A report that is
             // dropped after its ARQ retries degrades to partial data — the sink then
             // fails certification for the affected groups and probes them instead.
+            // (send_report_up is the scheduler-aware entry point: under frame batching
+            // this view shares one frame with every other session reporting from the
+            // node this epoch, and the delivery outcome is the whole frame's.)
             if !view.is_empty() {
                 if let Some(parent) =
                     net.send_report_up(node, epoch, view.len() as u32, 0, PhaseTag::Update)

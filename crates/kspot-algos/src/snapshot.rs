@@ -97,6 +97,12 @@ pub fn exact_reference(spec: &SnapshotSpec, readings: &[Reading]) -> TopKResult 
 /// its traffic starts — callers that need per-query accounting install a metrics
 /// scope there (see [`Network::set_query_scope`]); the scope is cleared when the
 /// epoch's sweep is complete.  Results are returned in algorithm order.
+///
+/// This driver is also the epoch boundary of the frame scheduler: each algorithm's
+/// report path enqueues intents through [`Network::send_report_up`], and once every
+/// query's sweep is done the driver flushes the epoch's merged report frames
+/// ([`Network::flush_frames`] — a no-op unless the substrate has frame batching
+/// enabled), so all sessions' per-node reports leave as one frame per hop.
 pub fn run_shared_epoch(
     algos: &mut [&mut dyn SnapshotAlgorithm],
     net: &mut Network,
@@ -114,6 +120,7 @@ pub fn run_shared_epoch(
         })
         .collect();
     net.set_query_scope(None);
+    net.flush_frames();
     results
 }
 

@@ -42,6 +42,11 @@ impl TagTopK {
 /// participating ancestor), and a report that is dropped after its ARQ retries simply
 /// never reaches the parent — the sink's view then covers exactly the data that was
 /// delivered.
+///
+/// Reports go through [`Network::send_report_up`], so on a frame-batching substrate
+/// each per-node report is an *intent* that the scheduler merges with every other
+/// session's report for the same hop; the returned delivery outcome is the merged
+/// frame's fate, shared by all riders.
 pub(crate) fn convergecast_full(
     net: &mut Network,
     readings: &[Reading],

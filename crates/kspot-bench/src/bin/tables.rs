@@ -1,19 +1,22 @@
-//! Prints the experiment tables (E1–E12) that regenerate the paper's quantitative
-//! claims and the engine's throughput trajectory.
+//! Prints the experiment tables (E1–E13) that regenerate the paper's quantitative
+//! claims and the engine's perf trajectory.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p kspot-bench --bin tables -- all
 //! cargo run --release -p kspot-bench --bin tables -- e1 e2 e9
-//! cargo run --release -p kspot-bench --bin tables -- e12   # also writes BENCH_engine.json
+//! cargo run --release -p kspot-bench --bin tables -- e12 e13   # also writes BENCH_engine.json
 //! ```
 //!
-//! `e12` additionally writes its machine-readable results to `BENCH_engine.json` in the
-//! current directory (override the path with the `BENCH_ENGINE_OUT` environment
-//! variable, and set `KSPOT_BENCH_SMOKE=1` for CI-sized runs).
+//! `e12` (engine throughput) and `e13` (frame-batching savings) additionally write
+//! their machine-readable results to `BENCH_engine.json` in the current directory —
+//! one merged `{"schema": 2, "experiments": [...]}` document that the `bench-smoke`
+//! CI job uploads per merge and `scripts/bench_trend_check.py` compares across runs.
+//! Override the path with the `BENCH_ENGINE_OUT` environment variable, and set
+//! `KSPOT_BENCH_SMOKE=1` for CI-sized runs.
 
-use kspot_bench::{e12_engine_throughput, run, ALL_EXPERIMENTS};
+use kspot_bench::{e12_engine_throughput, e13_frame_batching, run, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,25 +27,40 @@ fn main() {
     };
 
     let mut unknown = Vec::new();
+    // The perf-trajectory experiments double as machine-readable artifacts; collect
+    // their JSON fragments and write one merged document at the end.
+    let mut artifacts: Vec<String> = Vec::new();
     for id in &requested {
         if id.eq_ignore_ascii_case("e12") {
-            // The throughput experiment doubles as the perf-trajectory artifact.
             let (table, json) = e12_engine_throughput();
             println!("{table}");
-            let path = std::env::var("BENCH_ENGINE_OUT")
-                .unwrap_or_else(|_| "BENCH_engine.json".to_string());
-            match std::fs::write(&path, json) {
-                Ok(()) => eprintln!("wrote {path}"),
-                Err(e) => {
-                    eprintln!("failed to write {path}: {e}");
-                    std::process::exit(1);
-                }
-            }
+            artifacts.push(json.trim().to_string());
+            continue;
+        }
+        if id.eq_ignore_ascii_case("e13") {
+            let (table, json) = e13_frame_batching();
+            println!("{table}");
+            artifacts.push(json.trim().to_string());
             continue;
         }
         match run(id) {
             Some(table) => println!("{table}"),
             None => unknown.push(id.clone()),
+        }
+    }
+    if !artifacts.is_empty() {
+        let json = format!(
+            "{{\n\"schema\": 2,\n\"experiments\": [\n{}\n]\n}}\n",
+            artifacts.join(",\n")
+        );
+        let path = std::env::var("BENCH_ENGINE_OUT")
+            .unwrap_or_else(|_| "BENCH_engine.json".to_string());
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     if !unknown.is_empty() {

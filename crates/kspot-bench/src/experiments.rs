@@ -19,9 +19,9 @@ use kspot_query::AggFunc;
 
 /// The identifiers of every experiment in the suite.
 pub const ALL_EXPERIMENTS: &[&str] =
-    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
-/// Runs one experiment by id ("e1" … "e10"), returning its table.
+/// Runs one experiment by id ("e1" … "e13"), returning its table.
 pub fn run(id: &str) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1_figure1()),
@@ -36,6 +36,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e10" => Some(e10_aggregate_mix()),
         "e11" => Some(e11_fault_sweep()),
         "e12" => Some(e12_engine_throughput().0),
+        "e13" => Some(e13_frame_batching().0),
         _ => None,
     }
 }
@@ -635,6 +636,112 @@ fn engine_throughput_sized(
     (table, json)
 }
 
+// ---------------------------------------------------------------------------------
+// E13 — cross-query frame batching
+// ---------------------------------------------------------------------------------
+
+/// E13: the byte savings of cross-query frame batching (ADR-004) versus session count
+/// — the same engine workload run twice, with the frame scheduler off and on, on a
+/// lossless substrate so the answers are guaranteed byte-identical and the whole delta
+/// is per-frame overhead.  Returns the printable table plus the JSON fragment the
+/// `tables` binary folds into `BENCH_engine.json` next to E12's throughput rows.
+///
+/// Set `KSPOT_BENCH_SMOKE=1` to shrink the sizes for CI smoke runs.
+pub fn e13_frame_batching() -> (Table, String) {
+    if std::env::var("KSPOT_BENCH_SMOKE").is_ok() {
+        frame_batching_sized(10, &[1, 2, 4], ScenarioConfig::conference())
+    } else {
+        let deployment =
+            Deployment::clustered_rooms(8, 8, 20.0, kspot_net::rng::topology_seed(13));
+        let scenario = ScenarioConfig::custom("batching venue", "sound", deployment);
+        frame_batching_sized(60, &[1, 2, 4, 8], scenario)
+    }
+}
+
+/// The sized core of E13 (the unit tests call it with tiny parameters).
+fn frame_batching_sized(
+    epochs: usize,
+    session_counts: &[usize],
+    scenario: ScenarioConfig,
+) -> (Table, String) {
+    use std::time::Instant;
+
+    let server = KSpotServer::new(scenario).with_seed(13);
+    let sql_for = |i: usize| -> String {
+        match i % 4 {
+            0 => format!("SELECT TOP {} roomid, AVG(sound) FROM sensors GROUP BY roomid", 1 + i % 3),
+            1 => format!("SELECT TOP {} roomid, MAX(sound) FROM sensors GROUP BY roomid", 1 + i % 4),
+            2 => "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid".to_string(),
+            _ => "SELECT TOP 2 nodeid, sound FROM sensors".to_string(),
+        }
+    };
+
+    let mut table = Table::new(
+        format!("E13 — cross-query frame batching: upstream bytes and qps vs session count ({epochs} epochs)"),
+        "One merged frame per node per epoch instead of one per session: savings grow with the session count while every session's answers stay byte-identical (lossless substrate).",
+        &["sessions", "bytes off", "bytes on", "bytes/epoch off", "bytes/epoch on", "saved", "qps off", "qps on", "identical"],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for &n in session_counts {
+        let run = |batched: bool| {
+            let mut engine = server.engine().with_frame_batching(batched);
+            for i in 0..n {
+                engine.register(&sql_for(i)).expect("the batch queries admit");
+            }
+            let t = Instant::now();
+            engine.run_epochs(epochs);
+            let secs = t.elapsed().as_secs_f64();
+            let answers: Vec<_> =
+                engine.session_ids().iter().map(|&id| engine.results(id).unwrap().to_vec()).collect();
+            (engine.metrics().totals().bytes, secs, answers)
+        };
+        let (bytes_off, secs_off, answers_off) = run(false);
+        let (bytes_on, secs_on, answers_on) = run(true);
+        let identical = answers_off == answers_on;
+        let saved_pct = if bytes_off > 0 {
+            (1.0 - bytes_on as f64 / bytes_off as f64) * 100.0
+        } else {
+            0.0
+        };
+        let qps = |secs: f64| if secs > 0.0 { n as f64 / secs } else { f64::INFINITY };
+        table.push_row(vec![
+            n.to_string(),
+            bytes_off.to_string(),
+            bytes_on.to_string(),
+            fmt_f(bytes_off as f64 / epochs as f64, 1),
+            fmt_f(bytes_on as f64 / epochs as f64, 1),
+            format!("{}%", fmt_f(saved_pct, 1)),
+            fmt_f(qps(secs_off), 1),
+            fmt_f(qps(secs_on), 1),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"sessions\": {}, \"unbatched_bytes\": {}, \"batched_bytes\": {}, ",
+                "\"unbatched_bytes_per_epoch\": {:.2}, \"batched_bytes_per_epoch\": {:.2}, ",
+                "\"saved_pct\": {:.2}, \"unbatched_qps\": {:.2}, \"batched_qps\": {:.2}, ",
+                "\"answers_identical\": {}}}"
+            ),
+            n,
+            bytes_off,
+            bytes_on,
+            bytes_off as f64 / epochs as f64,
+            bytes_on as f64 / epochs as f64,
+            saved_pct,
+            qps(secs_off),
+            qps(secs_on),
+            identical,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"frame-batching\",\n  \"epochs\": {epochs},\n  \"rows\": [\n{}\n  ]\n}}",
+        json_rows.join(",\n")
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +802,24 @@ mod tests {
         assert!(json.contains("\"experiment\": \"engine-throughput\""));
         assert!(json.contains("\"parallel_identical_to_serial\": true"));
         assert!(json.contains("\"cores\""));
+        assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
+    }
+
+    #[test]
+    fn e13_batching_saves_bytes_without_changing_answers() {
+        let (table, json) = frame_batching_sized(6, &[1, 3], ScenarioConfig::conference());
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "yes", "lossless batching must keep answers: {row:?}");
+            let off: u64 = row[1].parse().unwrap();
+            let on: u64 = row[2].parse().unwrap();
+            assert!(on <= off, "batching must not spend more bytes: {row:?}");
+        }
+        // More sessions → more per-frame overhead amortised → bigger relative savings.
+        let saved = |row: &Vec<String>| row[5].trim_end_matches('%').parse::<f64>().unwrap();
+        assert!(saved(&table.rows[1]) > saved(&table.rows[0]), "{:?}", table.rows);
+        assert!(json.contains("\"experiment\": \"frame-batching\""));
+        assert!(json.contains("\"answers_identical\": true"));
         assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
     }
 

@@ -6,6 +6,9 @@
 //!
 //! * `cargo run -p kspot-bench --bin tables -- all` prints every table;
 //! * `cargo run -p kspot-bench --bin tables -- e4 e6` prints a selection;
+//! * `cargo run -p kspot-bench --bin tables -- e12 e13` also writes the
+//!   `BENCH_engine.json` perf-trajectory artifact (engine throughput + frame-batching
+//!   savings) that the `bench-smoke` CI job uploads and trend-checks;
 //! * `cargo bench` runs the criterion counterparts (snapshot, sweep_k, sweep_n,
 //!   historic).
 
@@ -15,5 +18,5 @@
 pub mod experiments;
 pub mod table;
 
-pub use experiments::{e12_engine_throughput, run, run_all, ALL_EXPERIMENTS};
+pub use experiments::{e12_engine_throughput, e13_frame_batching, run, run_all, ALL_EXPERIMENTS};
 pub use table::Table;

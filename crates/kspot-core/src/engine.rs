@@ -33,11 +33,39 @@
 //! observes — and it is asserted cell-by-cell by `tests/engine_cells.rs` against the
 //! kspot-testkit scenario matrix.
 //!
+//! ## Frame batching (cross-query traffic sharing)
+//!
+//! By default every session's per-node reports still leave as their own radio frames —
+//! the byte-identical-to-solo guarantee above holds verbatim.  Opting in with
+//! [`QueryEngine::with_frame_batching`] routes all sessions' report traffic through
+//! the substrate's frame scheduler (`kspot_net::schedule`, ADR-004): each epoch, every
+//! node's reports across **all** active sessions are piggy-backed into one merged
+//! frame per hop — one preamble and header instead of one per session.  The guarantee
+//! is then restated: per-session *answers* are identical to the unbatched run on a
+//! lossless substrate, and total upstream bytes never exceed the unbatched run's;
+//! on lossy substrates the channel is drawn per *frame* (all riders share each frame's
+//! fate), so per-session loss patterns legitimately differ from the solo run.
+//!
+//! ## Battery coupling and [`QueryEngine::depleted_during_run`]
+//!
+//! Batteries are a genuinely shared resource and the engine deliberately keeps them
+//! coupled: every session's traffic drains the same cells, so on a nearly drained
+//! field admitting one more query can kill a relay earlier than it would die solo,
+//! changing participation — and therefore answers — for *everyone*.  This is intended
+//! physics, not nondeterminism (runs still replay bit-for-bit); it merely voids the
+//! cross-composition byte-identity guarantees, which are scoped to non-depleting runs.
+//! The engine surfaces the boundary instead of hiding it: the per-session
+//! [`QueryEngine::depleted_during_run`] flag reports whether any node's battery was
+//! exhausted during an epoch the session took part in.  A `false` flag certifies the
+//! session ran entirely in the guarantee regime; a `true` flag marks its answers as
+//! battery-coupled to the concurrent session mix (see ADR-004).
+//!
 //! A parallel *batch* front-end ([`crate::KSpotServer::submit_batch`]) complements the
 //! engine for offline workloads: independent executions fan out across cores with
 //! `std::thread::scope` and return results byte-identical to the serial order.
 
 use crate::config::ScenarioConfig;
+use crate::panel::StrategyReport;
 use crate::server::WorkloadSpec;
 use kspot_algos::{
     run_shared_epoch, CentralizedCollection, FilaMonitor, MintViews, SnapshotAlgorithm,
@@ -73,6 +101,9 @@ struct Session {
     /// Engine epoch index (not workload epoch number) at which the session joined.
     registered_at: u64,
     status: SessionStatus,
+    /// True once some node's battery was exhausted during an epoch this session took
+    /// part in — the boundary marker of the byte-identity guarantees (module docs).
+    depleted_during_run: bool,
 }
 
 impl Session {
@@ -140,6 +171,7 @@ pub struct QueryEngine {
     sessions: BTreeMap<QueryId, Session>,
     next_id: QueryId,
     epochs_run: u64,
+    frame_batching: bool,
 }
 
 impl QueryEngine {
@@ -209,6 +241,7 @@ impl QueryEngine {
             sessions: BTreeMap::new(),
             next_id: 0,
             epochs_run: 0,
+            frame_batching: false,
         }
     }
 
@@ -237,6 +270,7 @@ impl QueryEngine {
         let (net, workload) =
             Self::build_substrate(&self.scenario, &self.workload_spec, &self.net_config, self.seed);
         self.net = net;
+        self.net.set_frame_batching(self.frame_batching);
         self.workload = workload;
     }
 
@@ -268,6 +302,26 @@ impl QueryEngine {
     pub fn with_max_sessions(mut self, max: usize) -> Self {
         self.max_sessions = max.max(1);
         self
+    }
+
+    /// Switches cross-query traffic sharing on or off (default **off**).
+    ///
+    /// Off, the engine preserves ADR-003's guarantee verbatim: each session's answers
+    /// and attributed metrics are byte-identical shared vs solo.  On, all sessions'
+    /// per-epoch reports are piggy-backed into one merged frame per node per epoch via
+    /// the substrate's frame scheduler — the guarantee becomes *answer*-identical to
+    /// the unbatched run on lossless substrates plus total-bytes-≤ (see the module
+    /// docs and ADR-004).  May be toggled between runs; unlike the substrate builders
+    /// it does not rebuild (and therefore also works on injected substrates).
+    pub fn with_frame_batching(mut self, on: bool) -> Self {
+        self.frame_batching = on;
+        self.net.set_frame_batching(on);
+        self
+    }
+
+    /// True while cross-query frame batching is enabled.
+    pub fn frame_batching(&self) -> bool {
+        self.frame_batching
     }
 
     /// The configured scenario.
@@ -327,6 +381,7 @@ impl QueryEngine {
                 results: Vec::new(),
                 registered_at: self.epochs_run,
                 status: SessionStatus::Active,
+                depleted_during_run: false,
             },
         );
         Ok(id)
@@ -380,8 +435,16 @@ impl QueryEngine {
             let results = run_shared_epoch(&mut algos, &mut self.net, &readings, |net, i| {
                 net.set_query_scope(Some(ids[i]));
             });
+            // Shared drain is intended physics (module docs): if the epoch exhausted —
+            // or ran on — a depleted battery, every session that took part leaves the
+            // byte-identity guarantee regime and is flagged.
+            let depleted = !self.net.is_alive();
             for (id, result) in ids.iter().zip(results) {
-                self.sessions.get_mut(id).expect("session exists").results.push(result);
+                let session = self.sessions.get_mut(id).expect("session exists");
+                session.results.push(result);
+                if depleted {
+                    session.depleted_during_run = true;
+                }
             }
             self.epochs_run += 1;
             // A session whose LIFETIME was fully served this epoch completes now, so
@@ -427,10 +490,36 @@ impl QueryEngine {
         self.session(id).and_then(|s| s.results.last())
     }
 
+    /// Whether some node's battery was exhausted during an epoch this session took
+    /// part in.  `Some(false)` certifies the session ran entirely inside the
+    /// byte-identity guarantee regime; `Some(true)` marks its answers as
+    /// battery-coupled to the concurrent session mix (see the module docs and
+    /// ADR-004).  `None` for unknown session ids.
+    pub fn depleted_during_run(&self, id: QueryId) -> Option<bool> {
+        self.session(id).map(|s| s.depleted_during_run)
+    }
+
     /// The message/byte/energy totals attributed to one session — the per-query slice
     /// of the shared substrate's ledger.
     pub fn query_totals(&self, id: QueryId) -> PhaseTotals {
         self.net.query_totals(id)
+    }
+
+    /// A session's traffic broken down per algorithm phase (Creation, Update, Probe,
+    /// …) — the scope×phase slice of the shared ledger, in phase order.
+    pub fn query_phase_totals(&self, id: QueryId) -> Vec<(kspot_net::PhaseTag, PhaseTotals)> {
+        self.net.metrics().scope_phases(id).collect()
+    }
+
+    /// A System-Panel [`StrategyReport`] for one session, built from its attribution
+    /// scope alone — per-query totals and a per-phase table without a dedicated solo
+    /// run.  The per-node breakdown is not scoped, so the report carries no
+    /// bottleneck-energy estimate (see [`StrategyReport::from_scope`]).
+    pub fn session_report(&self, id: QueryId) -> Option<StrategyReport> {
+        let session = self.session(id)?;
+        let name = format!("session {id}: {}", session.algorithm.name());
+        let epochs = session.results.len();
+        Some(StrategyReport::from_scope(name, self.net.metrics(), id, epochs))
     }
 
     /// The shared substrate's full metrics ledger (all sessions plus the unscoped
@@ -589,6 +678,87 @@ mod tests {
         engine
             .register(EIGHT_QUERIES[1])
             .expect("the slot frees the moment the lifetime is served");
+    }
+
+    #[test]
+    fn frame_batching_keeps_answers_and_saves_bytes_on_a_lossless_field() {
+        let run = |batched: bool| {
+            let mut e = engine(13).with_frame_batching(batched);
+            assert_eq!(e.frame_batching(), batched);
+            let ids: Vec<QueryId> =
+                EIGHT_QUERIES.iter().map(|sql| e.register(sql).unwrap()).collect();
+            e.run_epochs(16);
+            let answers: Vec<_> = ids.iter().map(|&id| e.results(id).unwrap().to_vec()).collect();
+            let scoped_bytes: u64 = ids.iter().map(|&id| e.query_totals(id).bytes).sum();
+            (answers, e.metrics().totals(), scoped_bytes)
+        };
+        let (plain_answers, plain_totals, _) = run(false);
+        let (batched_answers, batched_totals, batched_scoped) = run(true);
+        assert_eq!(
+            plain_answers, batched_answers,
+            "on a lossless substrate batching must not change any session's answers"
+        );
+        assert_eq!(plain_totals.tuples, batched_totals.tuples, "the same payload moves");
+        assert!(
+            batched_totals.bytes < plain_totals.bytes,
+            "merged frames must save overhead: {} vs {}",
+            batched_totals.bytes,
+            plain_totals.bytes
+        );
+        assert!(batched_totals.messages < plain_totals.messages);
+        // The attribution conservation law: all radio traffic is scoped, and the
+        // pro-rata shares partition every merged frame exactly.
+        assert_eq!(batched_scoped, batched_totals.bytes);
+    }
+
+    #[test]
+    fn depleted_during_run_flags_exactly_the_sessions_that_shared_the_drained_field() {
+        // A battery that survives the first two epochs of traffic and then dies
+        // (relay nodes on the conference scenario draw a few thousand µJ per epoch).
+        let mut engine = QueryEngine::new(ScenarioConfig::conference())
+            .with_network_config(NetworkConfig::mica2().with_battery_uj(10_000.0))
+            .with_seed(1);
+        let early = engine
+            .register("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 2 epochs")
+            .unwrap();
+        let witness = engine.register(EIGHT_QUERIES[0]).unwrap();
+        engine.run_epochs(2);
+        assert_eq!(engine.status(early), Some(SessionStatus::Completed));
+        assert_eq!(
+            engine.depleted_during_run(early),
+            Some(false),
+            "the short session finished before any battery died"
+        );
+        engine.run_epochs(10);
+        assert_eq!(
+            engine.depleted_during_run(witness),
+            Some(true),
+            "the long session ran epochs on a field with an exhausted battery"
+        );
+        assert_eq!(engine.depleted_during_run(early), Some(false), "completed sessions stay unflagged");
+        assert_eq!(engine.depleted_during_run(99), None);
+    }
+
+    #[test]
+    fn session_reports_carve_the_per_query_phase_table_out_of_the_shared_ledger() {
+        let mut engine = engine(4);
+        let mint = engine.register(EIGHT_QUERIES[0]).unwrap();
+        let raw = engine.register(EIGHT_QUERIES[5]).unwrap();
+        engine.run_epochs(8);
+
+        let report = engine.session_report(mint).expect("session exists");
+        assert!(report.name.contains("MINT"));
+        assert_eq!(report.epochs, 8);
+        assert_eq!(report.totals, engine.query_totals(mint));
+        assert!(!report.phases.is_empty(), "the scope×phase table is populated");
+        let phase_bytes: u64 = report.phases.iter().map(|(_, t)| t.bytes).sum();
+        assert_eq!(phase_bytes, report.totals.bytes, "phases partition the scope's bytes");
+
+        // The raw-collection session only ever moves Update traffic.
+        let raw_phases = engine.query_phase_totals(raw);
+        assert_eq!(raw_phases.len(), 1);
+        assert_eq!(raw_phases[0].0, kspot_net::PhaseTag::Update);
+        assert!(engine.session_report(99).is_none());
     }
 
     #[test]

@@ -37,6 +37,27 @@ impl StrategyReport {
         }
     }
 
+    /// Builds a report from one query scope's slice of a **shared** ledger — the
+    /// per-query totals and phase table of a session served by the multi-query engine,
+    /// with no dedicated solo run.  Per-node counters are not scoped, so the report
+    /// carries no bottleneck-energy estimate (`bottleneck_energy_uj` is zero and
+    /// [`Self::lifetime_epochs`] reports infinity); use a whole-run report when the
+    /// lifetime read-out matters.
+    pub fn from_scope(
+        name: impl Into<String>,
+        metrics: &NetworkMetrics,
+        scope: kspot_net::QueryScope,
+        epochs: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            totals: metrics.scope(scope),
+            phases: metrics.scope_phases(scope).map(|(tag, totals)| (tag.to_string(), totals)).collect(),
+            bottleneck_energy_uj: 0.0,
+            epochs,
+        }
+    }
+
     /// Estimated network lifetime in epochs for a given per-node battery capacity: the
     /// bottleneck node's average energy per epoch determines when the first node dies.
     pub fn lifetime_epochs(&self, battery_capacity_uj: f64) -> f64 {
@@ -54,12 +75,23 @@ pub struct SystemPanel {
     pub kspot: StrategyReport,
     /// Baseline executions of the same query (TAG, centralized collection, …).
     pub baselines: Vec<StrategyReport>,
+    /// Per-query-session reports ([`StrategyReport::from_scope`]): each registered
+    /// session's attributed totals and phase table, carved out of the shared ledger
+    /// without any solo run.  Empty for panels that describe a single dedicated
+    /// execution.
+    pub sessions: Vec<StrategyReport>,
 }
 
 impl SystemPanel {
     /// Creates the panel.
     pub fn new(kspot: StrategyReport, baselines: Vec<StrategyReport>) -> Self {
-        Self { kspot, baselines }
+        Self { kspot, baselines, sessions: Vec::new() }
+    }
+
+    /// Attaches per-session scope reports (the per-query phase table).
+    pub fn with_sessions(mut self, sessions: Vec<StrategyReport>) -> Self {
+        self.sessions = sessions;
+        self
     }
 
     /// Savings of the KSpot run against the named baseline, if that baseline exists.
@@ -125,6 +157,26 @@ impl fmt::Display for SystemPanel {
                 "│   kspot phase {:<18} {:>6} msgs {:>10} B",
                 phase, totals.messages, totals.bytes
             )?;
+        }
+        for session in &self.sessions {
+            writeln!(
+                f,
+                "│ {:<28} {:>10} {:>12} {:>14.2} {:>12}",
+                session.name,
+                session.totals.messages,
+                session.totals.bytes,
+                session.totals.energy_uj / 1000.0,
+                session.totals.tuples
+            )?;
+            for (phase, totals) in &session.phases {
+                writeln!(
+                    f,
+                    "│   {:<26} {:>6} msgs {:>10} B",
+                    format!("└ {phase}"),
+                    totals.messages,
+                    totals.bytes
+                )?;
+            }
         }
         write!(f, "└───────────────────────────────────────────────────────────────")
     }

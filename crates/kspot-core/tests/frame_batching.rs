@@ -1,0 +1,178 @@
+//! Frame-batching semantics, checked against the kspot-testkit scenario matrix
+//! (ADR-004): on every smoke-equivalent cell, piggy-backing all sessions' reports into
+//! one merged frame per node per epoch must
+//!
+//! 1. never spend more total upstream bytes than the unbatched run,
+//! 2. keep the per-scope attribution a exact decomposition of the shared ledger, and
+//! 3. leave every session's per-epoch answers byte-identical to the unbatched run on
+//!    lossless cells (on lossy cells the channel is legitimately drawn per *frame*,
+//!    so only the conservation and bytes-≤ claims apply).
+//!
+//! The unbatched (default) path itself is covered by `engine_cells.rs`, which pins the
+//! ADR-003 byte-identity guarantee cell by cell — those tests run unchanged, which is
+//! what "the legacy path is preserved verbatim" means operationally.
+
+use kspot_core::{QueryEngine, QueryId, ScenarioConfig};
+use kspot_net::rng::mix_seed;
+use kspot_testkit::{
+    check_ledger, check_scope_attribution, FaultProfile, ScenarioCell, TopologyKind,
+    WorkloadProfile,
+};
+
+/// The four concurrent queries every cell registers: one per continuous strategy
+/// (MINT snapshot Top-K, TAG aggregation, centralized raw collection, FILA node
+/// monitoring).
+const QUERIES: [&str; 4] = [
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT * FROM sensors",
+    "SELECT TOP 2 nodeid, sound FROM sensors",
+];
+
+/// The smoke-equivalent cell set (mirrors `engine_cells.rs`).
+fn smoke_cells() -> Vec<ScenarioCell> {
+    let topologies = [TopologyKind::ClusteredRooms, TopologyKind::LinearChain];
+    let workloads = [WorkloadProfile::RoomCorrelated, WorkloadProfile::DriftingHotSpot];
+    let faults = [FaultProfile::Lossless, FaultProfile::LossyLinks, FaultProfile::NodeDeath];
+    let mut cells = Vec::new();
+    for (ti, &topology) in topologies.iter().enumerate() {
+        for (wi, &workload) in workloads.iter().enumerate() {
+            for (fi, &fault) in faults.iter().enumerate() {
+                cells.push(ScenarioCell {
+                    topology,
+                    workload,
+                    fault,
+                    nodes: 12,
+                    groups: 4,
+                    k: 2,
+                    epochs: 12,
+                    window: 16,
+                    master_seed: mix_seed(0xF4A8, &[ti as u64, wi as u64, fi as u64]),
+                });
+            }
+        }
+    }
+    assert_eq!(cells.len(), 12);
+    cells
+}
+
+/// Boots an engine over a cell's exact substrate, with or without frame batching, and
+/// registers every query.
+fn engine_for(cell: &ScenarioCell, batched: bool) -> (QueryEngine, Vec<QueryId>) {
+    let d = cell.deployment();
+    let scenario = ScenarioConfig::custom(cell.label(), "sound", d.clone());
+    let mut engine = QueryEngine::from_substrate(scenario, cell.network(&d), cell.workload(&d))
+        .with_frame_batching(batched);
+    let ids = QUERIES
+        .iter()
+        .map(|sql| engine.register(sql).unwrap_or_else(|e| panic!("{}: {sql}: {e}", cell.label())))
+        .collect();
+    (engine, ids)
+}
+
+#[test]
+fn batching_never_spends_more_bytes_and_conserves_attribution_on_every_smoke_cell() {
+    for cell in smoke_cells() {
+        let label = cell.label();
+        let (mut plain, ids) = engine_for(&cell, false);
+        plain.run_epochs(cell.epochs);
+        let (mut batched, ids2) = engine_for(&cell, true);
+        assert_eq!(ids, ids2, "{label}: registration order must reproduce ids");
+        batched.run_epochs(cell.epochs);
+
+        // (1) One merged frame per hop can only remove per-session overhead.
+        let plain_totals = plain.metrics().totals();
+        let batched_totals = batched.metrics().totals();
+        assert!(
+            batched_totals.bytes <= plain_totals.bytes,
+            "{label}: batching spent more bytes ({} > {})",
+            batched_totals.bytes,
+            plain_totals.bytes
+        );
+        assert!(
+            batched_totals.messages <= plain_totals.messages,
+            "{label}: batching put more frames on the air ({} > {})",
+            batched_totals.messages,
+            plain_totals.messages
+        );
+
+        // (2) Attribution conservation: every transmission of the engine runs under a
+        // session scope, and the merged-frame shares partition the ledger exactly.
+        for (who, engine) in [("unbatched", &plain), ("batched", &batched)] {
+            let violations = check_scope_attribution(engine.metrics(), true);
+            assert!(violations.is_empty(), "{label} ({who}): {violations:?}");
+            let ledger = check_ledger(engine.metrics());
+            assert!(ledger.is_empty(), "{label} ({who}): {ledger:?}");
+        }
+
+        // (3) On lossless cells, every session's answers are byte-identical; a lossy
+        // or death channel is drawn per frame under batching, so there only the
+        // invariants above are claimed.
+        if cell.fault.is_lossless() {
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(
+                    plain.results(id),
+                    batched.results(id),
+                    "{label}: query {i} ({}) answers diverged under lossless batching",
+                    QUERIES[i]
+                );
+            }
+            assert_eq!(
+                plain_totals.tuples, batched_totals.tuples,
+                "{label}: lossless batching must move the identical payload"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_runs_replay_bit_for_bit() {
+    let cell = ScenarioCell {
+        topology: TopologyKind::ClusteredRooms,
+        workload: WorkloadProfile::RoomCorrelated,
+        fault: FaultProfile::LossyLinks,
+        nodes: 12,
+        groups: 4,
+        k: 2,
+        epochs: 12,
+        window: 16,
+        master_seed: mix_seed(0xF4A8, &[77]),
+    };
+    let run = || {
+        let (mut engine, ids) = engine_for(&cell, true);
+        engine.run_epochs(cell.epochs);
+        ids.iter()
+            .map(|&id| (engine.results(id).unwrap().to_vec(), engine.query_totals(id)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "{}: the batched loop is not deterministic", cell.label());
+}
+
+#[test]
+fn toggling_batching_between_runs_keeps_the_ledger_coherent() {
+    // Batching is a runtime switch, not a substrate property: flip it between bursts
+    // of epochs and the conservation laws must hold across the mixed ledger.
+    let cell = ScenarioCell {
+        topology: TopologyKind::ClusteredRooms,
+        workload: WorkloadProfile::RoomCorrelated,
+        fault: FaultProfile::Lossless,
+        nodes: 12,
+        groups: 4,
+        k: 2,
+        epochs: 12,
+        window: 16,
+        master_seed: mix_seed(0xF4A8, &[88]),
+    };
+    let (mut engine, ids) = engine_for(&cell, false);
+    engine.run_epochs(4);
+    let mut engine = engine.with_frame_batching(true);
+    engine.run_epochs(4);
+    let mut engine = engine.with_frame_batching(false);
+    engine.run_epochs(4);
+    for &id in &ids {
+        assert_eq!(engine.results(id).unwrap().len(), 12);
+    }
+    let violations = check_scope_attribution(engine.metrics(), true);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(check_ledger(engine.metrics()).is_empty());
+}

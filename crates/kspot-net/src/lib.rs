@@ -18,8 +18,12 @@
 //!   (the paper cites MicroHash for this role);
 //! * [`workload`] — synthetic sensed-value generators (room-correlated sound levels,
 //!   random-walk temperature fields, uniform and skewed distributions, trace replay);
-//! * [`metrics`] — message/byte/energy accounting per node, per epoch and per algorithm
-//!   phase — exactly the numbers KSpot's System Panel projects during the demo;
+//! * [`metrics`] — message/byte/energy accounting per node, per epoch, per algorithm
+//!   phase and per query scope (including a scope×phase breakdown) — exactly the
+//!   numbers KSpot's System Panel projects during the demo;
+//! * [`schedule`] — the per-epoch frame scheduler that piggy-backs all sessions'
+//!   per-node report traffic into one merged frame per `(node, direction)` per epoch
+//!   (one preamble + header instead of one per session);
 //! * [`sim`] — the [`sim::Network`] façade gluing all of the above together, the type
 //!   every algorithm in the workspace is written against.
 //!
@@ -38,6 +42,7 @@ pub mod message;
 pub mod metrics;
 pub mod radio;
 pub mod rng;
+pub mod schedule;
 pub mod sim;
 pub mod storage;
 pub mod topology;
@@ -50,6 +55,7 @@ pub use fault::{DutyCycle, FaultPlan};
 pub use message::{Message, MessageKind};
 pub use metrics::{NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, QueryScope, Savings};
 pub use radio::RadioModel;
+pub use schedule::{FrameScheduler, FrameSlice, ReportIntent};
 pub use sim::{Network, NetworkConfig};
 pub use storage::SlidingWindow;
 pub use topology::{Deployment, DeploymentKind, Position};

@@ -6,6 +6,13 @@
 //! energy through the [`crate::radio::RadioModel`].  Keeping messages symbolic makes the
 //! accounting exact and the algorithms easy to audit against their published
 //! pseudo-code.
+//!
+//! [`Message`] is the *single-hop, single-payload* unit.  Per-epoch report traffic
+//! should not construct `DataReport` messages directly: the preferred entry point is
+//! [`crate::sim::Network::send_report_up`], behind which the frame scheduler
+//! ([`crate::schedule`]) can merge **all** sessions' reports for a hop into one frame
+//! per epoch.  Constructing report messages by hand bypasses that merging and pays the
+//! full per-session overhead.
 
 use crate::types::{Epoch, NodeId};
 use serde::{Deserialize, Serialize};
@@ -20,7 +27,11 @@ pub enum MessageKind {
     /// Query dissemination (flooding the SQL query / epoch schedule down the tree).
     QueryDissemination,
     /// A per-epoch data report travelling towards the sink (TAG partial aggregates,
-    /// MINT view updates, raw tuples of the centralized baseline).
+    /// MINT view updates, raw tuples of the centralized baseline).  Under frame
+    /// batching one on-air report frame carries *several* sessions' payload slices at
+    /// once (see [`crate::schedule`]); enter report traffic through
+    /// [`crate::sim::Network::send_report_up`] rather than building these by hand, so
+    /// the scheduler can do that merging.
     DataReport,
     /// A threshold, filter bound or candidate list broadcast from the sink down the tree
     /// (MINT's `γ`/threshold dissemination, TJA's `L_sink`, FILA filter updates).

@@ -6,6 +6,7 @@
 //! and how much energy did the in-network Top-K execution save compared to shipping
 //! everything to the base station?
 
+use crate::schedule::FrameSlice;
 use crate::types::{Epoch, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -119,6 +120,7 @@ pub struct NetworkMetrics {
     per_phase: BTreeMap<PhaseTag, PhaseTotals>,
     per_epoch: BTreeMap<Epoch, PhaseTotals>,
     per_scope: BTreeMap<QueryScope, PhaseTotals>,
+    per_scope_phase: BTreeMap<(QueryScope, PhaseTag), PhaseTotals>,
     current_scope: Option<QueryScope>,
     totals: PhaseTotals,
 }
@@ -132,6 +134,7 @@ impl NetworkMetrics {
             per_phase: BTreeMap::new(),
             per_epoch: BTreeMap::new(),
             per_scope: BTreeMap::new(),
+            per_scope_phase: BTreeMap::new(),
             current_scope: None,
             totals: PhaseTotals::default(),
         }
@@ -173,15 +176,41 @@ impl NetworkMetrics {
         self.per_scope.iter().map(|(k, v)| (*k, *v))
     }
 
+    /// Totals attributed to one scope in one phase (zero if the pair never saw
+    /// traffic) — the scope×phase breakdown behind the System Panel's per-query phase
+    /// table.
+    pub fn scope_phase(&self, scope: QueryScope, tag: PhaseTag) -> PhaseTotals {
+        self.per_scope_phase.get(&(scope, tag)).copied().unwrap_or_default()
+    }
+
+    /// A scope's per-phase breakdown, in phase order.  The breakdown partitions the
+    /// scope's radio totals exactly; node-local energy (sensing, CPU) is booked to the
+    /// scope without a phase, so summed phase energy only bounds the scope's energy
+    /// from below.
+    pub fn scope_phases(
+        &self,
+        scope: QueryScope,
+    ) -> impl Iterator<Item = (PhaseTag, PhaseTotals)> + '_ {
+        // A filter rather than a key range: ranging would tie correctness to which
+        // PhaseTag variants happen to sort first and last, and the map stays tiny
+        // (scopes × phases).
+        self.per_scope_phase
+            .iter()
+            .filter(move |((s, _), _)| *s == scope)
+            .map(|((_, tag), v)| (*tag, *v))
+    }
+
     /// Applies one booking to every aggregate ledger an event belongs to: per-phase,
     /// per-epoch, grand total, and — when an attribution scope is installed — that
-    /// scope's totals.  Runs once per simulated transmission, so it must not allocate.
+    /// scope's totals and its scope×phase cell.  Runs once per simulated transmission,
+    /// so it must not allocate.
     fn book(&mut self, epoch: Epoch, phase: PhaseTag, mut apply: impl FnMut(&mut PhaseTotals)) {
         apply(self.per_phase.entry(phase).or_default());
         apply(self.per_epoch.entry(epoch).or_default());
         apply(&mut self.totals);
         if let Some(scope) = self.current_scope {
             apply(self.per_scope.entry(scope).or_default());
+            apply(self.per_scope_phase.entry((scope, phase)).or_default());
         }
     }
 
@@ -273,6 +302,162 @@ impl NetworkMetrics {
             totals.bytes += u64::from(bytes);
             totals.tuples += u64::from(tuples);
             totals.energy_uj += sensor_energy;
+        });
+    }
+
+    /// Records one on-air attempt of a **merged frame** (see [`crate::schedule`]): a
+    /// frame carrying several sessions' payload slices as one transmission.
+    ///
+    /// Booking policy (ADR-004): the per-node, per-epoch and grand-total ledgers see
+    /// one message of `frame_bytes` bytes — a merged frame really is one transmission
+    /// on the air.  On the per-phase axis the frame's *message* is booked under
+    /// `label_phase` (the phase of the intent that opened the frame) while bytes,
+    /// tuples and energy are partitioned per slice under each slice's own phase, so
+    /// the per-phase axis still sums to the totals exactly.  Each slice's scope is
+    /// booked the slice's attributed share (payload + pro-rata overhead) plus one
+    /// message — under batching a scope's message count therefore means "frames my
+    /// payload rode on" and scoped message sums may exceed the global count, while
+    /// scoped *bytes* always partition the ledger.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_frame_transmission(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        epoch: Epoch,
+        label_phase: PhaseTag,
+        frame_bytes: u32,
+        slices: &[FrameSlice],
+        tx_energy: f64,
+        rx_energy: f64,
+    ) {
+        let total_tuples: u32 = slices.iter().map(|s| s.tuples).sum();
+        self.counters_mut(from).add_tx(frame_bytes, total_tuples, tx_energy);
+        self.counters_mut(to).add_rx(frame_bytes, rx_energy);
+        let sensor_energy = {
+            let mut e = 0.0;
+            if from != crate::types::SINK {
+                e += tx_energy;
+            }
+            if to != crate::types::SINK {
+                e += rx_energy;
+            }
+            e
+        };
+        self.book_frame_attempt(epoch, label_phase, frame_bytes, slices, sensor_energy);
+    }
+
+    /// Records one merged-frame attempt whose receiver never listened (dead or
+    /// asleep): the sender pays and the frame counts as a message on the air, but no
+    /// reception is booked anywhere.  Frame counterpart of
+    /// [`Self::record_unheard_transmission`].
+    pub fn record_unheard_frame(
+        &mut self,
+        from: NodeId,
+        epoch: Epoch,
+        label_phase: PhaseTag,
+        frame_bytes: u32,
+        slices: &[FrameSlice],
+        tx_energy: f64,
+    ) {
+        let total_tuples: u32 = slices.iter().map(|s| s.tuples).sum();
+        self.counters_mut(from).add_tx(frame_bytes, total_tuples, tx_energy);
+        let sensor_energy = if from != crate::types::SINK { tx_energy } else { 0.0 };
+        self.book_frame_attempt(epoch, label_phase, frame_bytes, slices, sensor_energy);
+    }
+
+    /// The attempt-level frame booking shared by heard and unheard frames (see
+    /// [`Self::record_frame_transmission`] for the partitioning policy).
+    fn book_frame_attempt(
+        &mut self,
+        epoch: Epoch,
+        label_phase: PhaseTag,
+        frame_bytes: u32,
+        slices: &[FrameSlice],
+        sensor_energy: f64,
+    ) {
+        let total_tuples: u32 = slices.iter().map(|s| s.tuples).sum();
+        for totals in [&mut self.totals, self.per_epoch.entry(epoch).or_default()] {
+            totals.messages += 1;
+            totals.bytes += u64::from(frame_bytes);
+            totals.tuples += u64::from(total_tuples);
+            totals.energy_uj += sensor_energy;
+        }
+        self.per_phase.entry(label_phase).or_default().messages += 1;
+        for slice in slices {
+            let share = if frame_bytes > 0 {
+                f64::from(slice.share_bytes) / f64::from(frame_bytes)
+            } else {
+                0.0
+            };
+            let slice_energy = sensor_energy * share;
+            let phase = self.per_phase.entry(slice.phase).or_default();
+            phase.bytes += u64::from(slice.share_bytes);
+            phase.tuples += u64::from(slice.tuples);
+            phase.energy_uj += slice_energy;
+            if let Some(scope) = slice.scope {
+                for ledger in [
+                    self.per_scope.entry(scope).or_default(),
+                    self.per_scope_phase.entry((scope, slice.phase)).or_default(),
+                ] {
+                    ledger.messages += 1;
+                    ledger.bytes += u64::from(slice.share_bytes);
+                    ledger.tuples += u64::from(slice.tuples);
+                    ledger.energy_uj += slice_energy;
+                }
+            }
+        }
+    }
+
+    /// Visits every distinct scope riding a frame, with the phase of that scope's
+    /// first slice (frame-level events are booked once per riding scope).
+    fn for_distinct_frame_scopes(
+        slices: &[FrameSlice],
+        mut visit: impl FnMut(QueryScope, PhaseTag),
+    ) {
+        let mut seen: Vec<QueryScope> = Vec::with_capacity(slices.len());
+        for slice in slices {
+            if let Some(scope) = slice.scope {
+                if !seen.contains(&scope) {
+                    seen.push(scope);
+                    visit(scope, slice.phase);
+                }
+            }
+        }
+    }
+
+    /// Books one ARQ retransmission of a merged frame: once globally under the frame's
+    /// label phase, and once per riding scope (every scope's payload was on the retry).
+    pub fn note_frame_retransmission(
+        &mut self,
+        epoch: Epoch,
+        label_phase: PhaseTag,
+        slices: &[FrameSlice],
+    ) {
+        self.per_phase.entry(label_phase).or_default().retransmissions += 1;
+        self.per_epoch.entry(epoch).or_default().retransmissions += 1;
+        self.totals.retransmissions += 1;
+        Self::for_distinct_frame_scopes(slices, |scope, phase| {
+            self.per_scope.entry(scope).or_default().retransmissions += 1;
+            self.per_scope_phase.entry((scope, phase)).or_default().retransmissions += 1;
+        });
+    }
+
+    /// Books one merged frame that was never delivered — a dropped frame drops every
+    /// riding scope's payload, so each scope records the loss.
+    pub fn note_frame_drop(
+        &mut self,
+        from: NodeId,
+        epoch: Epoch,
+        label_phase: PhaseTag,
+        slices: &[FrameSlice],
+    ) {
+        self.counters_mut(from).dropped_messages += 1;
+        self.per_phase.entry(label_phase).or_default().dropped_messages += 1;
+        self.per_epoch.entry(epoch).or_default().dropped_messages += 1;
+        self.totals.dropped_messages += 1;
+        Self::for_distinct_frame_scopes(slices, |scope, phase| {
+            self.per_scope.entry(scope).or_default().dropped_messages += 1;
+            self.per_scope_phase.entry((scope, phase)).or_default().dropped_messages += 1;
         });
     }
 
@@ -588,6 +773,77 @@ mod tests {
         assert_eq!(m.scopes().count(), 2);
         let scoped_msgs: u64 = m.scopes().map(|(_, t)| t.messages).sum();
         assert!(scoped_msgs <= m.totals().messages);
+    }
+
+    #[test]
+    fn scope_phase_breakdown_partitions_the_scope_ledger() {
+        let mut m = NetworkMetrics::new(3);
+        m.set_scope(Some(4));
+        m.record_transmission(1, 2, 0, PhaseTag::Update, 10, 1, 100.0, 50.0);
+        m.record_transmission(2, 1, 1, PhaseTag::Probe, 5, 0, 50.0, 25.0);
+        m.note_retransmission(1, PhaseTag::Probe);
+        m.set_scope(None);
+
+        assert_eq!(m.scope_phase(4, PhaseTag::Update).bytes, 10);
+        assert_eq!(m.scope_phase(4, PhaseTag::Probe).bytes, 5);
+        assert_eq!(m.scope_phase(4, PhaseTag::Probe).retransmissions, 1);
+        assert_eq!(m.scope_phase(4, PhaseTag::Control).messages, 0, "untouched cells are zero");
+        let phases: Vec<_> = m.scope_phases(4).collect();
+        assert_eq!(phases.len(), 2);
+        let summed: u64 = phases.iter().map(|(_, t)| t.bytes).sum();
+        assert_eq!(summed, m.scope(4).bytes, "scope phases partition the scope's bytes");
+        assert_eq!(m.scope_phases(9).count(), 0);
+    }
+
+    #[test]
+    fn frame_bookings_conserve_bytes_and_attribute_riders() {
+        use crate::schedule::FrameSlice;
+        let slices = [
+            FrameSlice { scope: Some(0), phase: PhaseTag::Update, share_bytes: 20, tuples: 1 },
+            FrameSlice { scope: Some(1), phase: PhaseTag::Creation, share_bytes: 14, tuples: 2 },
+        ];
+        let mut m = NetworkMetrics::new(3);
+        m.record_frame_transmission(2, 1, 0, PhaseTag::Update, 34, &slices, 340.0, 170.0);
+        m.note_frame_retransmission(0, PhaseTag::Update, &slices);
+        m.record_frame_transmission(2, 1, 0, PhaseTag::Update, 34, &slices, 340.0, 170.0);
+        m.note_frame_drop(2, 0, PhaseTag::Update, &slices);
+
+        // Global ledgers: one message per attempt, whole-frame bytes.
+        assert_eq!(m.totals().messages, 2);
+        assert_eq!(m.totals().bytes, 68);
+        assert_eq!(m.totals().tuples, 6);
+        assert_eq!(m.totals().retransmissions, 1);
+        assert_eq!(m.totals().dropped_messages, 1);
+        assert_eq!(m.node(2).tx_messages, 2);
+        assert_eq!(m.node(2).dropped_messages, 1);
+        assert_eq!(m.node(1).rx_bytes, 68);
+
+        // The per-phase axis still partitions: messages under the label phase, bytes
+        // per slice phase.
+        assert_eq!(m.phase(PhaseTag::Update).messages, 2);
+        assert_eq!(m.phase(PhaseTag::Update).bytes, 40);
+        assert_eq!(m.phase(PhaseTag::Creation).bytes, 28);
+        assert_eq!(m.phase(PhaseTag::Creation).messages, 0);
+        let phase_bytes: u64 = m.phases().map(|(_, t)| t.bytes).sum();
+        assert_eq!(phase_bytes, m.totals().bytes);
+
+        // Scope attribution: shares partition the bytes, every rider sees the events.
+        assert_eq!(m.scope(0).bytes + m.scope(1).bytes, m.totals().bytes);
+        assert_eq!(m.scope(0).messages, 2, "rider semantics: frames the payload rode on");
+        assert_eq!(m.scope(1).messages, 2);
+        assert_eq!(m.scope(0).retransmissions, 1);
+        assert_eq!(m.scope(1).dropped_messages, 1);
+        assert_eq!(m.scope_phase(1, PhaseTag::Creation).bytes, 28);
+        let scoped_energy: f64 = m.scopes().map(|(_, t)| t.energy_uj).sum();
+        assert!((scoped_energy - m.totals().energy_uj).abs() < 1e-9, "energy splits pro-rata");
+
+        // An unheard frame charges only the sender.
+        let mut u = NetworkMetrics::new(3);
+        u.record_unheard_frame(2, 0, PhaseTag::Update, 34, &slices, 340.0);
+        assert_eq!(u.totals().messages, 1);
+        assert_eq!(u.node(1).rx_messages, 0, "nobody heard it");
+        assert!((u.totals().energy_uj - 340.0).abs() < 1e-12);
+        assert_eq!(u.scope(0).bytes + u.scope(1).bytes, 34);
     }
 
     #[test]

@@ -12,6 +12,13 @@ use serde::{Deserialize, Serialize};
 /// Byte/packet-level parameters of the simulated radio.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RadioModel {
+    /// Fixed per-*frame* overhead in bytes, paid exactly once per logical transmission
+    /// regardless of how many physical packets it fragments into: the radio preamble
+    /// and synchronisation bytes the receiver needs to lock onto the carrier.  This is
+    /// the cost the frame scheduler ([`crate::schedule`]) amortises when it merges
+    /// several sessions' reports into one frame — N separate reports pay N preambles,
+    /// one merged frame pays one.
+    pub frame_overhead_bytes: u32,
     /// Fixed per-message header overhead in bytes (TinyOS Active Message header, CRC,
     /// routing metadata).
     pub header_bytes: u32,
@@ -34,6 +41,7 @@ impl RadioModel {
     /// The MICA2 / CC1000 model used by all experiments unless stated otherwise.
     pub fn mica2() -> Self {
         Self {
+            frame_overhead_bytes: 8,
             header_bytes: 7,
             tuple_bytes: 12,
             control_bytes: 6,
@@ -47,6 +55,7 @@ impl RadioModel {
     /// tests that want byte counts proportional to tuple counts.
     pub fn ideal() -> Self {
         Self {
+            frame_overhead_bytes: 0,
             header_bytes: 0,
             tuple_bytes: 1,
             control_bytes: 1,
@@ -79,9 +88,18 @@ impl RadioModel {
         }
     }
 
-    /// Total on-air bytes (headers included) for a payload of `payload` bytes.
+    /// Total on-air bytes for a payload of `payload` bytes transmitted as **one**
+    /// frame: the per-frame preamble, one packet header per physical fragment, and the
+    /// payload itself.
     pub fn on_air_bytes(&self, payload: u32) -> u32 {
-        self.packets_for(payload) * self.header_bytes + payload
+        self.frame_overhead_bytes + self.packets_for(payload) * self.header_bytes + payload
+    }
+
+    /// The non-payload share of a frame carrying `payload` payload bytes — the preamble
+    /// plus every fragment header.  The frame scheduler splits exactly this amount
+    /// pro-rata across the sessions sharing the frame.
+    pub fn frame_overhead_for(&self, payload: u32) -> u32 {
+        self.on_air_bytes(payload) - payload
     }
 
     /// On-air time in microseconds for a payload of `payload` bytes.
@@ -122,16 +140,17 @@ mod tests {
     fn empty_message_still_costs_one_packet() {
         let r = RadioModel::mica2();
         assert_eq!(r.packets_for(0), 1);
-        assert_eq!(r.on_air_bytes(0), 7);
+        assert_eq!(r.on_air_bytes(0), 8 + 7, "preamble + one packet header");
     }
 
     #[test]
-    fn fragmentation_pays_header_per_packet() {
+    fn fragmentation_pays_header_per_packet_but_one_preamble() {
         let r = RadioModel::mica2();
-        // 5 tuples = 60 bytes > 29-byte packets → 3 packets.
+        // 5 tuples = 60 bytes > 29-byte packets → 3 packets, still one frame.
         let payload = r.payload_bytes(5, 0);
         assert_eq!(r.packets_for(payload), 3);
-        assert_eq!(r.on_air_bytes(payload), 3 * 7 + 60);
+        assert_eq!(r.on_air_bytes(payload), 8 + 3 * 7 + 60);
+        assert_eq!(r.frame_overhead_for(payload), 8 + 3 * 7);
     }
 
     #[test]
@@ -140,8 +159,22 @@ mod tests {
         let t1 = r.airtime_us(r.payload_bytes(1, 0));
         let t10 = r.airtime_us(r.payload_bytes(10, 0));
         assert!(t10 > t1 * 5, "ten tuples should take much longer than one");
-        // One tuple: 12 + 7 = 19 bytes = 152 bits at 38.4 kbit/s ≈ 3958 µs.
-        assert_eq!(t1, 152 * 1_000_000 / 38_400);
+        // One tuple: 12 + 7 + 8 = 27 bytes = 216 bits at 38.4 kbit/s ≈ 5625 µs.
+        assert_eq!(t1, 216 * 1_000_000 / 38_400);
+    }
+
+    #[test]
+    fn one_merged_frame_is_never_dearer_than_separate_frames() {
+        let r = RadioModel::mica2();
+        for (a, b) in [(1u32, 1u32), (1, 3), (2, 2), (5, 7), (0, 4)] {
+            let merged = r.on_air_bytes(r.payload_bytes(a + b, 0));
+            let separate =
+                r.on_air_bytes(r.payload_bytes(a, 0)) + r.on_air_bytes(r.payload_bytes(b, 0));
+            assert!(
+                merged < separate,
+                "merging {a}+{b} tuples must save at least a preamble: {merged} vs {separate}"
+            );
+        }
     }
 
     #[test]

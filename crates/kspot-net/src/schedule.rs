@@ -1,0 +1,314 @@
+//! The per-epoch frame scheduler: cross-session traffic sharing for data reports.
+//!
+//! Since the multi-query engine (ADR-003) every session sharing the epoch loop still
+//! paid its own radio frame per node per epoch — N sessions, N headers, N preambles.
+//! The per-transmission overhead, not the payload, dominates the radio budget of
+//! spot-sensing deployments, so this module lets the substrate *piggy-back* all
+//! sessions' per-node report traffic into **one merged frame per (node, direction) per
+//! epoch**: one preamble, one header per physical fragment, concatenated payloads.
+//!
+//! The scheduler is intent-based.  Algorithms no longer cause an immediate
+//! transmission when they report towards the sink; instead
+//! [`crate::sim::Network::send_report_up`] (the preferred entry point for report
+//! traffic) enqueues a symbolic [`ReportIntent`] — *(scope, node, phase, data tuples,
+//! control tuples)* — into the epoch's [`FrameScheduler`].  At the end of the epoch
+//! sweep (`kspot_algos::run_shared_epoch` does this) the scheduler flushes every
+//! pending frame through the ordinary radio / energy / fault accounting path.
+//!
+//! ## Loss semantics
+//!
+//! A frame is one link-layer unit: ARQ retransmits the **whole frame**, and a frame
+//! dropped after its retries drops **every** scope's payload on that hop.  The fate of
+//! a frame (delivered or not, and after how many attempts) is decided once, when its
+//! first intent arrives, from a dedicated frame loss stream — so an algorithm learns
+//! the delivery outcome at enqueue time (its in-network protocol needs it to route
+//! views), while the bytes/energy are charged at flush time when the final merged
+//! payload is known.  All sessions riding a frame therefore observe the *same* channel
+//! event, which is exactly what a shared physical frame implies; the per-scope loss
+//! streams of the legacy (unbatched) path remain byte-identical to ADR-003 when
+//! batching is off.
+//!
+//! ## Attribution policy
+//!
+//! Each scope riding a frame is charged its own payload bytes plus a pro-rata share of
+//! the shared frame overhead (preamble + fragment headers), proportional to its payload
+//! size; integer remainders are assigned one byte at a time in enqueue order (under the
+//! engine this is ascending session-id order).  The shares partition the frame exactly,
+//! which gives the conservation law `Σ per-scope bytes = ledger total bytes` whenever
+//! all traffic is scoped.  Frame-level *events* (messages, retransmissions, drops)
+//! cannot be split: they are booked once in the global ledgers under the frame's label
+//! phase (the phase of the intent that opened it) and once per riding scope — so under
+//! batching a scope's `messages` counts the frames its payload rode on, and the scoped
+//! sums may exceed the global message count.  See ADR-004 for the full policy.
+
+use crate::metrics::{PhaseTag, QueryScope};
+use crate::radio::RadioModel;
+use crate::types::{Epoch, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// One symbolic report enqueued by a session: "this node wants these tuples carried
+/// towards the sink this epoch, on behalf of this attribution scope".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportIntent {
+    /// The metrics scope installed when the intent was enqueued (`None` for unscoped
+    /// callers, e.g. a single-query harness that never installs scopes).
+    pub scope: Option<QueryScope>,
+    /// The algorithm phase the payload belongs to.
+    pub phase: PhaseTag,
+    /// Data (result) tuples carried for this scope.
+    pub data_tuples: u32,
+    /// Control entries carried for this scope.
+    pub control_tuples: u32,
+}
+
+/// A frame being assembled for one `(sender, receiver)` hop of the current epoch.
+///
+/// Its fate is fixed at creation (see the module docs); only the payload keeps growing
+/// as further sessions piggy-back onto it.
+#[derive(Debug, Clone)]
+pub struct PendingFrame {
+    /// The epoch the frame belongs to.
+    pub epoch: Epoch,
+    /// Whether the receiver was participating when the frame was opened.  A dead or
+    /// sleeping receiver hears nothing: the frame is transmitted once, unheard.
+    pub receiver_heard: bool,
+    /// Whether the frame's payload is delivered (after `attempts` attempts).
+    pub delivered: bool,
+    /// Number of on-air attempts the frame takes (1 + retransmissions).
+    pub attempts: u32,
+    /// The piggy-backed payload slices, in enqueue order.
+    pub slices: Vec<ReportIntent>,
+}
+
+impl PendingFrame {
+    /// Opens a frame and decides its fate from the frame loss stream: attempts are
+    /// drawn exactly like [`crate::sim::Network::send`] draws them for a single
+    /// message, but once per *frame* rather than once per session report.
+    pub(crate) fn open(
+        epoch: Epoch,
+        receiver_heard: bool,
+        loss: f64,
+        max_attempts: u32,
+        rng: &mut StdRng,
+    ) -> Self {
+        if !receiver_heard {
+            return Self { epoch, receiver_heard, delivered: false, attempts: 1, slices: Vec::new() };
+        }
+        let mut attempts = 1;
+        let delivered = loop {
+            let lost = loss > 0.0 && rng.gen_bool(loss.min(1.0));
+            if !lost {
+                break true;
+            }
+            if attempts >= max_attempts {
+                break false;
+            }
+            attempts += 1;
+        };
+        Self { epoch, receiver_heard, delivered, attempts, slices: Vec::new() }
+    }
+
+    /// Total data tuples across every slice.
+    pub fn data_tuples(&self) -> u32 {
+        self.slices.iter().map(|s| s.data_tuples).sum()
+    }
+
+    /// Total control entries across every slice.
+    pub fn control_tuples(&self) -> u32 {
+        self.slices.iter().map(|s| s.control_tuples).sum()
+    }
+}
+
+/// One scope's fully attributed share of a flushed frame, handed to the metrics ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSlice {
+    /// The attribution scope of the slice (`None` books nothing scope-side).
+    pub scope: Option<QueryScope>,
+    /// The phase of the slice's payload.
+    pub phase: PhaseTag,
+    /// On-air bytes attributed to the slice: its payload plus its pro-rata share of
+    /// the frame overhead.  Slice shares partition the frame's on-air bytes exactly.
+    pub share_bytes: u32,
+    /// Result tuples the slice carried.
+    pub tuples: u32,
+}
+
+/// Splits a frame's on-air bytes across its slices per the attribution policy (module
+/// docs): each slice gets its own payload bytes plus `overhead × payload_i / payload`
+/// rounded down, and the remaining bytes are assigned one-by-one in enqueue order.
+/// Returns the frame's total on-air bytes together with the partitioning slices.
+pub fn split_frame_shares(intents: &[ReportIntent], radio: &RadioModel) -> (u32, Vec<FrameSlice>) {
+    let payloads: Vec<u32> =
+        intents.iter().map(|i| radio.payload_bytes(i.data_tuples, i.control_tuples)).collect();
+    let payload_total: u32 = payloads.iter().sum();
+    let frame_bytes = radio.on_air_bytes(payload_total);
+    let overhead = frame_bytes - payload_total;
+
+    let mut slices: Vec<FrameSlice> = intents
+        .iter()
+        .zip(&payloads)
+        .map(|(intent, &payload)| {
+            let share = if payload_total == 0 {
+                0
+            } else {
+                (u64::from(overhead) * u64::from(payload) / u64::from(payload_total)) as u32
+            };
+            FrameSlice {
+                scope: intent.scope,
+                phase: intent.phase,
+                share_bytes: payload + share,
+                tuples: intent.data_tuples,
+            }
+        })
+        .collect();
+    // Hand the integer remainder out byte-by-byte in enqueue order so the shares
+    // partition the frame exactly (the conservation law the testkit asserts).
+    let mut remainder = frame_bytes - slices.iter().map(|s| s.share_bytes).sum::<u32>();
+    for slice in slices.iter_mut() {
+        if remainder == 0 {
+            break;
+        }
+        slice.share_bytes += 1;
+        remainder -= 1;
+    }
+    if let Some(first) = slices.first_mut() {
+        // Degenerate all-empty frame: the whole overhead goes to the opener.
+        first.share_bytes += remainder;
+    }
+    (frame_bytes, slices)
+}
+
+/// The per-epoch report scheduler: frames under assembly, keyed by `(sender,
+/// receiver)`.  Owned by [`crate::sim::Network`] while frame batching is enabled;
+/// populated by `send_report_up` intents and emptied by `flush_frames`.
+#[derive(Debug, Clone, Default)]
+pub struct FrameScheduler {
+    frames: BTreeMap<(NodeId, NodeId), PendingFrame>,
+}
+
+impl FrameScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames currently under assembly.
+    pub fn pending_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no intents are queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The frame for `(from, to)`, opening it with `open` on first use.
+    pub(crate) fn frame_entry(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        open: impl FnOnce() -> PendingFrame,
+    ) -> &mut PendingFrame {
+        self.frames.entry((from, to)).or_insert_with(open)
+    }
+
+    /// Removes and returns every pending frame in deterministic `(from, to)` order.
+    pub(crate) fn take_frames(&mut self) -> Vec<((NodeId, NodeId), PendingFrame)> {
+        std::mem::take(&mut self.frames).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    fn intent(scope: u32, data: u32) -> ReportIntent {
+        ReportIntent { scope: Some(scope), phase: PhaseTag::Update, data_tuples: data, control_tuples: 0 }
+    }
+
+    #[test]
+    fn shares_partition_the_frame_exactly() {
+        let radio = RadioModel::mica2();
+        for intents in [
+            vec![intent(0, 1)],
+            vec![intent(0, 1), intent(1, 1)],
+            vec![intent(0, 1), intent(1, 2), intent(2, 3), intent(3, 5)],
+            vec![intent(0, 7), intent(1, 1)],
+        ] {
+            let (frame_bytes, slices) = split_frame_shares(&intents, &radio);
+            let total: u32 = slices.iter().map(|s| s.share_bytes).sum();
+            assert_eq!(total, frame_bytes, "shares must partition the frame: {intents:?}");
+            let payload: u32 = intents.iter().map(|i| radio.payload_bytes(i.data_tuples, i.control_tuples)).sum();
+            assert_eq!(frame_bytes, radio.on_air_bytes(payload));
+            // Every slice is charged at least its own payload.
+            for (s, i) in slices.iter().zip(&intents) {
+                assert!(s.share_bytes >= radio.payload_bytes(i.data_tuples, i.control_tuples));
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_bytes_go_to_the_earliest_slices() {
+        let radio = RadioModel::mica2();
+        let (_, slices) = split_frame_shares(&[intent(3, 1), intent(7, 1)], &radio);
+        // Equal payloads: any odd remainder lands on the first (lower-scope) slice.
+        assert!(slices[0].share_bytes >= slices[1].share_bytes);
+        assert!(slices[0].share_bytes - slices[1].share_bytes <= 1);
+    }
+
+    #[test]
+    fn empty_payload_frame_charges_the_opener() {
+        let radio = RadioModel::mica2();
+        let empty = ReportIntent { scope: Some(0), phase: PhaseTag::Update, data_tuples: 0, control_tuples: 0 };
+        let (frame_bytes, slices) = split_frame_shares(&[empty], &radio);
+        assert_eq!(frame_bytes, radio.on_air_bytes(0));
+        assert_eq!(slices[0].share_bytes, frame_bytes);
+    }
+
+    #[test]
+    fn frame_fate_is_deterministic_and_respects_the_retry_budget() {
+        let mut rng = stream_rng(7, &[1]);
+        let sure = PendingFrame::open(0, true, 0.0, 4, &mut rng);
+        assert!(sure.delivered);
+        assert_eq!(sure.attempts, 1);
+
+        let unheard = PendingFrame::open(0, false, 0.0, 4, &mut rng);
+        assert!(!unheard.delivered);
+        assert!(!unheard.receiver_heard);
+
+        let doomed = PendingFrame::open(0, true, 1.0, 4, &mut rng);
+        assert!(!doomed.delivered);
+        assert_eq!(doomed.attempts, 4, "a certain-loss link exhausts the retry budget");
+
+        let mut a = stream_rng(9, &[2]);
+        let mut b = stream_rng(9, &[2]);
+        for _ in 0..50 {
+            let fa = PendingFrame::open(1, true, 0.4, 7, &mut a);
+            let fb = PendingFrame::open(1, true, 0.4, 7, &mut b);
+            assert_eq!((fa.delivered, fa.attempts), (fb.delivered, fb.attempts));
+        }
+    }
+
+    #[test]
+    fn scheduler_opens_each_hop_once_and_drains_in_order() {
+        let mut sched = FrameScheduler::new();
+        let mut opened = 0;
+        for &(from, to) in &[(9u32, 4u32), (8, 7), (9, 4)] {
+            let frame = sched.frame_entry(from, to, || {
+                opened += 1;
+                PendingFrame { epoch: 3, receiver_heard: true, delivered: true, attempts: 1, slices: Vec::new() }
+            });
+            frame.slices.push(intent(0, 1));
+        }
+        assert_eq!(opened, 2, "the (9,4) hop reuses its open frame");
+        assert_eq!(sched.pending_frames(), 2);
+        let frames = sched.take_frames();
+        assert!(sched.is_empty());
+        assert_eq!(frames[0].0, (8, 7), "frames drain in (from, to) order");
+        assert_eq!(frames[1].1.slices.len(), 2);
+        assert_eq!(frames[1].1.data_tuples(), 2);
+    }
+}

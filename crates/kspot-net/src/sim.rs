@@ -11,6 +11,16 @@
 //! and its descendants schedule children to transmit strictly before their parents
 //! within an epoch, so a post-order sweep is an exact model of the communication
 //! schedule while staying fast enough for the large parameter sweeps of E4–E7.
+//!
+//! Per-epoch **report traffic** should enter the façade through
+//! [`Network::send_report_up`] / [`Network::send_report_to_parent`] rather than raw
+//! [`Network::send`] calls: the report entry point is where the frame scheduler
+//! ([`crate::schedule`]) hooks in.  With frame batching enabled
+//! ([`Network::set_frame_batching`]) those calls enqueue symbolic report intents and
+//! the substrate flushes **one merged frame per (node, direction) per epoch** — one
+//! preamble and header per hop instead of one per session — through the same
+//! radio/energy/fault accounting as immediate sends.  With batching off (the default)
+//! they transmit immediately, byte-identically to the pre-scheduler behaviour.
 
 use crate::energy::{BatteryBank, EnergyModel};
 use crate::fault::FaultPlan;
@@ -18,6 +28,7 @@ use crate::message::{Message, MessageKind};
 use crate::metrics::{NetworkMetrics, PhaseTag, QueryScope};
 use crate::radio::RadioModel;
 use crate::rng::stream_rng;
+use crate::schedule::{split_frame_shares, FrameScheduler, PendingFrame, ReportIntent};
 use crate::topology::Deployment;
 use crate::tree::RoutingTree;
 use crate::types::{Epoch, NodeId, SINK};
@@ -118,6 +129,13 @@ pub struct Network {
     scope_loss_rngs: BTreeMap<QueryScope, StdRng>,
     current_scope: Option<QueryScope>,
     current_epoch: Epoch,
+    /// The per-epoch report scheduler, present while frame batching is enabled (see
+    /// [`Self::set_frame_batching`] and [`crate::schedule`]).
+    frame_scheduler: Option<FrameScheduler>,
+    /// Loss stream deciding merged frames' fates.  A merged frame carries several
+    /// scopes at once, so its channel draws come from this dedicated substrate stream
+    /// rather than any one scope's stream.
+    frame_loss_rng: StdRng,
 }
 
 impl Network {
@@ -127,6 +145,7 @@ impl Network {
         let n = deployment.num_nodes();
         let batteries = BatteryBank::uniform(n, config.battery_capacity_uj);
         let loss_rng = stream_rng(config.seed, &[0x10_55]);
+        let frame_loss_rng = stream_rng(config.seed, &[0xF7_A3]);
         Self {
             deployment,
             tree,
@@ -137,6 +156,8 @@ impl Network {
             scope_loss_rngs: BTreeMap::new(),
             current_scope: None,
             current_epoch: 0,
+            frame_scheduler: None,
+            frame_loss_rng,
         }
     }
 
@@ -242,12 +263,45 @@ impl Network {
         self.scope_loss_rngs.clear();
         self.current_scope = None;
         self.current_epoch = 0;
+        self.frame_loss_rng = stream_rng(self.config.seed, &[0xF7_A3]);
+        if self.frame_scheduler.is_some() {
+            self.frame_scheduler = Some(FrameScheduler::new());
+        }
+    }
+
+    /// Switches per-epoch report traffic between immediate per-session sends (off, the
+    /// default — byte-identical to the pre-scheduler substrate) and the frame
+    /// scheduler (on — [`Self::send_report_up`] enqueues report intents that
+    /// [`Self::flush_frames`] merges into one frame per `(node, parent)` hop per
+    /// epoch).  Disabling flushes anything still pending so no traffic is lost.
+    pub fn set_frame_batching(&mut self, on: bool) {
+        if on {
+            if self.frame_scheduler.is_none() {
+                self.frame_scheduler = Some(FrameScheduler::new());
+            }
+        } else {
+            self.flush_frames();
+            self.frame_scheduler = None;
+        }
+    }
+
+    /// True while report traffic is routed through the frame scheduler.
+    pub fn frame_batching(&self) -> bool {
+        self.frame_scheduler.is_some()
+    }
+
+    /// Number of merged frames currently awaiting [`Self::flush_frames`].
+    pub fn pending_report_frames(&self) -> usize {
+        self.frame_scheduler.as_ref().map_or(0, FrameScheduler::pending_frames)
     }
 
     /// Marks the beginning of an epoch: charges every participating node its fixed
     /// sampling and idle-listening cost (if the configuration says so).  Nodes that are
     /// dead or duty-cycled asleep neither sample nor listen, so they are not charged.
+    /// Report frames still pending from the previous epoch are flushed first — a frame
+    /// never outlives the epoch it was scheduled in.
     pub fn begin_epoch(&mut self, epoch: Epoch) {
+        self.flush_frames();
         self.current_epoch = epoch;
         if !self.config.charge_epoch_baseline {
             return;
@@ -356,6 +410,15 @@ impl Network {
     /// or sleeping ancestors.  Returns the node that received the report (its nearest
     /// participating ancestor, possibly the sink), or `None` when the sender is not
     /// participating or the payload was dropped.
+    ///
+    /// This is the preferred entry point for per-epoch report traffic: with frame
+    /// batching enabled ([`Self::set_frame_batching`]) the call enqueues a symbolic
+    /// [`ReportIntent`] instead of transmitting, and the epoch's reports for this hop
+    /// — across **all** sessions — leave as one merged frame at
+    /// [`Self::flush_frames`].  The delivery outcome is still decided (and returned)
+    /// immediately: a frame's fate is fixed when its first intent opens it, and every
+    /// later rider shares it, because ARQ retransmits the whole frame and a dropped
+    /// frame loses every scope's payload on the hop.
     pub fn send_report_up(
         &mut self,
         from: NodeId,
@@ -368,6 +431,24 @@ impl Network {
             return None;
         }
         let parent = self.effective_parent(from);
+        if self.frame_batching() {
+            let heard = parent == SINK || self.node_participating(parent);
+            let loss = {
+                let radio = self.config.radio.loss_probability;
+                let fault = self.config.faults.loss_probability(from, parent);
+                1.0 - (1.0 - radio) * (1.0 - fault)
+            };
+            let max_attempts = 1 + self.config.faults.max_retransmits;
+            let scope = self.current_scope;
+            let rng = &mut self.frame_loss_rng;
+            if let Some(scheduler) = self.frame_scheduler.as_mut() {
+                let frame = scheduler.frame_entry(from, parent, || {
+                    PendingFrame::open(epoch, heard, loss, max_attempts, rng)
+                });
+                frame.slices.push(ReportIntent { scope, phase, data_tuples, control_tuples });
+                return frame.delivered.then_some(parent);
+            }
+        }
         let msg = Message {
             from,
             to: parent,
@@ -377,6 +458,66 @@ impl Network {
             control_tuples,
         };
         self.send(msg, phase).then_some(parent)
+    }
+
+    /// Flushes every pending merged frame through the radio/energy/fault accounting:
+    /// per frame, the concatenated payload is costed as **one** transmission (one
+    /// preamble, one header per physical fragment), replayed for as many ARQ attempts
+    /// as the frame's fate used, with each riding scope charged its payload plus a
+    /// pro-rata share of the shared overhead (see [`crate::schedule`]).  A no-op
+    /// unless frame batching is enabled and intents are pending.  Epoch drivers call
+    /// this once per epoch after every session's sweep
+    /// (`kspot_algos::run_shared_epoch` does).
+    pub fn flush_frames(&mut self) {
+        let frames = match self.frame_scheduler.as_mut() {
+            Some(scheduler) if !scheduler.is_empty() => scheduler.take_frames(),
+            _ => return,
+        };
+        for ((from, to), frame) in frames {
+            let (frame_bytes, slices) = split_frame_shares(&frame.slices, &self.config.radio);
+            let tx = self.config.energy.tx_cost(frame_bytes);
+            let rx = self.config.energy.rx_cost(frame_bytes);
+            let label_phase = frame.slices.first().map_or(PhaseTag::Update, |s| s.phase);
+            if !frame.receiver_heard {
+                self.metrics.record_unheard_frame(
+                    from,
+                    frame.epoch,
+                    label_phase,
+                    frame_bytes,
+                    &slices,
+                    tx,
+                );
+                if from != SINK {
+                    self.batteries.drain(from, tx);
+                }
+                self.metrics.note_frame_drop(from, frame.epoch, label_phase, &slices);
+                continue;
+            }
+            for attempt in 0..frame.attempts {
+                if attempt > 0 {
+                    self.metrics.note_frame_retransmission(frame.epoch, label_phase, &slices);
+                }
+                self.metrics.record_frame_transmission(
+                    from,
+                    to,
+                    frame.epoch,
+                    label_phase,
+                    frame_bytes,
+                    &slices,
+                    tx,
+                    rx,
+                );
+                if from != SINK {
+                    self.batteries.drain(from, tx);
+                }
+                if to != SINK {
+                    self.batteries.drain(to, rx);
+                }
+            }
+            if !frame.delivered {
+                self.metrics.note_frame_drop(from, frame.epoch, label_phase, &slices);
+            }
+        }
     }
 
     /// Sends a per-epoch data report from `from` to its routing parent.  Convenience
@@ -752,6 +893,100 @@ mod tests {
         a.reset_accounting();
         assert_eq!(a.query_totals(3).messages, 0, "reset clears scope ledgers");
         assert_eq!(a.metrics().current_scope(), None);
+    }
+
+    #[test]
+    fn frame_batching_merges_reports_into_one_frame_per_hop() {
+        let mut n = net(NetworkConfig::ideal());
+        n.set_frame_batching(true);
+        assert!(n.frame_batching());
+        n.begin_epoch(0);
+        // Two sessions report from node 9 (parent 4), one from node 8 (parent 7).
+        n.set_query_scope(Some(0));
+        assert_eq!(n.send_report_up(9, 0, 2, 0, PhaseTag::Update), Some(4));
+        assert_eq!(n.send_report_up(8, 0, 1, 0, PhaseTag::Update), Some(7));
+        n.set_query_scope(Some(1));
+        assert_eq!(n.send_report_up(9, 0, 3, 0, PhaseTag::Update), Some(4));
+        n.set_query_scope(None);
+        assert_eq!(n.pending_report_frames(), 2);
+        assert_eq!(n.metrics().totals().messages, 0, "intents are symbolic until the flush");
+        n.flush_frames();
+        assert_eq!(n.pending_report_frames(), 0);
+        // One frame per (node, parent) hop: 9→4 merged across both scopes, 8→7 solo.
+        assert_eq!(n.metrics().totals().messages, 2);
+        assert_eq!(n.metrics().node(9).tx_messages, 1, "both scopes ride one frame");
+        assert_eq!(n.metrics().node(9).tx_bytes, 5, "ideal radio: a byte per tuple, no overhead");
+        assert_eq!(n.metrics().node(4).rx_messages, 1);
+        // Attribution partitions the bytes; both riders count the shared frame.
+        assert_eq!(n.query_totals(0).bytes, 3, "2 tuples from s9 + 1 from s8");
+        assert_eq!(n.query_totals(1).bytes, 3);
+        assert_eq!(n.query_totals(0).messages, 2);
+        assert_eq!(n.query_totals(1).messages, 1);
+    }
+
+    #[test]
+    fn merged_frames_save_the_per_session_overhead_on_the_real_radio() {
+        let run = |batched: bool| {
+            let mut n = net(NetworkConfig::mica2());
+            n.set_frame_batching(batched);
+            n.begin_epoch(0);
+            for scope in 0..4 {
+                n.set_query_scope(Some(scope));
+                for node in [9, 8, 4] {
+                    n.send_report_up(node, 0, 1, 0, PhaseTag::Update);
+                }
+            }
+            n.set_query_scope(None);
+            n.flush_frames();
+            n.metrics().totals()
+        };
+        let unbatched = run(false);
+        let batched = run(true);
+        assert_eq!(unbatched.tuples, batched.tuples, "the same payload moves either way");
+        assert_eq!(unbatched.messages, 12);
+        assert_eq!(batched.messages, 3, "one merged frame per hop instead of four");
+        assert!(
+            batched.bytes < unbatched.bytes,
+            "merging must save preamble/header overhead: {} vs {}",
+            batched.bytes,
+            unbatched.bytes
+        );
+        assert!(batched.energy_uj < unbatched.energy_uj);
+    }
+
+    #[test]
+    fn a_dropped_frame_loses_every_riders_payload() {
+        let faults = FaultPlan::none().with_link_loss_override(9, 4, 1.0);
+        let mut n = net(NetworkConfig::ideal().with_faults(faults));
+        n.set_frame_batching(true);
+        n.begin_epoch(0);
+        n.set_query_scope(Some(0));
+        assert_eq!(n.send_report_up(9, 0, 1, 0, PhaseTag::Update), None, "the frame's fate is shared");
+        n.set_query_scope(Some(1));
+        assert_eq!(n.send_report_up(9, 0, 1, 0, PhaseTag::Update), None);
+        n.set_query_scope(None);
+        n.flush_frames();
+        assert_eq!(n.metrics().totals().dropped_messages, 1, "one frame dropped on the air");
+        assert_eq!(n.query_totals(0).dropped_messages, 1, "…but every rider lost its payload");
+        assert_eq!(n.query_totals(1).dropped_messages, 1);
+        assert_eq!(n.metrics().node(4).rx_messages, 1, "the receiver still listened to the attempt");
+    }
+
+    #[test]
+    fn disabling_batching_or_a_new_epoch_flushes_pending_intents() {
+        let mut n = net(NetworkConfig::ideal());
+        n.set_frame_batching(true);
+        n.begin_epoch(0);
+        n.send_report_up(9, 0, 1, 0, PhaseTag::Update);
+        assert_eq!(n.pending_report_frames(), 1);
+        n.begin_epoch(1);
+        assert_eq!(n.pending_report_frames(), 0, "a frame never outlives its epoch");
+        assert_eq!(n.metrics().epoch(0).messages, 1, "…and is booked under the epoch it served");
+
+        n.send_report_up(9, 1, 1, 0, PhaseTag::Update);
+        n.set_frame_batching(false);
+        assert!(!n.frame_batching());
+        assert_eq!(n.metrics().totals().messages, 2, "disabling flushes, losing nothing");
     }
 
     #[test]

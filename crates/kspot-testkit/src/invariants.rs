@@ -94,6 +94,77 @@ pub fn check_ledger(metrics: &NetworkMetrics) -> Vec<String> {
     violations
 }
 
+/// Attribution conservation across the query-scope axis (ADR-004):
+///
+/// * each scope's scope×phase breakdown must partition that scope's own ledger —
+///   bytes, tuples, messages, retransmissions and drops sum exactly, while energy is
+///   only bounded from below (node-local energy is booked to the scope without a
+///   phase);
+/// * summed scoped bytes/tuples/energy must never exceed the global ledger, and when
+///   `all_traffic_scoped` is set (every transmission ran under an installed scope, as
+///   in the multi-query engine) scoped bytes and tuples must decompose the global
+///   ledger *exactly* — this is the law that makes per-query charging trustworthy
+///   even when one merged frame carries many sessions' payloads.
+///
+/// Scoped *message* sums are deliberately not compared against the global count:
+/// under frame batching a scope's messages count the frames its payload rode on, and
+/// a shared frame is counted once per rider (see `kspot_net::schedule`).
+pub fn check_scope_attribution(metrics: &NetworkMetrics, all_traffic_scoped: bool) -> Vec<String> {
+    let mut violations = Vec::new();
+    let totals = metrics.totals();
+    let mut scoped = PhaseTotals::default();
+    for (scope, scope_totals) in metrics.scopes() {
+        scoped.bytes += scope_totals.bytes;
+        scoped.tuples += scope_totals.tuples;
+        scoped.energy_uj += scope_totals.energy_uj;
+
+        let mut phased = PhaseTotals::default();
+        for (_, t) in metrics.scope_phases(scope) {
+            phased.messages += t.messages;
+            phased.bytes += t.bytes;
+            phased.tuples += t.tuples;
+            phased.retransmissions += t.retransmissions;
+            phased.dropped_messages += t.dropped_messages;
+            phased.energy_uj += t.energy_uj;
+        }
+        if phased.messages != scope_totals.messages
+            || phased.bytes != scope_totals.bytes
+            || phased.tuples != scope_totals.tuples
+            || phased.retransmissions != scope_totals.retransmissions
+            || phased.dropped_messages != scope_totals.dropped_messages
+        {
+            violations.push(format!(
+                "scope {scope}: phase breakdown {phased:?} does not partition {scope_totals:?}"
+            ));
+        }
+        if phased.energy_uj > scope_totals.energy_uj * (1.0 + 1e-9) + 1e-6 {
+            violations.push(format!(
+                "scope {scope}: phased energy {} µJ exceeds the scope's {} µJ",
+                phased.energy_uj, scope_totals.energy_uj
+            ));
+        }
+    }
+    if scoped.bytes > totals.bytes || scoped.tuples > totals.tuples {
+        violations.push(format!(
+            "scoped bytes/tuples {}/{} exceed the ledger totals {}/{}",
+            scoped.bytes, scoped.tuples, totals.bytes, totals.tuples
+        ));
+    }
+    if scoped.energy_uj > totals.energy_uj * (1.0 + 1e-9) + 1e-6 {
+        violations.push(format!(
+            "scoped energy {} µJ exceeds the ledger total {} µJ",
+            scoped.energy_uj, totals.energy_uj
+        ));
+    }
+    if all_traffic_scoped && (scoped.bytes != totals.bytes || scoped.tuples != totals.tuples) {
+        violations.push(format!(
+            "all traffic is scoped, yet scoped bytes/tuples {}/{} != ledger totals {}/{}",
+            scoped.bytes, scoped.tuples, totals.bytes, totals.tuples
+        ));
+    }
+    violations
+}
+
 /// Structural sanity of a ranked answer: at most K items, distinct keys drawn from the
 /// legal key space, values finite, inside the domain and sorted best-first.  This is
 /// the unconditional floor every answer must meet, including degraded (lossy) ones.
@@ -170,6 +241,36 @@ mod tests {
     #[test]
     fn empty_ledger_is_trivially_balanced() {
         assert!(check_ledger(&NetworkMetrics::new(4)).is_empty());
+    }
+
+    #[test]
+    fn scope_attribution_checker_accepts_scoped_and_frame_traffic() {
+        use kspot_net::FrameSlice;
+        let mut m = NetworkMetrics::new(3);
+        m.set_scope(Some(0));
+        m.record_transmission(1, 2, 0, PhaseTag::Update, 19, 1, 380.0, 285.0);
+        m.set_scope(None);
+        // A merged frame carrying both scopes.
+        let slices = [
+            FrameSlice { scope: Some(0), phase: PhaseTag::Update, share_bytes: 20, tuples: 1 },
+            FrameSlice { scope: Some(1), phase: PhaseTag::Update, share_bytes: 14, tuples: 2 },
+        ];
+        m.record_frame_transmission(2, 1, 0, PhaseTag::Update, 34, &slices, 340.0, 170.0);
+        m.note_frame_retransmission(0, PhaseTag::Update, &slices);
+        m.record_frame_transmission(2, 1, 0, PhaseTag::Update, 34, &slices, 340.0, 170.0);
+
+        let clean = check_scope_attribution(&m, true);
+        assert!(clean.is_empty(), "the public API keeps attribution conserved: {clean:?}");
+        assert!(check_ledger(&m).is_empty(), "frame bookings conserve the global ledgers too");
+    }
+
+    #[test]
+    fn scope_attribution_checker_flags_unscoped_leaks_when_equality_is_required() {
+        let mut m = NetworkMetrics::new(3);
+        m.record_transmission(1, 2, 0, PhaseTag::Update, 19, 1, 380.0, 285.0);
+        assert!(check_scope_attribution(&m, false).is_empty(), "inequality mode tolerates it");
+        let strict = check_scope_attribution(&m, true);
+        assert_eq!(strict.len(), 1, "unscoped traffic breaks the exact decomposition: {strict:?}");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   participate (participation is a pure function of the plan, so the oracle never
 //!   has to simulate anything);
 //! * [`invariants`] — the checkers: ledger conservation across [`kspot_net::metrics`],
-//!   structural well-formedness of every answer, and rank-for-rank oracle agreement;
+//!   per-query attribution conservation (scope and scope×phase axes, incl. merged
+//!   report frames), structural well-formedness of every answer, and rank-for-rank
+//!   oracle agreement;
 //! * [`runner`] — drives every snapshot algorithm (MINT, TAG, centralized, naive,
 //!   FILA) and every historic algorithm (TJA, TPUT, centralized windows,
 //!   local-aggregate) through a cell and collects violations.
@@ -33,5 +35,6 @@ pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
+pub use invariants::{check_ledger, check_scope_attribution};
 pub use runner::{run_historic_cell, run_snapshot_cell, CellOutcome};
 pub use scenario::{matrix, FaultProfile, ScenarioCell, TopologyKind, WorkloadProfile};

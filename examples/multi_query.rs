@@ -60,4 +60,40 @@ fn main() {
         grand.bytes,
         grand.energy_uj / 1000.0
     );
+
+    // --- cross-query frame batching (ADR-004) ------------------------------------
+    // Re-run the same three sessions with the frame scheduler off and on: with
+    // batching, every node's per-epoch reports across all sessions leave as ONE
+    // merged frame (one preamble + header instead of one per session).  The venue is
+    // lossless, so every session's answers are byte-identical either way — only the
+    // overhead disappears.
+    let replay = |batched: bool| {
+        let mut engine = QueryEngine::new(ScenarioConfig::conference())
+            .with_seed(42)
+            .with_frame_batching(batched);
+        let ids: Vec<_> = [
+            "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+            "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+            "SELECT TOP 2 nodeid, sound FROM sensors",
+        ]
+        .iter()
+        .map(|sql| engine.register(sql).expect("admits"))
+        .collect();
+        engine.run_epochs(30);
+        let answers: Vec<_> = ids.iter().map(|&id| engine.results(id).unwrap().to_vec()).collect();
+        let per_session: Vec<u64> = ids.iter().map(|&id| engine.query_totals(id).bytes).collect();
+        (answers, per_session, engine.metrics().totals().bytes)
+    };
+    let (plain_answers, plain_bytes, plain_total) = replay(false);
+    let (batched_answers, batched_bytes, batched_total) = replay(true);
+    assert_eq!(plain_answers, batched_answers, "lossless batching never changes answers");
+
+    println!("\nframe batching (30 epochs, same sessions, same answers):");
+    println!("  {:<12} {:>14} {:>14}", "session", "bytes (off)", "bytes (on)");
+    for (i, (off, on)) in plain_bytes.iter().zip(&batched_bytes).enumerate() {
+        println!("  session {i:<4} {off:>14} {on:>14}");
+    }
+    let saved = 100.0 * (1.0 - batched_total as f64 / plain_total as f64);
+    println!("  {:<12} {plain_total:>14} {batched_total:>14}  ({saved:.1}% saved)", "total");
+    assert!(batched_total < plain_total, "merged frames must shed overhead");
 }

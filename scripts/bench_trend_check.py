@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf-trajectory trend check for BENCH_engine.json (bench-smoke CI job).
+
+Usage: bench_trend_check.py PREVIOUS_JSON CURRENT_JSON
+
+Compares the shared-epoch engine's throughput between the previous merge's
+artifact and the fresh one and fails (exit 1) on a >2x regression of
+`shared_loop_qps` at batch size 8.  Everything else is a silent pass (exit 0):
+
+* no previous artifact (the trajectory starts empty),
+* either artifact unreadable or in an unknown schema,
+* no batch-8 row (smoke-sized PR runs only sweep small batches).
+
+Understands both the schema-2 merged document ({"schema": 2, "experiments":
+[...]}) and the original flat e12 document ({"experiment":
+"engine-throughput", ...}).
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+BATCH = 8
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def engine_throughput_rows(doc):
+    """The engine-throughput rows of either artifact schema, or None."""
+    if not isinstance(doc, dict):
+        return None
+    experiments = doc.get("experiments", [doc])
+    for experiment in experiments:
+        if (
+            isinstance(experiment, dict)
+            and experiment.get("experiment") == "engine-throughput"
+        ):
+            rows = experiment.get("rows")
+            return rows if isinstance(rows, list) else None
+    return None
+
+
+def shared_qps_at_batch(doc, batch):
+    rows = engine_throughput_rows(doc)
+    if rows is None:
+        return None
+    for row in rows:
+        if isinstance(row, dict) and row.get("batch") == batch:
+            qps = row.get("shared_loop_qps")
+            return float(qps) if isinstance(qps, (int, float)) else None
+    return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} PREVIOUS_JSON CURRENT_JSON", file=sys.stderr)
+        return 0  # misconfiguration must not block CI
+    previous = shared_qps_at_batch(load(argv[1]), BATCH)
+    current = shared_qps_at_batch(load(argv[2]), BATCH)
+    if previous is None or previous <= 0.0:
+        print("trend check: no prior batch-8 throughput to compare against, skipping")
+        return 0
+    if current is None:
+        print("trend check: current artifact has no batch-8 row, skipping")
+        return 0
+    ratio = previous / current if current > 0.0 else float("inf")
+    print(
+        f"trend check: shared-loop qps at batch {BATCH}: "
+        f"previous {previous:.2f}, current {current:.2f} ({ratio:.2f}x slower)"
+    )
+    if ratio > REGRESSION_FACTOR:
+        print(
+            f"trend check: FAIL — shared-loop qps regressed more than "
+            f"{REGRESSION_FACTOR}x at batch {BATCH}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
