@@ -7,18 +7,30 @@
 //! once information from all nodes is combined, which is exactly what TJA's phased
 //! protocol does.
 //!
-//! This module provides the shared scaffolding: the query spec, the distributed dataset
-//! ([`HistoricDataset`], one sliding window per node), the omniscient reference answer,
-//! the [`HistoricAlgorithm`] trait and the two straightforward strategies — shipping the
-//! complete windows to the sink ([`CentralizedHistoric`]) and the horizontally
-//! fragmented local-filter variant of Section III-B ([`LocalAggregateHistoric`]).
+//! This module provides the shared scaffolding: the query spec, the [`WindowSource`]
+//! abstraction every historic algorithm reads its windows through, the distributed
+//! dataset ([`HistoricDataset`], one sliding window per node), the engine-shared view
+//! ([`BankWindows`], a span-limited view over a [`kspot_net::WindowBank`]), the
+//! omniscient reference answer, the [`HistoricAlgorithm`] trait and the two
+//! straightforward strategies — shipping the complete windows to the sink
+//! ([`CentralizedHistoric`]) and the horizontally fragmented local-filter variant of
+//! Section III-B ([`LocalAggregateHistoric`]).
+//!
+//! ## Why [`WindowSource`]
+//!
+//! Historically every algorithm took a `&mut HistoricDataset`, which hard-wired the
+//! "replay a collection pass per submission" execution model: a fresh dataset had to
+//! be materialised for every query.  The trait decouples the algorithms from where the
+//! windows live, so the same TJA/TPUT/centralized code answers both from a
+//! per-submission dataset **and** from the multi-query engine's shared per-node
+//! windows (fed once per epoch for *all* registered historic sessions — ADR-005).
 
 use crate::agg::exact_aggregate;
 use crate::result::{RankedItem, TopKResult};
 use crate::snapshot::SnapshotSpec;
 use crate::tag::{convergecast_full, rank_view};
-use kspot_net::types::ValueDomain;
-use kspot_net::{Epoch, Network, NodeId, PhaseTag, Reading, SlidingWindow, Workload};
+use kspot_net::types::{cmp_value, ValueDomain};
+use kspot_net::{Epoch, Network, NodeId, PhaseTag, Reading, SlidingWindow, WindowBank, Workload};
 use kspot_query::AggFunc;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -52,6 +64,150 @@ impl HistoricSpec {
             "the threshold algebra of TJA/TPUT assumes non-negative sensed values"
         );
         Self { k, func, domain, window }
+    }
+}
+
+/// Read access to the per-node sliding windows a historic query answers from.
+///
+/// Implementations: [`HistoricDataset`] (a per-submission materialised dataset, the
+/// replay path) and [`BankWindows`] (a span-limited view over the multi-query engine's
+/// shared [`WindowBank`]).  The methods mirror the two access paths real motes expose
+/// (local top-k scan and point lookups, see [`SlidingWindow`]) plus the bulk scans the
+/// centralized comparators need.
+///
+/// All sample lists are returned oldest-epoch-first, with ties in `local_top_k` broken
+/// towards the older epoch — the deterministic order [`SlidingWindow`] guarantees — so
+/// two sources holding the same samples produce byte-identical algorithm runs.
+pub trait WindowSource {
+    /// Node identifiers holding a window, ascending.
+    fn source_nodes(&self) -> Vec<NodeId>;
+
+    /// The epochs covered by the windows, oldest first (the last one is the epoch the
+    /// query is answered at).
+    fn covered_epochs(&self) -> Vec<Epoch>;
+
+    /// Every buffered `(epoch, value)` sample of one node, oldest first.
+    fn samples(&mut self, node: NodeId) -> Vec<(Epoch, f64)>;
+
+    /// The node's `k` highest-valued samples, best first (ties toward older epochs).
+    fn local_top_k(&mut self, node: NodeId, k: usize) -> Vec<(Epoch, f64)>;
+
+    /// The node's samples with value at least `threshold`, oldest first.
+    fn values_at_least(&mut self, node: NodeId, threshold: f64) -> Vec<(Epoch, f64)>;
+
+    /// The node's value at `epoch`, if buffered.
+    fn value_at(&mut self, node: NodeId, epoch: Epoch) -> Option<f64>;
+
+    /// Number of samples the node's window currently buffers.
+    fn window_len(&mut self, node: NodeId) -> usize;
+}
+
+/// Omniscient ranked answer over the windows of `nodes`, computed from whatever
+/// source the query ran against — the sink-side final ranking of
+/// [`CentralizedHistoric`], and the oracle for participation-scoped exactness claims.
+pub fn exact_over_source(
+    source: &mut dyn WindowSource,
+    spec: &HistoricSpec,
+    nodes: &[NodeId],
+) -> TopKResult {
+    let mut per_epoch: BTreeMap<Epoch, Vec<f64>> = BTreeMap::new();
+    for &node in nodes {
+        for (e, v) in source.samples(node) {
+            per_epoch.entry(e).or_default().push(v);
+        }
+    }
+    let items = per_epoch
+        .into_iter()
+        .filter_map(|(e, vals)| exact_aggregate(spec.func, &vals).map(|v| RankedItem::new(e, v)))
+        .collect();
+    let mut result =
+        TopKResult::new(source.covered_epochs().last().copied().unwrap_or(0), items);
+    result.items.truncate(spec.k);
+    result
+}
+
+/// A span-limited [`WindowSource`] view over the engine's shared [`WindowBank`]:
+/// exposes only the **last `window` epochs** of the bank, so a session whose
+/// `WITH HISTORY` span is shorter than the bank's capacity (which follows the largest
+/// registered span) sees exactly the window it asked for.  Holding the same samples,
+/// a view is byte-identical to a per-submission [`HistoricDataset`] of that span.
+pub struct BankWindows<'a> {
+    bank: &'a mut WindowBank,
+    /// The covered epochs, oldest first (the last `window` epochs of the bank).
+    epochs: Vec<Epoch>,
+    /// The first covered epoch — samples older than this are invisible to the view.
+    first: Epoch,
+}
+
+impl<'a> BankWindows<'a> {
+    /// Opens a view over the last `window` epochs the bank covers.
+    pub fn new(bank: &'a mut WindowBank, window: usize) -> Self {
+        let all = bank.epochs();
+        let skip = all.len().saturating_sub(window);
+        let epochs: Vec<Epoch> = all[skip..].to_vec();
+        let first = epochs.first().copied().unwrap_or(0);
+        Self { bank, epochs, first }
+    }
+
+    /// The node's in-span samples without storage accounting (cheap metadata reads:
+    /// `samples`, `window_len`) — mirrors the uncharged `SlidingWindow::iter` path
+    /// the [`HistoricDataset`] source uses for the same operations.
+    fn in_span(&mut self, node: NodeId) -> Vec<(Epoch, f64)> {
+        let first = self.first;
+        self.bank
+            .window_mut(node)
+            .map(|w| w.iter().filter(|&(e, _)| e >= first).collect())
+            .unwrap_or_default()
+    }
+
+    /// The node's in-span samples charged as one full flash scan — mirrors the
+    /// page-read accounting of `SlidingWindow::local_top_k`/`values_at_least` so an
+    /// engine-served query records the same class of storage cost as a replay.  (The
+    /// scan covers the whole shared window, which may exceed the span when the bank
+    /// keeps longer history for another session — the flash does not know which
+    /// epochs the reader wants.)
+    fn scan_span(&mut self, node: NodeId) -> Vec<(Epoch, f64)> {
+        let first = self.first;
+        self.bank
+            .window_mut(node)
+            .map(|w| w.scan().into_iter().filter(|&(e, _)| e >= first).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl WindowSource for BankWindows<'_> {
+    fn source_nodes(&self) -> Vec<NodeId> {
+        self.bank.node_ids()
+    }
+
+    fn covered_epochs(&self) -> Vec<Epoch> {
+        self.epochs.clone()
+    }
+
+    fn samples(&mut self, node: NodeId) -> Vec<(Epoch, f64)> {
+        self.in_span(node)
+    }
+
+    fn local_top_k(&mut self, node: NodeId, k: usize) -> Vec<(Epoch, f64)> {
+        let mut all = self.scan_span(node);
+        all.sort_by(|a, b| cmp_value(b.1, a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    fn values_at_least(&mut self, node: NodeId, threshold: f64) -> Vec<(Epoch, f64)> {
+        self.scan_span(node).into_iter().filter(|&(_, v)| v >= threshold).collect()
+    }
+
+    fn value_at(&mut self, node: NodeId, epoch: Epoch) -> Option<f64> {
+        if epoch < self.first {
+            return None;
+        }
+        self.bank.window_mut(node).and_then(|w| w.get(epoch))
+    }
+
+    fn window_len(&mut self, node: NodeId) -> usize {
+        self.in_span(node).len()
     }
 }
 
@@ -139,14 +295,46 @@ impl HistoricDataset {
     }
 }
 
+impl WindowSource for HistoricDataset {
+    fn source_nodes(&self) -> Vec<NodeId> {
+        self.node_ids()
+    }
+
+    fn covered_epochs(&self) -> Vec<Epoch> {
+        self.epochs.clone()
+    }
+
+    fn samples(&mut self, node: NodeId) -> Vec<(Epoch, f64)> {
+        self.windows.get_mut(&node).map(|w| w.iter().collect()).unwrap_or_default()
+    }
+
+    fn local_top_k(&mut self, node: NodeId, k: usize) -> Vec<(Epoch, f64)> {
+        self.windows.get_mut(&node).map(|w| w.local_top_k(k)).unwrap_or_default()
+    }
+
+    fn values_at_least(&mut self, node: NodeId, threshold: f64) -> Vec<(Epoch, f64)> {
+        self.windows.get_mut(&node).map(|w| w.values_at_least(threshold)).unwrap_or_default()
+    }
+
+    fn value_at(&mut self, node: NodeId, epoch: Epoch) -> Option<f64> {
+        HistoricDataset::value_at(self, node, epoch)
+    }
+
+    fn window_len(&mut self, node: NodeId) -> usize {
+        self.windows.get_mut(&node).map(|w| w.len()).unwrap_or(0)
+    }
+}
+
 /// A one-shot historic Top-K execution strategy.
 pub trait HistoricAlgorithm {
     /// Short human-readable name.
     fn name(&self) -> &'static str;
 
-    /// Executes the query over the distributed dataset, moving traffic through `net`,
-    /// and returns the ranked answer available at the sink.
-    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult;
+    /// Executes the query over the windows of `data`, moving traffic through `net`,
+    /// and returns the ranked answer available at the sink.  `data` is any
+    /// [`WindowSource`] — a per-submission [`HistoricDataset`] replay or the engine's
+    /// shared [`BankWindows`] view.
+    fn execute(&mut self, net: &mut Network, data: &mut dyn WindowSource) -> TopKResult;
 }
 
 /// Ships every node's entire window to the sink — the no-pruning upper bound.
@@ -167,8 +355,8 @@ impl HistoricAlgorithm for CentralizedHistoric {
         "centralized window collection"
     }
 
-    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
-        let epoch = *data.epochs().last().unwrap_or(&0);
+    fn execute(&mut self, net: &mut Network, data: &mut dyn WindowSource) -> TopKResult {
+        let epoch = data.covered_epochs().last().copied().unwrap_or(0);
         // Each node transmits its own window plus every descendant window it relays; the
         // window owners are threaded through the relays so that under fault injection
         // the sink answers from the windows that were actually delivered.
@@ -179,7 +367,7 @@ impl HistoricAlgorithm for CentralizedHistoric {
             }
             let mut owners: Vec<NodeId> = inbox.remove(&node).unwrap_or_default();
             owners.push(node);
-            let tuples: usize = owners.iter().map(|&o| data.window_mut(o).len()).sum();
+            let tuples: usize = owners.iter().map(|&o| data.window_len(o)).sum();
             net.charge_cpu(node, tuples as u32);
             if let Some(parent) = net.send_report_up(node, epoch, tuples as u32, 0, PhaseTag::Update)
             {
@@ -187,7 +375,7 @@ impl HistoricAlgorithm for CentralizedHistoric {
             }
         }
         let delivered = inbox.remove(&kspot_net::SINK).unwrap_or_default();
-        data.exact_reference_over(&self.spec, &delivered)
+        exact_over_source(data, &self.spec, &delivered)
     }
 }
 
@@ -208,18 +396,24 @@ impl LocalAggregateHistoric {
     pub fn new(spec: SnapshotSpec) -> Self {
         Self { spec }
     }
+}
+
+impl HistoricAlgorithm for LocalAggregateHistoric {
+    fn name(&self) -> &'static str {
+        "local filter + MINT update"
+    }
 
     /// Executes the query: local window aggregation followed by one TAG-style round over
     /// the per-node aggregates.  Nodes that are dead or asleep at query time contribute
     /// nothing (their flash is unreachable).
-    pub fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
-        let epoch = *data.epochs().last().unwrap_or(&0);
+    fn execute(&mut self, net: &mut Network, data: &mut dyn WindowSource) -> TopKResult {
+        let epoch = data.covered_epochs().last().copied().unwrap_or(0);
         let mut readings = Vec::new();
-        for node in data.node_ids() {
+        for node in data.source_nodes() {
             if !net.node_participating(node) {
                 continue;
             }
-            let values: Vec<f64> = data.window_mut(node).iter().map(|(_, v)| v).collect();
+            let values: Vec<f64> = data.samples(node).into_iter().map(|(_, v)| v).collect();
             net.charge_cpu(node, values.len() as u32);
             if let Some(v) = exact_aggregate(self.spec.func, &values) {
                 readings.push(Reading::new(node, net.deployment().group_of(node), epoch, v));
@@ -314,6 +508,85 @@ mod tests {
         }
         // Only one tuple per node entered the network, far below the 24-sample windows.
         assert!(net.metrics().totals().tuples < (24 * d.num_nodes()) as u64);
+    }
+
+    #[test]
+    fn bank_view_is_byte_identical_to_a_dataset_holding_the_same_samples() {
+        // The engine's shared windows and a per-submission dataset replay, fed from
+        // the same workload stream, must drive every historic algorithm to the same
+        // answer — the equivalence the WindowSource abstraction promises.
+        use crate::historic::BankWindows;
+        use crate::tja::Tja;
+        use crate::tput::Tput;
+        let d = Deployment::clustered_rooms(4, 4, 20.0, kspot_net::rng::topology_seed(31));
+        let window = 24;
+        let mut bank = kspot_net::WindowBank::new(window);
+        let mut w = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            RoomModelParams::default(),
+            kspot_net::rng::workload_seed(31),
+        );
+        for _ in 0..window {
+            bank.feed(&w.next_epoch());
+        }
+        let mut replay = Workload::room_correlated(
+            &d,
+            ValueDomain::percentage(),
+            RoomModelParams::default(),
+            kspot_net::rng::workload_seed(31),
+        );
+        let data = HistoricDataset::collect(&mut replay, window);
+
+        let spec = HistoricSpec::new(3, AggFunc::Avg, ValueDomain::percentage(), window);
+        let algos: [&mut dyn HistoricAlgorithm; 3] = [
+            &mut Tja::new(spec),
+            &mut Tput::new(spec),
+            &mut CentralizedHistoric::new(spec),
+        ];
+        for algo in algos {
+            let mut bank_net = Network::new(d.clone(), NetworkConfig::ideal());
+            let mut view = BankWindows::new(&mut bank, window);
+            let from_bank = algo.execute(&mut bank_net, &mut view);
+            let mut data_net = Network::new(d.clone(), NetworkConfig::ideal());
+            let mut data = data.clone();
+            let from_data = algo.execute(&mut data_net, &mut data);
+            assert_eq!(from_bank, from_data, "{} diverged between sources", algo.name());
+            assert_eq!(
+                bank_net.metrics().totals(),
+                data_net.metrics().totals(),
+                "{} moved different traffic between sources",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bank_view_limits_the_span_to_the_last_window_epochs() {
+        // A session with a shorter WITH HISTORY span than the bank's capacity must see
+        // only its own window — never the extra history the bank keeps for others.
+        use crate::historic::BankWindows;
+        let mut bank = kspot_net::WindowBank::new(8);
+        for e in 0..8u64 {
+            // Node 1's hottest sample (99.0) sits in the *old* half of the bank.
+            let v = if e == 1 { 99.0 } else { e as f64 };
+            bank.feed(&[Reading::new(1, 0, e, v)]);
+        }
+        let mut view = BankWindows::new(&mut bank, 4);
+        assert_eq!(view.covered_epochs(), vec![4, 5, 6, 7]);
+        assert_eq!(view.window_len(1), 4);
+        assert_eq!(view.value_at(1, 1), None, "out-of-span lookups miss");
+        assert_eq!(view.value_at(1, 5), Some(5.0));
+        assert_eq!(view.local_top_k(1, 2), vec![(7, 7.0), (6, 6.0)]);
+        assert_eq!(view.values_at_least(1, 6.0), vec![(6, 6.0), (7, 7.0)]);
+        assert_eq!(view.samples(1).len(), 4);
+        assert!(view.samples(9).is_empty(), "unknown nodes hold nothing");
+        // Ranked and threshold scans pay flash page reads, like the replay path.
+        drop(view);
+        assert!(
+            bank.window_mut(1).unwrap().page_reads() >= 3,
+            "two scans and a point lookup must be accounted"
+        );
     }
 
     #[test]

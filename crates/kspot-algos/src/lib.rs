@@ -45,7 +45,8 @@ pub use agg::{exact_aggregate, AggState};
 pub use centralized::CentralizedCollection;
 pub use fila::{FilaMonitor, FilaStats};
 pub use historic::{
-    CentralizedHistoric, HistoricAlgorithm, HistoricDataset, HistoricSpec, LocalAggregateHistoric,
+    exact_over_source, BankWindows, CentralizedHistoric, HistoricAlgorithm, HistoricDataset,
+    HistoricSpec, LocalAggregateHistoric, WindowSource,
 };
 pub use mint::{MintConfig, MintStats, MintViews};
 pub use naive::NaiveLocalPrune;

@@ -103,6 +103,11 @@ pub fn exact_reference(spec: &SnapshotSpec, readings: &[Reading]) -> TopKResult 
 /// query's sweep is done the driver flushes the epoch's merged report frames
 /// ([`Network::flush_frames`] — a no-op unless the substrate has frame batching
 /// enabled), so all sessions' per-node reports leave as one frame per hop.
+///
+/// The multi-query engine (`kspot-core`) drives its own copy of this
+/// begin-epoch / per-session-scope / flush contract so it can interleave historic
+/// sessions into the sweep; a change to the contract here must be mirrored there
+/// (the engine's frame-batching tests pin the joint behaviour).
 pub fn run_shared_epoch(
     algos: &mut [&mut dyn SnapshotAlgorithm],
     net: &mut Network,

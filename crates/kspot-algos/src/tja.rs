@@ -20,7 +20,7 @@
 //! eliminated, and every epoch never reported anywhere is provably below the K-th —
 //! which is what makes the final answer exact.
 
-use crate::historic::{HistoricAlgorithm, HistoricDataset, HistoricSpec};
+use crate::historic::{HistoricAlgorithm, HistoricSpec, WindowSource};
 use crate::result::{RankedItem, TopKResult};
 use kspot_net::{Epoch, Network, NodeId, PhaseTag, SINK};
 use kspot_query::AggFunc;
@@ -77,13 +77,13 @@ impl HistoricAlgorithm for Tja {
         "TJA (hierarchical)"
     }
 
-    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
+    fn execute(&mut self, net: &mut Network, data: &mut dyn WindowSource) -> TopKResult {
         let k = self.spec.k;
-        let query_epoch = *data.epochs().last().unwrap_or(&0);
+        let query_epoch = data.covered_epochs().last().copied().unwrap_or(0);
         // Only nodes that are alive and awake at query time can answer; the threshold
         // algebra runs over that population, scoping exactness to reachable data.
         let node_ids: Vec<NodeId> =
-            data.node_ids().into_iter().filter(|&id| net.node_participating(id)).collect();
+            data.source_nodes().into_iter().filter(|&id| net.node_participating(id)).collect();
         let n = node_ids.len();
         if n == 0 {
             return TopKResult::new(query_epoch, Vec::new());
@@ -94,7 +94,7 @@ impl HistoricAlgorithm for Tja {
         // up, so a node transmits one tuple per distinct epoch in its subtree's union.
         let mut local_topk: BTreeMap<NodeId, Vec<(Epoch, f64)>> = BTreeMap::new();
         for &node in &node_ids {
-            let list = data.window_mut(node).local_top_k(k);
+            let list = data.local_top_k(node, k);
             net.charge_cpu(node, list.len() as u32);
             local_topk.insert(node, list);
         }
@@ -144,9 +144,8 @@ impl HistoricAlgorithm for Tja {
         let mut hj_contrib: BTreeMap<NodeId, Vec<(Epoch, f64)>> = BTreeMap::new();
         for &node in &node_ids {
             let already: BTreeSet<Epoch> = local_topk[&node].iter().map(|&(e, _)| e).collect();
-            let window = data.window_mut(node);
             let mut send: Vec<(Epoch, f64)> = Vec::new();
-            for (e, v) in window.iter() {
+            for (e, v) in data.samples(node) {
                 if already.contains(&e) {
                     continue;
                 }
@@ -254,7 +253,7 @@ impl HistoricAlgorithm for Tja {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::historic::CentralizedHistoric;
+    use crate::historic::{CentralizedHistoric, HistoricDataset};
     use kspot_net::types::ValueDomain;
     use kspot_net::{Deployment, NetworkConfig, RoomModelParams, Workload};
 

@@ -15,7 +15,7 @@
 //! 3. the sink fetches the exact values it still misses for the surviving candidates and
 //!    reports the exact Top-K.
 
-use crate::historic::{HistoricAlgorithm, HistoricDataset, HistoricSpec};
+use crate::historic::{HistoricAlgorithm, HistoricSpec, WindowSource};
 use crate::result::{RankedItem, TopKResult};
 use kspot_net::{Epoch, Network, NodeId, PhaseTag};
 use kspot_query::AggFunc;
@@ -70,12 +70,12 @@ impl HistoricAlgorithm for Tput {
         "TPUT (flat)"
     }
 
-    fn execute(&mut self, net: &mut Network, data: &mut HistoricDataset) -> TopKResult {
+    fn execute(&mut self, net: &mut Network, data: &mut dyn WindowSource) -> TopKResult {
         let k = self.spec.k;
-        let query_epoch = *data.epochs().last().unwrap_or(&0);
+        let query_epoch = data.covered_epochs().last().copied().unwrap_or(0);
         // Only nodes alive and awake at query time can answer (see `kspot_net::fault`).
         let node_ids: Vec<NodeId> =
-            data.node_ids().into_iter().filter(|&id| net.node_participating(id)).collect();
+            data.source_nodes().into_iter().filter(|&id| net.node_participating(id)).collect();
         let n = node_ids.len();
         if n == 0 {
             return TopKResult::new(query_epoch, Vec::new());
@@ -91,7 +91,7 @@ impl HistoricAlgorithm for Tput {
         // --------------------------------------------------------------- phase 1
         let mut local_topk: BTreeMap<NodeId, Vec<(Epoch, f64)>> = BTreeMap::new();
         for &node in &node_ids {
-            let list = data.window_mut(node).local_top_k(k);
+            let list = data.local_top_k(node, k);
             net.charge_cpu(node, list.len() as u32);
             // Flat protocol: the list travels to the sink without merging, paying every
             // hop of the routing path.  A dropped list never reaches the sink.
@@ -117,8 +117,7 @@ impl HistoricAlgorithm for Tput {
         for &node in &node_ids {
             let already: BTreeSet<Epoch> = local_topk[&node].iter().map(|&(e, _)| e).collect();
             let extra: Vec<(Epoch, f64)> = data
-                .window_mut(node)
-                .values_at_least(theta)
+                .values_at_least(node, theta)
                 .into_iter()
                 .filter(|(e, _)| !already.contains(e))
                 .collect();
@@ -185,7 +184,7 @@ impl HistoricAlgorithm for Tput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::historic::CentralizedHistoric;
+    use crate::historic::{CentralizedHistoric, HistoricDataset};
     use crate::tja::Tja;
     use kspot_net::types::ValueDomain;
     use kspot_net::{Deployment, NetworkConfig, RoomModelParams, Workload};

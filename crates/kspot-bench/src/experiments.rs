@@ -18,10 +18,11 @@ use kspot_net::{Deployment, Network, NetworkConfig, PhaseTotals, RoomModelParams
 use kspot_query::AggFunc;
 
 /// The identifiers of every experiment in the suite.
-pub const ALL_EXPERIMENTS: &[&str] =
-    &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
 
-/// Runs one experiment by id ("e1" … "e13"), returning its table.
+/// Runs one experiment by id ("e1" … "e14"), returning its table.
 pub fn run(id: &str) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1_figure1()),
@@ -37,6 +38,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e11" => Some(e11_fault_sweep()),
         "e12" => Some(e12_engine_throughput().0),
         "e13" => Some(e13_frame_batching().0),
+        "e14" => Some(e14_historic_sessions().0),
         _ => None,
     }
 }
@@ -130,6 +132,7 @@ pub fn e1_figure1() -> Table {
 // E2 / E3 — the System Panel on the conference scenario
 // ---------------------------------------------------------------------------------
 
+#[allow(deprecated)] // E2/E3 measure the one-shot facade's System Panel on purpose.
 fn conference_execution(epochs: usize) -> kspot_core::QueryExecution {
     KSpotServer::new(ScenarioConfig::conference())
         .with_workload(WorkloadSpec::RoomCorrelated(RoomModelParams::default()))
@@ -539,6 +542,7 @@ pub fn e12_engine_throughput() -> (Table, String) {
 }
 
 /// The sized core of E12 (the unit tests call it with tiny parameters).
+#[allow(deprecated)] // the serial/parallel columns ARE the deprecated facade, by design
 fn engine_throughput_sized(
     epochs: usize,
     batch_sizes: &[usize],
@@ -590,7 +594,7 @@ fn engine_throughput_sized(
         let t = Instant::now();
         let mut engine = server.engine();
         for req in &requests {
-            engine.register(&req.sql).expect("the batch queries admit");
+            let _session = engine.register(&req.sql).expect("the batch queries admit");
         }
         engine.run_epochs(epochs);
         let shared_s = t.elapsed().as_secs_f64();
@@ -686,15 +690,15 @@ fn frame_batching_sized(
     for &n in session_counts {
         let run = |batched: bool| {
             let mut engine = server.engine().with_frame_batching(batched);
-            for i in 0..n {
-                engine.register(&sql_for(i)).expect("the batch queries admit");
-            }
+            let sessions: Vec<_> = (0..n)
+                .map(|i| engine.register(&sql_for(i)).expect("the batch queries admit"))
+                .collect();
             let t = Instant::now();
             engine.run_epochs(epochs);
             let secs = t.elapsed().as_secs_f64();
-            let answers: Vec<_> =
-                engine.session_ids().iter().map(|&id| engine.results(id).unwrap().to_vec()).collect();
-            (engine.metrics().totals().bytes, secs, answers)
+            let answers: Vec<_> = sessions.iter().map(|s| s.results()).collect();
+            let bytes = engine.metrics().totals().bytes;
+            (bytes, secs, answers)
         };
         let (bytes_off, secs_off, answers_off) = run(false);
         let (bytes_on, secs_on, answers_on) = run(true);
@@ -737,6 +741,114 @@ fn frame_batching_sized(
 
     let json = format!(
         "{{\n  \"experiment\": \"frame-batching\",\n  \"epochs\": {epochs},\n  \"rows\": [\n{}\n  ]\n}}",
+        json_rows.join(",\n")
+    );
+    (table, json)
+}
+
+// ---------------------------------------------------------------------------------
+// E14 — historic sessions: per-submit replay vs engine-shared windows
+// ---------------------------------------------------------------------------------
+
+/// E14: throughput and bytes-per-query of `WITH HISTORY` queries, served two ways —
+/// the per-submit path (each query pays its own throwaway single-session engine: a
+/// fresh substrate plus a from-scratch window-buffering pass per query, the cost
+/// model of the old `HistoricDataset::collect` replay) versus the shared `Session`
+/// path (all queries registered on ONE engine whose per-node windows are fed once
+/// per epoch for everyone, with frame batching merging the sessions' protocol
+/// reports; ADR-005).  Answers are byte-identical on the lossless venue; the whole
+/// delta is amortisation.  Returns the printable table plus the JSON fragment the
+/// `tables` binary folds into the schema-3 `BENCH_engine.json` next to E12/E13.
+///
+/// Set `KSPOT_BENCH_SMOKE=1` to shrink the sizes for CI smoke runs.
+pub fn e14_historic_sessions() -> (Table, String) {
+    if std::env::var("KSPOT_BENCH_SMOKE").is_ok() {
+        historic_sessions_sized(12, &[1, 2, 4])
+    } else {
+        historic_sessions_sized(64, &[1, 2, 4, 8])
+    }
+}
+
+/// The sized core of E14 (the unit tests call it with tiny parameters).
+#[allow(deprecated)] // the replay column IS the deprecated per-submit facade, by design
+fn historic_sessions_sized(window: usize, session_counts: &[usize]) -> (Table, String) {
+    use std::time::Instant;
+
+    // A network-wide correlated signal (one shared trend): historic Top-K queries
+    // look for globally interesting time instances, the regime TJA is designed for.
+    let deployment = Deployment::grid(6, 10.0, Some(1));
+    let scenario = ScenarioConfig::custom("historic venue", "sound", deployment);
+    let server = KSpotServer::new(scenario).with_seed(14).with_lazy_baselines(true);
+    let sql_for = |i: usize| -> String {
+        format!(
+            "SELECT TOP {} epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY {window} epochs",
+            1 + i % 4
+        )
+    };
+
+    let mut table = Table::new(
+        format!("E14 — historic sessions: per-submit replay vs engine-shared windows (window {window} epochs)"),
+        "Replay = one throwaway single-session engine per query (fresh substrate, windows buffered from scratch each time); shared = all queries as Sessions on ONE engine, windows fed once per epoch for everyone (frame batching on). Same answers, amortised maintenance.",
+        &["sessions", "replay B/query", "shared B/query", "saved", "replay qps", "shared qps", "identical"],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for &n in session_counts {
+        let t = Instant::now();
+        let mut replay_bytes = 0u64;
+        let mut replay_answers: Vec<Vec<kspot_algos::TopKResult>> = Vec::new();
+        for i in 0..n {
+            let execution = server.submit(&sql_for(i), 0).expect("the historic query runs");
+            replay_bytes += execution.panel.kspot.totals.bytes;
+            replay_answers.push(execution.results);
+        }
+        let replay_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut engine = server.engine().with_frame_batching(true);
+        let sessions: Vec<_> = (0..n)
+            .map(|i| engine.register(&sql_for(i)).expect("historic queries admit"))
+            .collect();
+        engine.run_epochs(window);
+        let shared_s = t.elapsed().as_secs_f64();
+        let shared_answers: Vec<_> = sessions.iter().map(|s| s.results()).collect();
+        let shared_bytes = engine.metrics().totals().bytes;
+
+        let identical = replay_answers == shared_answers;
+        let per_query = |bytes: u64| bytes as f64 / n as f64;
+        let saved_pct = if replay_bytes > 0 {
+            (1.0 - shared_bytes as f64 / replay_bytes as f64) * 100.0
+        } else {
+            0.0
+        };
+        let qps = |secs: f64| if secs > 0.0 { n as f64 / secs } else { f64::INFINITY };
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(per_query(replay_bytes), 1),
+            fmt_f(per_query(shared_bytes), 1),
+            format!("{}%", fmt_f(saved_pct, 1)),
+            fmt_f(qps(replay_s), 1),
+            fmt_f(qps(shared_s), 1),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"sessions\": {}, \"replay_bytes_per_query\": {:.2}, ",
+                "\"shared_bytes_per_query\": {:.2}, \"saved_pct\": {:.2}, ",
+                "\"replay_qps\": {:.2}, \"shared_qps\": {:.2}, \"answers_identical\": {}}}"
+            ),
+            n,
+            per_query(replay_bytes),
+            per_query(shared_bytes),
+            saved_pct,
+            qps(replay_s),
+            qps(shared_s),
+            identical,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"historic-sessions\",\n  \"window_epochs\": {window},\n  \"rows\": [\n{}\n  ]\n}}",
         json_rows.join(",\n")
     );
     (table, json)
@@ -819,6 +931,26 @@ mod tests {
         let saved = |row: &Vec<String>| row[5].trim_end_matches('%').parse::<f64>().unwrap();
         assert!(saved(&table.rows[1]) > saved(&table.rows[0]), "{:?}", table.rows);
         assert!(json.contains("\"experiment\": \"frame-batching\""));
+        assert!(json.contains("\"answers_identical\": true"));
+        assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
+    }
+
+    #[test]
+    fn e14_shared_windows_beat_per_submit_replay_on_bytes_per_query() {
+        let (table, json) = historic_sessions_sized(12, &[1, 3]);
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "yes", "lossless: answers must match the replay: {row:?}");
+        }
+        // The acceptance criterion: at >= 2 registered historic sessions, the
+        // engine-shared windows spend fewer bytes per query than per-submit replays.
+        let per_query = |row: &Vec<String>, col: usize| row[col].parse::<f64>().unwrap();
+        let multi = &table.rows[1];
+        assert!(
+            per_query(multi, 2) < per_query(multi, 1),
+            "shared windows must beat replay on bytes/query at 3 sessions: {multi:?}"
+        );
+        assert!(json.contains("\"experiment\": \"historic-sessions\""));
         assert!(json.contains("\"answers_identical\": true"));
         assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
     }

@@ -1,0 +1,103 @@
+//! Unit tests for `scripts/bench_trend_check.py` — in particular the *skip* paths,
+//! which must announce themselves with a GitHub Actions `::warning::` annotation
+//! instead of passing silently (a trajectory that quietly stops being checked looks
+//! exactly like a green one).
+//!
+//! The tests shell out to the interpreter; when no `python3` is available in the
+//! environment they skip (the script itself is exercised for real by the
+//! `bench-smoke` CI job).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn script_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/bench_trend_check.py")
+}
+
+fn python_available() -> bool {
+    Command::new("python3").arg("--version").output().map(|o| o.status.success()).unwrap_or(false)
+}
+
+fn run_script(args: &[&str]) -> Output {
+    Command::new("python3")
+        .arg(script_path())
+        .args(args)
+        .output()
+        .expect("python3 runs the trend-check script")
+}
+
+fn artifact(dir: &std::path::Path, name: &str, qps: f64) -> String {
+    let path = dir.join(name);
+    let json = format!(
+        "{{\"schema\": 3, \"experiments\": [{{\"experiment\": \"engine-throughput\", \
+         \"rows\": [{{\"batch\": 8, \"shared_loop_qps\": {qps}}}]}}]}}"
+    );
+    std::fs::write(&path, json).expect("write artifact");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn missing_previous_artifact_skips_with_an_explicit_ci_warning() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let current = artifact(&dir, "current.json", 100.0);
+    let missing = dir.join("does_not_exist.json").to_string_lossy().into_owned();
+
+    let out = run_script(&[&missing, &current]);
+    assert!(out.status.success(), "the skip path must not fail CI: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::warning"),
+        "a missing prior artifact must emit a CI warning annotation, got: {stdout}"
+    );
+    assert!(stdout.contains("no prior batch-8"), "the reason is spelled out: {stdout}");
+}
+
+#[test]
+fn smoke_sized_current_artifact_skips_with_a_warning_too() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    // A smoke-sized current artifact: batch-8 row absent.
+    let current_path = dir.join("current.json");
+    std::fs::write(
+        &current_path,
+        "{\"schema\": 3, \"experiments\": [{\"experiment\": \"engine-throughput\", \
+         \"rows\": [{\"batch\": 2, \"shared_loop_qps\": 50.0}]}]}",
+    )
+    .unwrap();
+
+    let out = run_script(&[&previous, &current_path.to_string_lossy()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("::warning"), "smoke skips must be announced: {stdout}");
+}
+
+#[test]
+fn a_real_regression_still_fails_and_a_healthy_run_still_passes() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_regression");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    let regressed = artifact(&dir, "regressed.json", 40.0);
+    let healthy = artifact(&dir, "healthy.json", 95.0);
+
+    let out = run_script(&[&previous, &regressed]);
+    assert!(!out.status.success(), "a >2x regression must fail the job");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("::warning"), "a real comparison is not a skip: {stdout}");
+
+    let out = run_script(&[&previous, &healthy]);
+    assert!(out.status.success(), "a healthy trajectory passes: {out:?}");
+}

@@ -9,6 +9,45 @@
 //! instead of rebuilding the whole simulation per query the way the one-shot
 //! [`crate::KSpotServer::submit`] compatibility facade historically did.
 //!
+//! ## The `Session` API — one submission surface for both query classes
+//!
+//! [`QueryEngine::register`] is the single entry point for **every** query the
+//! dialect can express, and it returns a typed [`Session`] handle with one uniform
+//! lifecycle regardless of the query's class ([`kspot_query::QueryClass`]):
+//!
+//! * a **continuous** session (snapshot Top-K, plain aggregation, raw collection,
+//!   node monitoring) produces one ranked answer per shared epoch until it is
+//!   cancelled or its `LIFETIME` elapses;
+//! * a **historic** session (`WITH HISTORY`, vertically or horizontally fragmented)
+//!   waits until the engine's shared sliding windows cover its span, answers exactly
+//!   once from those windows, and completes.
+//!
+//! The handle exposes the whole lifecycle: [`Session::poll`] / [`Session::stream`]
+//! for per-epoch results, [`Session::cancel`], and [`Session::finalize`] to convert
+//! the session into a [`QueryExecution`] compatible with the one-shot facade.
+//!
+//! ## Shared window maintenance (historic sessions)
+//!
+//! The engine maintains **one** [`WindowBank`] — one sliding window per node, with
+//! capacity following the largest registered `WITH HISTORY` span — fed once per epoch
+//! from the very readings the continuous sessions consume.  TJA and the
+//! local-aggregate historic strategy answer from that bank through the
+//! [`kspot_algos::WindowSource`] abstraction ([`kspot_algos::BankWindows`]), so N
+//! registered historic sessions share a single per-epoch maintenance pass instead of
+//! each replaying a full `HistoricDataset::collect` pass against a fresh network.
+//! The maintenance cost is charged **unscoped**, once per epoch, exactly like the
+//! sampling baseline: it is genuinely shared infrastructure, and amortising it across
+//! sessions is the point (ADR-005).  Each historic session's *query-time* traffic and
+//! storage reads run under its own metrics scope, so its System-Panel slice stays as
+//! attributable as any continuous session's.
+//!
+//! Holding the same samples, the engine-fed windows are byte-identical to a
+//! per-submission dataset replay — on lossless substrates a registered historic
+//! session returns exactly the answer `KSpotServer::submit` historically produced
+//! (asserted cell-by-cell by `tests/historic_cells.rs`).
+//!
+//! ## Session isolation
+//!
 //! Per-session accounting rides on the attribution scopes of
 //! [`kspot_net::NetworkMetrics`]: the engine installs the session id as the metrics
 //! scope right before a session's traffic starts, so every session gets its own
@@ -30,8 +69,9 @@
 //! kill a relay earlier than it would die solo, changing participation for everyone
 //! (see ADR-003).  Session isolation is what makes the engine safely composable —
 //! admitting one more query can never perturb the answers an already-running query
-//! observes — and it is asserted cell-by-cell by `tests/engine_cells.rs` against the
-//! kspot-testkit scenario matrix.
+//! observes — and it is asserted cell-by-cell by `tests/engine_cells.rs` (continuous)
+//! and `tests/historic_cells.rs` (historic and mixed) against the kspot-testkit
+//! scenario matrix.
 //!
 //! ## Frame batching (cross-query traffic sharing)
 //!
@@ -42,11 +82,14 @@
 //! node's reports across **all** active sessions are piggy-backed into one merged
 //! frame per hop — one preamble and header instead of one per session.  The guarantee
 //! is then restated: per-session *answers* are identical to the unbatched run on a
-//! lossless substrate, and total upstream bytes never exceed the unbatched run's;
-//! on lossy substrates the channel is drawn per *frame* (all riders share each frame's
-//! fate), so per-session loss patterns legitimately differ from the solo run.
+//! lossless substrate, and total upstream bytes never exceed the unbatched run's.
+//! On lossy substrates the channel is drawn per *frame* from a stream keyed by the
+//! frame's `(sender, receiver, epoch)` hop — all riders share each frame's fate, and
+//! because the stream never depends on frame-open order, the channel a session
+//! observes under batching is still invariant to which other sessions are
+//! co-registered (the batched-mode loss-fairness guarantee, ADR-005).
 //!
-//! ## Battery coupling and [`QueryEngine::depleted_during_run`]
+//! ## Battery coupling and [`Session::depleted_during_run`]
 //!
 //! Batteries are a genuinely shared resource and the engine deliberately keeps them
 //! coupled: every session's traffic drains the same cells, so on a nearly drained
@@ -55,7 +98,7 @@
 //! physics, not nondeterminism (runs still replay bit-for-bit); it merely voids the
 //! cross-composition byte-identity guarantees, which are scoped to non-depleting runs.
 //! The engine surfaces the boundary instead of hiding it: the per-session
-//! [`QueryEngine::depleted_during_run`] flag reports whether any node's battery was
+//! [`Session::depleted_during_run`] flag reports whether any node's battery was
 //! exhausted during an epoch the session took part in.  A `false` flag certifies the
 //! session ran entirely in the guarantee regime; a `true` flag marks its answers as
 //! battery-coupled to the concurrent session mix (see ADR-004).
@@ -65,16 +108,22 @@
 //! `std::thread::scope` and return results byte-identical to the serial order.
 
 use crate::config::ScenarioConfig;
-use crate::panel::StrategyReport;
-use crate::server::WorkloadSpec;
+use crate::panel::{StrategyReport, SystemPanel};
+use crate::server::{QueryExecution, WorkloadSpec};
+use kspot_algos::historic::HistoricAlgorithm;
 use kspot_algos::{
-    run_shared_epoch, CentralizedCollection, FilaMonitor, MintViews, SnapshotAlgorithm,
-    SnapshotSpec, TagTopK, TopKResult,
+    BankWindows, CentralizedCollection, FilaMonitor, HistoricSpec, LocalAggregateHistoric,
+    MintViews, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult,
 };
-use kspot_net::{Epoch, Network, NetworkConfig, NetworkMetrics, PhaseTotals, RoomModelParams, Workload};
-use kspot_query::plan::{classify, ExecutionStrategy, QueryPlan};
-use kspot_query::{parse, QueryError};
+use kspot_net::{
+    Epoch, Network, NetworkConfig, NetworkMetrics, PhaseTotals, RoomModelParams, WindowBank,
+    Workload,
+};
+use kspot_query::plan::{classify, ExecutionStrategy, QueryClass, QueryPlan};
+use kspot_query::{parse, AggFunc, QueryError};
+use std::cell::{Ref, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Identifier of a registered query session.  Session ids double as the metrics
 /// attribution scope (see [`kspot_net::QueryScope`]), so they are stable for the
@@ -84,19 +133,53 @@ pub type QueryId = kspot_net::QueryScope;
 /// Lifecycle state of a query session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionStatus {
-    /// The session takes part in every shared epoch sweep.
+    /// The session takes part in every shared epoch sweep.  (A historic session is
+    /// `Active` while the shared windows are still filling towards its span.)
     Active,
-    /// The query's `LIFETIME` elapsed; its results remain readable.
+    /// The query finished on its own: a continuous query's `LIFETIME` elapsed, or a
+    /// historic query answered from the windows.  Its results remain readable.
     Completed,
     /// The user cancelled the session; its results remain readable.
     Cancelled,
 }
 
-/// One registered query session.
-struct Session {
+/// The executor a session runs — the two submission classes of
+/// [`kspot_query::QueryClass`] made concrete.
+enum SessionExec {
+    /// One in-network sweep per epoch (MINT, TAG, centralized, FILA).
+    Continuous(Box<dyn SnapshotAlgorithm>),
+    /// One answer from the engine-shared sliding windows once they cover `window`
+    /// epochs (TJA, local-aggregate historic).
+    Historic {
+        /// The historic executor, generalised over [`kspot_algos::WindowSource`].
+        algorithm: Box<dyn HistoricAlgorithm>,
+        /// The `WITH HISTORY` span, in epochs.
+        window: usize,
+    },
+}
+
+impl SessionExec {
+    fn name(&self) -> &'static str {
+        match self {
+            SessionExec::Continuous(a) => a.name(),
+            SessionExec::Historic { algorithm, .. } => algorithm.name(),
+        }
+    }
+
+    fn class(&self) -> QueryClass {
+        match self {
+            SessionExec::Continuous(_) => QueryClass::Continuous,
+            SessionExec::Historic { .. } => QueryClass::Historic,
+        }
+    }
+}
+
+/// One registered query session (engine-side state; the user-facing handle is
+/// [`Session`]).
+struct SessionState {
     sql: String,
     plan: QueryPlan,
-    algorithm: Box<dyn SnapshotAlgorithm>,
+    exec: SessionExec,
     results: Vec<TopKResult>,
     /// Engine epoch index (not workload epoch number) at which the session joined.
     registered_at: u64,
@@ -106,9 +189,15 @@ struct Session {
     depleted_during_run: bool,
 }
 
-impl Session {
-    /// Lifetime bookkeeping: a session whose `LIFETIME n epochs` clause has been
-    /// served completes on its own.
+impl SessionState {
+    /// Lifetime bookkeeping: a session whose `LIFETIME n epochs` clause has elapsed
+    /// completes on its own.  For a continuous session that means its answers were
+    /// served in full; for a historic session still waiting on its window it means
+    /// the query's lifetime ended *unanswered* (zero results) — the clause bounds
+    /// the session either way, and the admission slot frees.  A historic session
+    /// whose window fills within the lifetime answers normally (a `LIFETIME` equal
+    /// to the `WITH HISTORY` span still answers: the window covers on the last
+    /// in-lifetime epoch).
     fn expire_if_due(&mut self, now: u64) {
         if self.status == SessionStatus::Active {
             if let Some(lifetime) = self.plan.lifetime_epochs {
@@ -148,16 +237,13 @@ pub(crate) fn continuous_spec(
             domain,
         )),
         ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK => {
-            Err(QueryError::semantic(
-                "historic one-shot queries answer from locally buffered windows and do not \
-                 join the shared epoch loop; submit them through KSpotServer::submit",
-            ))
+            unreachable!("historic plans are routed to historic executors, never to snapshot specs")
         }
     }
 }
 
-/// The long-lived multi-query execution engine (see the module docs).
-pub struct QueryEngine {
+/// The engine state every [`QueryEngine`] and [`Session`] handle shares.
+struct EngineCore {
     scenario: ScenarioConfig,
     workload_spec: WorkloadSpec,
     net_config: NetworkConfig,
@@ -165,13 +251,235 @@ pub struct QueryEngine {
     max_sessions: usize,
     net: Network,
     workload: Workload,
-    /// True when the substrate was injected via [`Self::from_substrate`]; the config
-    /// builders then refuse to rebuild it.
+    /// True when the substrate was injected via [`QueryEngine::from_substrate`]; the
+    /// config builders then refuse to rebuild it.
     injected_substrate: bool,
-    sessions: BTreeMap<QueryId, Session>,
+    sessions: BTreeMap<QueryId, SessionState>,
+    /// The engine-shared per-node sliding windows, created at the first historic
+    /// registration and fed once per epoch from then on (even across historic
+    /// sessions' cancellations — the feed is a deterministic substrate duty, so a
+    /// session's view of the windows never depends on the other sessions' lifecycle).
+    windows: Option<WindowBank>,
+    /// Total node-local energy spent feeding the shared windows (µJ), charged
+    /// unscoped once per epoch — the amortised maintenance cost ADR-005 documents.
+    maintenance_energy_uj: f64,
     next_id: QueryId,
     epochs_run: u64,
     frame_batching: bool,
+}
+
+impl EngineCore {
+    fn active_sessions(&self) -> usize {
+        self.sessions.values().filter(|s| s.status == SessionStatus::Active).count()
+    }
+
+    fn rebuild_substrate(&mut self) {
+        assert!(
+            !self.injected_substrate,
+            "this engine runs an explicitly injected substrate (from_substrate); \
+             the config builders would silently replace it"
+        );
+        assert!(
+            self.sessions.is_empty() && self.epochs_run == 0,
+            "engine substrate builders must be called before any query registers or runs"
+        );
+        let (net, workload) = QueryEngine::build_substrate(
+            &self.scenario,
+            &self.workload_spec,
+            &self.net_config,
+            self.seed,
+        );
+        self.net = net;
+        self.net.set_frame_batching(self.frame_batching);
+        self.workload = workload;
+    }
+
+    fn register_plan_with_sql(
+        &mut self,
+        plan: QueryPlan,
+        sql: String,
+    ) -> Result<QueryId, QueryError> {
+        if self.active_sessions() >= self.max_sessions {
+            return Err(QueryError::semantic(format!(
+                "admission rejected: the engine already serves {} concurrent queries (cap {})",
+                self.active_sessions(),
+                self.max_sessions
+            )));
+        }
+        let exec = self.executor_for(&plan)?;
+        if let SessionExec::Historic { window, .. } = &exec {
+            match self.windows.as_mut() {
+                Some(bank) => bank.grow_capacity(*window),
+                None => self.windows = Some(WindowBank::new(*window)),
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            SessionState {
+                sql,
+                plan,
+                exec,
+                results: Vec::new(),
+                registered_at: self.epochs_run,
+                status: SessionStatus::Active,
+                depleted_during_run: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Routes a plan to its executor, mirroring the routing table of the one-shot
+    /// server (Section III of the paper) — continuous strategies to per-epoch
+    /// in-network sweeps, historic strategies to window-source executors.
+    fn executor_for(&self, plan: &QueryPlan) -> Result<SessionExec, QueryError> {
+        if plan.class() == QueryClass::Historic {
+            let window = plan.history_epochs.unwrap_or(0) as usize;
+            if window == 0 {
+                return Err(QueryError::semantic(
+                    "a historic query needs a positive WITH HISTORY window",
+                ));
+            }
+            let algorithm: Box<dyn HistoricAlgorithm> = match plan.strategy {
+                ExecutionStrategy::HistoricVerticalTopK => {
+                    let func = plan.aggregate.ok_or_else(|| {
+                        QueryError::semantic("a historic ranked query needs an aggregate")
+                    })?;
+                    if !matches!(func, AggFunc::Avg | AggFunc::Sum) {
+                        return Err(QueryError::semantic(format!(
+                            "historic ranking requires a sum-decomposable aggregate (AVG or SUM), got {func}"
+                        )));
+                    }
+                    let spec = HistoricSpec::new(
+                        plan.k.max(1) as usize,
+                        func,
+                        self.scenario.domain,
+                        window,
+                    );
+                    Box::new(Tja::new(spec))
+                }
+                ExecutionStrategy::HistoricHorizontalTopK => {
+                    let spec = SnapshotSpec::from_plan(plan, self.scenario.domain)?;
+                    Box::new(LocalAggregateHistoric::new(spec))
+                }
+                _ => unreachable!("historic class implies a historic strategy"),
+            };
+            return Ok(SessionExec::Historic { algorithm, window });
+        }
+        let spec = continuous_spec(&self.scenario, plan)?;
+        Ok(SessionExec::Continuous(match plan.strategy {
+            ExecutionStrategy::SnapshotTopK => Box::new(MintViews::new(spec)),
+            ExecutionStrategy::InNetworkAggregate => Box::new(TagTopK::new(spec)),
+            ExecutionStrategy::RawCollection => Box::new(CentralizedCollection::new(spec)),
+            ExecutionStrategy::NodeMonitoringTopK => Box::new(FilaMonitor::new(spec)),
+            ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK => {
+                unreachable!("handled by the historic branch above")
+            }
+        }))
+    }
+
+    fn cancel(&mut self, id: QueryId) -> bool {
+        match self.sessions.get_mut(&id) {
+            Some(s) if s.status == SessionStatus::Active => {
+                s.status = SessionStatus::Cancelled;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn run_epochs(&mut self, epochs: usize) {
+        for _ in 0..epochs {
+            let readings = self.workload.next_epoch();
+            let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
+            self.net.begin_epoch(epoch);
+            // Shared window maintenance: ONE feed pass serves every registered
+            // historic session.  Buffering is deliberately fault-oblivious — it
+            // models the sensing-local flash write `HistoricDataset::collect`
+            // models, which is what keeps engine-fed windows byte-identical to the
+            // replay path — so the charge is fault-oblivious too: every buffered
+            // sample is paid for, by the node that buffered it, unscoped, once per
+            // epoch like the sampling baseline (amortised across sessions by
+            // design).
+            if let Some(bank) = self.windows.as_mut() {
+                bank.feed(&readings);
+                let per_sample = self.net.config().energy.cpu_cost(1);
+                for r in &readings {
+                    self.net.charge_cpu(r.node, 1);
+                    self.maintenance_energy_uj += per_sample;
+                }
+            }
+            let now = self.epochs_run;
+            let mut executed: Vec<QueryId> = Vec::new();
+            for (&id, session) in self.sessions.iter_mut() {
+                session.expire_if_due(now);
+                if session.status != SessionStatus::Active {
+                    continue;
+                }
+                match &mut session.exec {
+                    SessionExec::Continuous(algo) => {
+                        self.net.set_query_scope(Some(id));
+                        session.results.push(algo.execute_epoch(&mut self.net, &readings));
+                        executed.push(id);
+                    }
+                    SessionExec::Historic { algorithm, window } => {
+                        let bank =
+                            self.windows.as_mut().expect("historic sessions imply a window bank");
+                        // Readiness is on the *buffered span*, not on how many epochs
+                        // were ever fed: history evicted before a capacity growth is
+                        // gone, so a longer-window session registered late must wait
+                        // until the bank genuinely covers its span.
+                        if bank.buffered_epochs() >= *window {
+                            // The windows cover the session's span: answer once from
+                            // the last `window` epochs, under the session's scope,
+                            // and complete.
+                            self.net.set_query_scope(Some(id));
+                            let mut view = BankWindows::new(bank, *window);
+                            session.results.push(algorithm.execute(&mut self.net, &mut view));
+                            session.status = SessionStatus::Completed;
+                            executed.push(id);
+                        }
+                    }
+                }
+            }
+            self.net.set_query_scope(None);
+            self.net.flush_frames();
+            // Shared drain is intended physics (module docs): if the epoch exhausted —
+            // or ran on — a depleted battery, every session that took part leaves the
+            // byte-identity guarantee regime and is flagged.
+            if !self.net.is_alive() {
+                for id in &executed {
+                    self.sessions.get_mut(id).expect("session exists").depleted_during_run = true;
+                }
+            }
+            self.epochs_run += 1;
+            // A session whose LIFETIME was fully served this epoch completes now, so
+            // it neither holds an admission slot nor reports Active between runs.
+            for session in self.sessions.values_mut() {
+                session.expire_if_due(self.epochs_run);
+            }
+        }
+    }
+
+    fn state(&self, id: QueryId) -> &SessionState {
+        self.sessions.get(&id).expect("a Session handle outlives its engine-side state")
+    }
+
+    fn session_report(&self, id: QueryId) -> StrategyReport {
+        let state = self.state(id);
+        let name = format!("session {id}: {}", state.exec.name());
+        StrategyReport::from_scope(name, self.net.metrics(), id, state.results.len())
+    }
+}
+
+/// The long-lived multi-query execution engine (see the module docs).
+///
+/// The engine and the [`Session`] handles it hands out share one state cell, so a
+/// handle stays usable however the engine is driven in between.  The engine is
+/// single-threaded (`!Send`), like the boxed algorithm state it owns.
+pub struct QueryEngine {
+    core: Rc<RefCell<EngineCore>>,
 }
 
 impl QueryEngine {
@@ -230,18 +538,22 @@ impl QueryEngine {
         injected_substrate: bool,
     ) -> Self {
         Self {
-            scenario,
-            workload_spec,
-            net_config,
-            seed,
-            max_sessions: Self::DEFAULT_MAX_SESSIONS,
-            net,
-            workload,
-            injected_substrate,
-            sessions: BTreeMap::new(),
-            next_id: 0,
-            epochs_run: 0,
-            frame_batching: false,
+            core: Rc::new(RefCell::new(EngineCore {
+                scenario,
+                workload_spec,
+                net_config,
+                seed,
+                max_sessions: Self::DEFAULT_MAX_SESSIONS,
+                net,
+                workload,
+                injected_substrate,
+                sessions: BTreeMap::new(),
+                windows: None,
+                maintenance_energy_uj: 0.0,
+                next_id: 0,
+                epochs_run: 0,
+                frame_batching: false,
+            })),
         }
     }
 
@@ -257,50 +569,42 @@ impl QueryEngine {
         (net, workload)
     }
 
-    fn rebuild_substrate(&mut self) {
-        assert!(
-            !self.injected_substrate,
-            "this engine runs an explicitly injected substrate (from_substrate); \
-             the config builders would silently replace it"
-        );
-        assert!(
-            self.sessions.is_empty() && self.epochs_run == 0,
-            "engine substrate builders must be called before any query registers or runs"
-        );
-        let (net, workload) =
-            Self::build_substrate(&self.scenario, &self.workload_spec, &self.net_config, self.seed);
-        self.net = net;
-        self.net.set_frame_batching(self.frame_batching);
-        self.workload = workload;
-    }
-
     /// Selects the workload driving the sensors (discards the current substrate; call
     /// before registering queries).
-    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
-        self.workload_spec = workload;
-        self.rebuild_substrate();
+    pub fn with_workload(self, workload: WorkloadSpec) -> Self {
+        {
+            let mut core = self.core.borrow_mut();
+            core.workload_spec = workload;
+            core.rebuild_substrate();
+        }
         self
     }
 
     /// Selects the network cost model (discards the current substrate; call before
     /// registering queries).
-    pub fn with_network_config(mut self, config: NetworkConfig) -> Self {
-        self.net_config = config;
-        self.rebuild_substrate();
+    pub fn with_network_config(self, config: NetworkConfig) -> Self {
+        {
+            let mut core = self.core.borrow_mut();
+            core.net_config = config;
+            core.rebuild_substrate();
+        }
         self
     }
 
     /// Sets the master seed (discards the current substrate; call before registering
     /// queries).
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self.rebuild_substrate();
+    pub fn with_seed(self, seed: u64) -> Self {
+        {
+            let mut core = self.core.borrow_mut();
+            core.seed = seed;
+            core.rebuild_substrate();
+        }
         self
     }
 
     /// Overrides the admission cap on concurrently active sessions.
-    pub fn with_max_sessions(mut self, max: usize) -> Self {
-        self.max_sessions = max.max(1);
+    pub fn with_max_sessions(self, max: usize) -> Self {
+        self.core.borrow_mut().max_sessions = max.max(1);
         self
     }
 
@@ -313,42 +617,62 @@ impl QueryEngine {
     /// the unbatched run on lossless substrates plus total-bytes-≤ (see the module
     /// docs and ADR-004).  May be toggled between runs; unlike the substrate builders
     /// it does not rebuild (and therefore also works on injected substrates).
-    pub fn with_frame_batching(mut self, on: bool) -> Self {
-        self.frame_batching = on;
-        self.net.set_frame_batching(on);
+    pub fn with_frame_batching(self, on: bool) -> Self {
+        {
+            let mut core = self.core.borrow_mut();
+            core.frame_batching = on;
+            core.net.set_frame_batching(on);
+        }
         self
     }
 
     /// True while cross-query frame batching is enabled.
     pub fn frame_batching(&self) -> bool {
-        self.frame_batching
+        self.core.borrow().frame_batching
     }
 
-    /// The configured scenario.
-    pub fn scenario(&self) -> &ScenarioConfig {
-        &self.scenario
+    /// The configured scenario.  (A borrow guard — see [`Self::metrics`] for the
+    /// aliasing rule.)
+    pub fn scenario(&self) -> Ref<'_, ScenarioConfig> {
+        Ref::map(self.core.borrow(), |c| &c.scenario)
     }
 
     /// Number of shared epochs the engine has executed so far.
     pub fn epochs_run(&self) -> u64 {
-        self.epochs_run
+        self.core.borrow().epochs_run
     }
 
-    /// Number of sessions currently taking part in the shared loop.
+    /// Number of sessions currently taking part in the shared loop (including
+    /// historic sessions still waiting for their window to fill).
     pub fn active_sessions(&self) -> usize {
-        self.sessions.values().filter(|s| s.status == SessionStatus::Active).count()
+        self.core.borrow().active_sessions()
     }
 
     /// Every session ever registered, in registration order.
     pub fn session_ids(&self) -> Vec<QueryId> {
-        self.sessions.keys().copied().collect()
+        self.core.borrow().sessions.keys().copied().collect()
     }
 
-    /// Parses, classifies and admits a query into the shared epoch loop, returning its
-    /// session id.  Only *continuous* (snapshot-class) queries can register — historic
-    /// one-shot queries read locally buffered windows and are served by
-    /// [`crate::KSpotServer::submit`] instead.
-    pub fn register(&mut self, sql: &str) -> Result<QueryId, QueryError> {
+    /// Fresh [`Session`] handles for every session ever registered, in registration
+    /// order.
+    pub fn sessions(&self) -> Vec<Session> {
+        self.session_ids().into_iter().map(|id| self.handle(id)).collect()
+    }
+
+    /// A fresh [`Session`] handle for a known session id, or `None` for unknown ids.
+    pub fn session(&self, id: QueryId) -> Option<Session> {
+        self.core.borrow().sessions.contains_key(&id).then(|| self.handle(id))
+    }
+
+    fn handle(&self, id: QueryId) -> Session {
+        Session { id, core: Rc::clone(&self.core), cursor: 0 }
+    }
+
+    /// Parses, classifies and admits a query into the shared epoch loop, returning
+    /// its [`Session`] handle.  This is the **single** submission surface: continuous
+    /// queries answer every epoch; `WITH HISTORY` queries join the loop too, answer
+    /// once from the engine-shared sliding windows, and complete (module docs).
+    pub fn register(&mut self, sql: &str) -> Result<Session, QueryError> {
         let query = parse(sql)?;
         let plan = classify(&query)?;
         self.register_plan_with_sql(plan, sql.to_string())
@@ -356,186 +680,206 @@ impl QueryEngine {
 
     /// Admits an already classified plan (the path [`crate::KSpotServer::submit`]
     /// uses).
-    pub fn register_plan(&mut self, plan: QueryPlan) -> Result<QueryId, QueryError> {
+    pub fn register_plan(&mut self, plan: QueryPlan) -> Result<Session, QueryError> {
         let sql = plan.query.to_string();
         self.register_plan_with_sql(plan, sql)
     }
 
-    fn register_plan_with_sql(&mut self, plan: QueryPlan, sql: String) -> Result<QueryId, QueryError> {
-        if self.active_sessions() >= self.max_sessions {
-            return Err(QueryError::semantic(format!(
-                "admission rejected: the engine already serves {} concurrent queries (cap {})",
-                self.active_sessions(),
-                self.max_sessions
-            )));
-        }
-        let algorithm = self.executor_for(&plan)?;
-        let id = self.next_id;
-        self.next_id += 1;
-        self.sessions.insert(
-            id,
-            Session {
-                sql,
-                plan,
-                algorithm,
-                results: Vec::new(),
-                registered_at: self.epochs_run,
-                status: SessionStatus::Active,
-                depleted_during_run: false,
-            },
-        );
-        Ok(id)
-    }
-
-    /// Routes a continuous plan to its in-network executor, mirroring the routing
-    /// table of the one-shot server (Section III of the paper).
-    fn executor_for(&self, plan: &QueryPlan) -> Result<Box<dyn SnapshotAlgorithm>, QueryError> {
-        let spec = continuous_spec(&self.scenario, plan)?;
-        Ok(match plan.strategy {
-            ExecutionStrategy::SnapshotTopK => Box::new(MintViews::new(spec)),
-            ExecutionStrategy::InNetworkAggregate => Box::new(TagTopK::new(spec)),
-            ExecutionStrategy::RawCollection => Box::new(CentralizedCollection::new(spec)),
-            ExecutionStrategy::NodeMonitoringTopK => Box::new(FilaMonitor::new(spec)),
-            ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK => {
-                unreachable!("continuous_spec rejects historic plans")
-            }
-        })
-    }
-
-    /// Cancels a session.  Returns `false` when the id is unknown or the session is no
-    /// longer active.  Cancelled sessions keep their id, results and attributed
-    /// metrics readable.
-    pub fn cancel(&mut self, id: QueryId) -> bool {
-        match self.sessions.get_mut(&id) {
-            Some(s) if s.status == SessionStatus::Active => {
-                s.status = SessionStatus::Cancelled;
-                true
-            }
-            _ => false,
-        }
+    fn register_plan_with_sql(
+        &mut self,
+        plan: QueryPlan,
+        sql: String,
+    ) -> Result<Session, QueryError> {
+        let id = self.core.borrow_mut().register_plan_with_sql(plan, sql)?;
+        Ok(self.handle(id))
     }
 
     /// Runs `epochs` shared epochs: per epoch, the workload is acquired once, the
-    /// substrate's fixed cost is charged once, and every active session executes its
+    /// substrate's fixed cost is charged once, the shared windows (if any historic
+    /// session ever registered) are fed once, and every active session executes its
     /// own protocol sweep with its metrics scope installed.  The substrate advances
     /// even when no session is active (the field keeps living between queries).
     pub fn run_epochs(&mut self, epochs: usize) {
-        for _ in 0..epochs {
-            let readings = self.workload.next_epoch();
-            let now = self.epochs_run;
-            let mut ids: Vec<QueryId> = Vec::new();
-            let mut algos: Vec<&mut dyn SnapshotAlgorithm> = Vec::new();
-            for (&id, session) in self.sessions.iter_mut() {
-                session.expire_if_due(now);
-                if session.status == SessionStatus::Active {
-                    ids.push(id);
-                    algos.push(session.algorithm.as_mut());
-                }
-            }
-            let results = run_shared_epoch(&mut algos, &mut self.net, &readings, |net, i| {
-                net.set_query_scope(Some(ids[i]));
-            });
-            // Shared drain is intended physics (module docs): if the epoch exhausted —
-            // or ran on — a depleted battery, every session that took part leaves the
-            // byte-identity guarantee regime and is flagged.
-            let depleted = !self.net.is_alive();
-            for (id, result) in ids.iter().zip(results) {
-                let session = self.sessions.get_mut(id).expect("session exists");
-                session.results.push(result);
-                if depleted {
-                    session.depleted_during_run = true;
-                }
-            }
-            self.epochs_run += 1;
-            // A session whose LIFETIME was fully served this epoch completes now, so
-            // it neither holds an admission slot nor reports Active between runs.
-            for session in self.sessions.values_mut() {
-                session.expire_if_due(self.epochs_run);
-            }
-        }
+        self.core.borrow_mut().run_epochs(epochs);
     }
 
-    fn session(&self, id: QueryId) -> Option<&Session> {
-        self.sessions.get(&id)
-    }
-
-    /// The SQL text a session was registered with.
-    pub fn sql(&self, id: QueryId) -> Option<&str> {
-        self.session(id).map(|s| s.sql.as_str())
-    }
-
-    /// The classified plan of a session.
-    pub fn plan(&self, id: QueryId) -> Option<&QueryPlan> {
-        self.session(id).map(|s| &s.plan)
-    }
-
-    /// The name of the in-network algorithm a session was routed to.
-    pub fn algorithm(&self, id: QueryId) -> Option<&'static str> {
-        self.session(id).map(|s| s.algorithm.name())
-    }
-
-    /// A session's lifecycle state.
-    pub fn status(&self, id: QueryId) -> Option<SessionStatus> {
-        self.session(id).map(|s| s.status)
-    }
-
-    /// A session's per-epoch ranked answers so far (one entry per epoch the session
-    /// was active in).
-    pub fn results(&self, id: QueryId) -> Option<&[TopKResult]> {
-        self.session(id).map(|s| s.results.as_slice())
-    }
-
-    /// A session's most recent ranked answer.
-    pub fn latest(&self, id: QueryId) -> Option<&TopKResult> {
-        self.session(id).and_then(|s| s.results.last())
-    }
-
-    /// Whether some node's battery was exhausted during an epoch this session took
-    /// part in.  `Some(false)` certifies the session ran entirely inside the
-    /// byte-identity guarantee regime; `Some(true)` marks its answers as
-    /// battery-coupled to the concurrent session mix (see the module docs and
-    /// ADR-004).  `None` for unknown session ids.
-    pub fn depleted_during_run(&self, id: QueryId) -> Option<bool> {
-        self.session(id).map(|s| s.depleted_during_run)
-    }
-
-    /// The message/byte/energy totals attributed to one session — the per-query slice
-    /// of the shared substrate's ledger.
-    pub fn query_totals(&self, id: QueryId) -> PhaseTotals {
-        self.net.query_totals(id)
-    }
-
-    /// A session's traffic broken down per algorithm phase (Creation, Update, Probe,
-    /// …) — the scope×phase slice of the shared ledger, in phase order.
-    pub fn query_phase_totals(&self, id: QueryId) -> Vec<(kspot_net::PhaseTag, PhaseTotals)> {
-        self.net.metrics().scope_phases(id).collect()
-    }
-
-    /// A System-Panel [`StrategyReport`] for one session, built from its attribution
-    /// scope alone — per-query totals and a per-phase table without a dedicated solo
-    /// run.  The per-node breakdown is not scoped, so the report carries no
-    /// bottleneck-energy estimate (see [`StrategyReport::from_scope`]).
-    pub fn session_report(&self, id: QueryId) -> Option<StrategyReport> {
-        let session = self.session(id)?;
-        let name = format!("session {id}: {}", session.algorithm.name());
-        let epochs = session.results.len();
-        Some(StrategyReport::from_scope(name, self.net.metrics(), id, epochs))
+    /// Total node-local energy spent feeding the shared sliding windows so far (µJ).
+    /// Charged once per epoch regardless of how many historic sessions are registered
+    /// — the amortisation the shared-window design exists for (module docs).
+    pub fn window_maintenance_energy_uj(&self) -> f64 {
+        self.core.borrow().maintenance_energy_uj
     }
 
     /// The shared substrate's full metrics ledger (all sessions plus the unscoped
-    /// per-epoch baseline cost).
-    pub fn metrics(&self) -> &NetworkMetrics {
-        self.net.metrics()
+    /// per-epoch baseline and window-maintenance cost).
+    ///
+    /// Returns a borrow guard over the state shared with every [`Session`] handle:
+    /// calling a mutating method (`run_epochs`, `register`, `Session::cancel`, …)
+    /// while the guard is alive panics at runtime.  Read what you need and drop the
+    /// guard (e.g. `let totals = engine.metrics().totals();`) before driving the
+    /// engine on.
+    pub fn metrics(&self) -> Ref<'_, NetworkMetrics> {
+        Ref::map(self.core.borrow(), |c| c.net.metrics())
     }
 
-    /// The shared network substrate.
-    pub fn network(&self) -> &Network {
-        &self.net
+    /// The shared network substrate.  (A borrow guard — see [`Self::metrics`] for
+    /// the aliasing rule.)
+    pub fn network(&self) -> Ref<'_, Network> {
+        Ref::map(self.core.borrow(), |c| &c.net)
     }
 
     /// The workload epoch number the next [`Self::run_epochs`] sweep will acquire.
     pub fn upcoming_epoch(&self) -> Epoch {
-        self.workload.upcoming_epoch()
+        self.core.borrow().workload.upcoming_epoch()
+    }
+}
+
+/// A typed handle to one registered query session — the uniform lifecycle surface of
+/// the engine (module docs): inspect ([`Self::status`], [`Self::results`],
+/// [`Self::totals`]), consume per-epoch answers ([`Self::poll`], [`Self::stream`]),
+/// stop ([`Self::cancel`]) and convert into a one-shot-style [`QueryExecution`]
+/// ([`Self::finalize`]).
+///
+/// Handles are cheap to clone; each clone keeps its own [`Self::poll`] cursor.  A
+/// handle shares state with its engine, so results produced by later
+/// [`QueryEngine::run_epochs`] calls are visible through it immediately.
+pub struct Session {
+    id: QueryId,
+    core: Rc<RefCell<EngineCore>>,
+    /// Index of the first result the next [`Self::poll`] returns.
+    cursor: usize,
+}
+
+impl Clone for Session {
+    fn clone(&self) -> Self {
+        Self { id: self.id, core: Rc::clone(&self.core), cursor: self.cursor }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("status", &self.status())
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl Session {
+    /// The session id — also the metrics attribution scope the session's traffic is
+    /// booked under.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The SQL text the session was registered with.
+    pub fn sql(&self) -> String {
+        self.core.borrow().state(self.id).sql.clone()
+    }
+
+    /// The classified plan of the session.
+    pub fn plan(&self) -> QueryPlan {
+        self.core.borrow().state(self.id).plan.clone()
+    }
+
+    /// The session's submission class: continuous (one answer per epoch) or historic
+    /// (one answer from the shared windows).
+    pub fn class(&self) -> QueryClass {
+        self.core.borrow().state(self.id).exec.class()
+    }
+
+    /// The name of the in-network algorithm the session was routed to.
+    pub fn algorithm(&self) -> &'static str {
+        self.core.borrow().state(self.id).exec.name()
+    }
+
+    /// The session's lifecycle state.
+    pub fn status(&self) -> SessionStatus {
+        self.core.borrow().state(self.id).status
+    }
+
+    /// The session's ranked answers so far: one entry per epoch a continuous session
+    /// was active in; exactly one entry once a historic session has answered.
+    pub fn results(&self) -> Vec<TopKResult> {
+        self.core.borrow().state(self.id).results.clone()
+    }
+
+    /// The session's most recent ranked answer.
+    pub fn latest(&self) -> Option<TopKResult> {
+        self.core.borrow().state(self.id).results.last().cloned()
+    }
+
+    /// The answers produced since this handle's last [`Self::poll`] / [`Self::stream`]
+    /// call (all answers so far on the first call).  Each handle keeps its own
+    /// cursor, so clones poll independently.
+    pub fn poll(&mut self) -> Vec<TopKResult> {
+        let core = self.core.borrow();
+        let results = &core.state(self.id).results;
+        let start = self.cursor.min(results.len());
+        self.cursor = results.len();
+        results[start..].to_vec()
+    }
+
+    /// Iterator form of [`Self::poll`]: drains the answers produced since the last
+    /// poll.
+    pub fn stream(&mut self) -> impl Iterator<Item = TopKResult> {
+        self.poll().into_iter()
+    }
+
+    /// Cancels the session.  Returns `false` when it already completed or was
+    /// cancelled.  Cancelled sessions keep their id, results and attributed metrics
+    /// readable.
+    pub fn cancel(&mut self) -> bool {
+        self.core.borrow_mut().cancel(self.id)
+    }
+
+    /// The message/byte/energy totals attributed to the session — its slice of the
+    /// shared substrate's ledger.
+    pub fn totals(&self) -> PhaseTotals {
+        let core = self.core.borrow();
+        core.net.query_totals(self.id)
+    }
+
+    /// The session's traffic broken down per algorithm phase (Creation, Update,
+    /// Lower-Bound, …) — the scope×phase slice of the shared ledger, in phase order.
+    pub fn phase_totals(&self) -> Vec<(kspot_net::PhaseTag, PhaseTotals)> {
+        let core = self.core.borrow();
+        core.net.metrics().scope_phases(self.id).collect()
+    }
+
+    /// Whether some node's battery was exhausted during an epoch this session took
+    /// part in.  `false` certifies the session ran entirely inside the byte-identity
+    /// guarantee regime; `true` marks its answers as battery-coupled to the
+    /// concurrent session mix (see the module docs and ADR-004).
+    pub fn depleted_during_run(&self) -> bool {
+        self.core.borrow().state(self.id).depleted_during_run
+    }
+
+    /// A System-Panel [`StrategyReport`] for the session, built from its attribution
+    /// scope alone — per-query totals and a per-phase table without a dedicated solo
+    /// run.  The per-node breakdown is not scoped, so the report carries no
+    /// bottleneck-energy estimate (see [`StrategyReport::from_scope`]).
+    pub fn report(&self) -> StrategyReport {
+        self.core.borrow().session_report(self.id)
+    }
+
+    /// Converts the session into a one-shot-style [`QueryExecution`]: the classified
+    /// plan, the routed algorithm, every answer produced so far, and a System Panel
+    /// whose KSpot report is the session's attributed slice of the shared ledger
+    /// (no baselines — the deprecated [`crate::KSpotServer::submit`] facade attaches
+    /// those for callers that still want the comparison runs).
+    pub fn finalize(self) -> QueryExecution {
+        let core = self.core.borrow();
+        let state = core.state(self.id);
+        let algorithm = state.exec.name().to_string();
+        let report = core.session_report(self.id);
+        QueryExecution {
+            plan: state.plan.clone(),
+            algorithm,
+            results: state.results.clone(),
+            panel: SystemPanel::new(report.clone(), Vec::new()).with_sessions(vec![report]),
+        }
     }
 }
 
@@ -563,28 +907,33 @@ mod tests {
         "SELECT TOP 5 roomid, MIN(sound) FROM sensors GROUP BY roomid",
     ];
 
+    const HISTORIC_VERTICAL: &str =
+        "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs";
+    const HISTORIC_HORIZONTAL: &str =
+        "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 16 epochs";
+
     #[test]
     fn eight_concurrent_sessions_share_one_epoch_loop_with_attribution() {
         let mut engine = engine(3);
-        let ids: Vec<QueryId> =
+        let sessions: Vec<Session> =
             EIGHT_QUERIES.iter().map(|sql| engine.register(sql).expect("registers")).collect();
         assert_eq!(engine.active_sessions(), 8);
         engine.run_epochs(20);
         assert_eq!(engine.epochs_run(), 20);
 
         let mut attributed_energy = 0.0;
-        for &id in &ids {
-            let results = engine.results(id).expect("session exists");
+        for session in &sessions {
+            let results = session.results();
             assert_eq!(results.len(), 20, "every session answers every epoch");
-            let totals = engine.query_totals(id);
-            assert!(totals.messages > 0, "session {id} moved traffic");
+            let totals = session.totals();
+            assert!(totals.messages > 0, "session {} moved traffic", session.id());
             attributed_energy += totals.energy_uj;
         }
         // Attribution decomposes the shared ledger: scoped totals account for all
         // radio traffic; the remainder of the grand total is the unscoped per-epoch
         // substrate baseline, charged once per epoch rather than once per query.
         let grand = engine.metrics().totals();
-        let attributed_messages: u64 = ids.iter().map(|&id| engine.query_totals(id).messages).sum();
+        let attributed_messages: u64 = sessions.iter().map(|s| s.totals().messages).sum();
         assert_eq!(attributed_messages, grand.messages);
         assert!(attributed_energy < grand.energy_uj);
         let baseline = grand.energy_uj - attributed_energy;
@@ -600,54 +949,167 @@ mod tests {
         let tag = engine.register(EIGHT_QUERIES[4]).unwrap();
         let raw = engine.register(EIGHT_QUERIES[5]).unwrap();
         let fila = engine.register(EIGHT_QUERIES[6]).unwrap();
-        assert_eq!(engine.algorithm(mint), Some("KSpot (MINT views)"));
-        assert_eq!(engine.algorithm(tag), Some("TAG + sink Top-K"));
-        assert!(engine.algorithm(raw).unwrap().contains("centralized"));
-        assert!(engine.algorithm(fila).unwrap().contains("FILA"));
-        assert_eq!(engine.sql(mint), Some(EIGHT_QUERIES[0]));
-        assert_eq!(engine.plan(mint).unwrap().k, 1);
+        let tja = engine.register(HISTORIC_VERTICAL).unwrap();
+        let local = engine.register(HISTORIC_HORIZONTAL).unwrap();
+        assert_eq!(mint.algorithm(), "KSpot (MINT views)");
+        assert_eq!(tag.algorithm(), "TAG + sink Top-K");
+        assert!(raw.algorithm().contains("centralized"));
+        assert!(fila.algorithm().contains("FILA"));
+        assert!(tja.algorithm().contains("TJA"));
+        assert_eq!(local.algorithm(), "local filter + MINT update");
+        assert_eq!(mint.sql(), EIGHT_QUERIES[0]);
+        assert_eq!(mint.plan().k, 1);
+        assert_eq!(mint.class(), QueryClass::Continuous);
+        assert_eq!(tja.class(), QueryClass::Historic);
+        assert!(engine.register("SELEKT nope").is_err(), "parse errors propagate");
     }
 
     #[test]
-    fn historic_queries_are_rejected_at_admission() {
-        let mut engine = engine(1);
-        let err = engine
-            .register("SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs")
-            .unwrap_err();
-        assert!(err.to_string().contains("shared epoch loop"), "{err}");
-        assert!(engine.register("SELEKT nope").is_err(), "parse errors propagate");
-        assert_eq!(engine.active_sessions(), 0);
+    fn historic_sessions_admit_answer_once_from_shared_windows_and_complete() {
+        let mut engine = engine(9);
+        let mut tja = engine.register(HISTORIC_VERTICAL).expect("historic queries admit");
+        let witness = engine.register(EIGHT_QUERIES[0]).unwrap();
+        assert_eq!(engine.active_sessions(), 2);
+        engine.run_epochs(10);
+        assert_eq!(tja.status(), SessionStatus::Active, "10 epochs < the 16-epoch window");
+        assert!(tja.results().is_empty(), "no answer before the window fills");
+        engine.run_epochs(10);
+        assert_eq!(tja.status(), SessionStatus::Completed, "answered and completed");
+        let results = tja.results();
+        assert_eq!(results.len(), 1, "historic sessions answer exactly once");
+        assert_eq!(results[0].epoch, 15, "answered the epoch its window filled");
+        assert_eq!(results[0].items.len(), 3);
+        let totals = tja.totals();
+        assert!(totals.messages > 0, "the historic protocol moved scoped traffic");
+        assert!(
+            engine.window_maintenance_energy_uj() > 0.0,
+            "the shared windows were fed and charged"
+        );
+        assert_eq!(witness.results().len(), 20, "continuous sessions are unaffected");
+        assert!(!tja.cancel(), "completed sessions cannot be cancelled");
+    }
+
+    #[test]
+    fn a_lifetime_clause_bounds_a_historic_session_that_never_fills_its_window() {
+        let mut engine = engine(14).with_max_sessions(1);
+        let bounded = engine
+            .register(
+                "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch \
+                 WITH HISTORY 100 epochs LIFETIME 5 epochs",
+            )
+            .unwrap();
+        engine.run_epochs(5);
+        assert_eq!(
+            bounded.status(),
+            SessionStatus::Completed,
+            "the lifetime elapsed before the 100-epoch window could fill"
+        );
+        assert!(bounded.results().is_empty(), "the query's lifetime ended unanswered");
+        engine
+            .register(EIGHT_QUERIES[0])
+            .expect("the expired historic session no longer holds the admission slot");
+    }
+
+    #[test]
+    fn a_late_historic_session_answers_immediately_from_prebuffered_windows() {
+        let mut engine = engine(10);
+        let first = engine.register(HISTORIC_VERTICAL).unwrap();
+        engine.run_epochs(30);
+        assert_eq!(first.status(), SessionStatus::Completed);
+        // The bank now holds 16+ epochs: a second session over the same span answers
+        // in its very first epoch, from the windows everyone shares.
+        let late = engine.register(HISTORIC_VERTICAL).unwrap();
+        engine.run_epochs(1);
+        assert_eq!(late.status(), SessionStatus::Completed);
+        let results = late.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].epoch, 30, "answered over the live window, at its own epoch");
+    }
+
+    #[test]
+    fn a_longer_window_registered_after_growth_waits_for_a_genuinely_covered_span() {
+        // The bank buffered 16 epochs under capacity 16 and then grew to 24: the
+        // evicted history is gone, so the 24-epoch session must NOT answer until 24
+        // epochs are really buffered — epochs-ever-fed is not coverage.
+        let mut engine = engine(12);
+        let short = engine.register(HISTORIC_VERTICAL).unwrap(); // window 16
+        engine.run_epochs(20);
+        assert_eq!(short.status(), SessionStatus::Completed);
+        let long = engine
+            .register("SELECT TOP 2 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 24 epochs")
+            .unwrap();
+        engine.run_epochs(3);
+        assert_eq!(
+            long.status(),
+            SessionStatus::Active,
+            "only 19 epochs are buffered (16 kept at growth + 3 new) — the span is not covered"
+        );
+        engine.run_epochs(5);
+        assert_eq!(long.status(), SessionStatus::Completed, "24 buffered epochs cover the span");
+        assert_eq!(long.results()[0].epoch, 27, "answered the epoch its span was first covered");
+    }
+
+    #[test]
+    fn poll_and_stream_drain_new_results_per_handle() {
+        let mut engine = engine(6);
+        let mut session = engine.register(EIGHT_QUERIES[0]).unwrap();
+        let mut clone = session.clone();
+        engine.run_epochs(3);
+        assert_eq!(session.poll().len(), 3);
+        assert!(session.poll().is_empty(), "a second poll sees nothing new");
+        engine.run_epochs(2);
+        let polled = session.poll();
+        assert_eq!(polled.len(), 2, "only the answers since the last poll");
+        assert_eq!(polled, session.results()[3..].to_vec());
+        // The clone's cursor is independent and stream() drains like poll().
+        assert_eq!(clone.stream().count(), 5);
+        assert_eq!(clone.stream().count(), 0);
+    }
+
+    #[test]
+    fn finalize_converts_a_session_into_a_query_execution() {
+        let mut engine = engine(8);
+        let session = engine.register(EIGHT_QUERIES[1]).unwrap();
+        engine.run_epochs(6);
+        let totals = session.totals();
+        let execution = session.finalize();
+        assert_eq!(execution.results.len(), 6);
+        assert_eq!(execution.algorithm, "KSpot (MINT views)");
+        assert_eq!(execution.plan.k, 2);
+        assert!(execution.panel.baselines.is_empty(), "finalize attaches no comparison runs");
+        assert_eq!(execution.panel.kspot.totals, totals, "the panel is the session's slice");
+        assert_eq!(execution.panel.sessions.len(), 1);
     }
 
     #[test]
     fn admission_cap_rejects_excess_queries() {
         let mut engine = engine(1).with_max_sessions(2);
-        engine.register(EIGHT_QUERIES[0]).unwrap();
+        let mut first = engine.register(EIGHT_QUERIES[0]).unwrap();
         engine.register(EIGHT_QUERIES[1]).unwrap();
         let err = engine.register(EIGHT_QUERIES[2]).unwrap_err();
         assert!(err.to_string().contains("admission"), "{err}");
         // Cancellation frees a slot.
-        assert!(engine.cancel(0));
+        assert!(first.cancel());
         engine.register(EIGHT_QUERIES[2]).expect("slot freed by cancellation");
     }
 
     #[test]
     fn cancelled_sessions_stop_executing_but_keep_their_results() {
         let mut engine = engine(5);
-        let a = engine.register(EIGHT_QUERIES[0]).unwrap();
+        let mut a = engine.register(EIGHT_QUERIES[0]).unwrap();
         let b = engine.register(EIGHT_QUERIES[1]).unwrap();
         engine.run_epochs(4);
-        assert!(engine.cancel(a));
-        assert!(!engine.cancel(a), "double-cancel reports false");
-        assert!(!engine.cancel(99), "unknown ids report false");
+        assert!(a.cancel());
+        assert!(!a.cancel(), "double-cancel reports false");
+        assert!(engine.session(99).is_none(), "unknown ids yield no handle");
         engine.run_epochs(4);
-        assert_eq!(engine.results(a).unwrap().len(), 4, "no further epochs after cancel");
-        assert_eq!(engine.results(b).unwrap().len(), 8);
-        assert_eq!(engine.status(a), Some(SessionStatus::Cancelled));
-        assert_eq!(engine.status(b), Some(SessionStatus::Active));
-        let frozen = engine.query_totals(a);
+        assert_eq!(a.results().len(), 4, "no further epochs after cancel");
+        assert_eq!(b.results().len(), 8);
+        assert_eq!(a.status(), SessionStatus::Cancelled);
+        assert_eq!(b.status(), SessionStatus::Active);
+        let frozen = a.totals();
         engine.run_epochs(2);
-        assert_eq!(engine.query_totals(a), frozen, "cancelled sessions accrue no traffic");
+        assert_eq!(a.totals(), frozen, "cancelled sessions accrue no traffic");
     }
 
     #[test]
@@ -659,22 +1121,22 @@ mod tests {
             .register("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 3 epochs")
             .unwrap();
         engine.run_epochs(10);
-        assert_eq!(engine.results(early).unwrap().len(), 15);
-        let late_results = engine.results(late).unwrap();
+        assert_eq!(early.results().len(), 15);
+        let late_results = late.results();
         assert_eq!(late_results.len(), 3, "LIFETIME 3 epochs serves exactly 3 epochs");
         assert_eq!(late_results[0].epoch, 5, "late sessions join the live epoch stream");
-        assert_eq!(engine.status(late), Some(SessionStatus::Completed));
+        assert_eq!(late.status(), SessionStatus::Completed);
     }
 
     #[test]
     fn a_fully_served_lifetime_completes_immediately_and_frees_its_admission_slot() {
         let mut engine = engine(2).with_max_sessions(1);
-        engine
+        let bounded = engine
             .register("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 3 epochs")
             .unwrap();
         engine.run_epochs(3);
-        assert_eq!(engine.status(0), Some(SessionStatus::Completed), "served in full");
-        assert_eq!(engine.results(0).unwrap().len(), 3);
+        assert_eq!(bounded.status(), SessionStatus::Completed, "served in full");
+        assert_eq!(bounded.results().len(), 3);
         engine
             .register(EIGHT_QUERIES[1])
             .expect("the slot frees the moment the lifetime is served");
@@ -685,12 +1147,13 @@ mod tests {
         let run = |batched: bool| {
             let mut e = engine(13).with_frame_batching(batched);
             assert_eq!(e.frame_batching(), batched);
-            let ids: Vec<QueryId> =
+            let sessions: Vec<Session> =
                 EIGHT_QUERIES.iter().map(|sql| e.register(sql).unwrap()).collect();
             e.run_epochs(16);
-            let answers: Vec<_> = ids.iter().map(|&id| e.results(id).unwrap().to_vec()).collect();
-            let scoped_bytes: u64 = ids.iter().map(|&id| e.query_totals(id).bytes).sum();
-            (answers, e.metrics().totals(), scoped_bytes)
+            let answers: Vec<_> = sessions.iter().map(|s| s.results()).collect();
+            let scoped_bytes: u64 = sessions.iter().map(|s| s.totals().bytes).sum();
+            let totals = e.metrics().totals();
+            (answers, totals, scoped_bytes)
         };
         let (plain_answers, plain_totals, _) = run(false);
         let (batched_answers, batched_totals, batched_scoped) = run(true);
@@ -723,20 +1186,17 @@ mod tests {
             .unwrap();
         let witness = engine.register(EIGHT_QUERIES[0]).unwrap();
         engine.run_epochs(2);
-        assert_eq!(engine.status(early), Some(SessionStatus::Completed));
-        assert_eq!(
-            engine.depleted_during_run(early),
-            Some(false),
+        assert_eq!(early.status(), SessionStatus::Completed);
+        assert!(
+            !early.depleted_during_run(),
             "the short session finished before any battery died"
         );
         engine.run_epochs(10);
-        assert_eq!(
-            engine.depleted_during_run(witness),
-            Some(true),
+        assert!(
+            witness.depleted_during_run(),
             "the long session ran epochs on a field with an exhausted battery"
         );
-        assert_eq!(engine.depleted_during_run(early), Some(false), "completed sessions stay unflagged");
-        assert_eq!(engine.depleted_during_run(99), None);
+        assert!(!early.depleted_during_run(), "completed sessions stay unflagged");
     }
 
     #[test]
@@ -746,19 +1206,18 @@ mod tests {
         let raw = engine.register(EIGHT_QUERIES[5]).unwrap();
         engine.run_epochs(8);
 
-        let report = engine.session_report(mint).expect("session exists");
+        let report = mint.report();
         assert!(report.name.contains("MINT"));
         assert_eq!(report.epochs, 8);
-        assert_eq!(report.totals, engine.query_totals(mint));
+        assert_eq!(report.totals, mint.totals());
         assert!(!report.phases.is_empty(), "the scope×phase table is populated");
         let phase_bytes: u64 = report.phases.iter().map(|(_, t)| t.bytes).sum();
         assert_eq!(phase_bytes, report.totals.bytes, "phases partition the scope's bytes");
 
         // The raw-collection session only ever moves Update traffic.
-        let raw_phases = engine.query_phase_totals(raw);
+        let raw_phases = raw.phase_totals();
         assert_eq!(raw_phases.len(), 1);
         assert_eq!(raw_phases[0].0, kspot_net::PhaseTag::Update);
-        assert!(engine.session_report(99).is_none());
     }
 
     #[test]
@@ -774,12 +1233,11 @@ mod tests {
     fn engine_is_deterministic_in_the_seed() {
         let run = |seed| {
             let mut e = engine(seed);
-            let ids: Vec<QueryId> =
+            let mut sessions: Vec<Session> =
                 EIGHT_QUERIES.iter().map(|sql| e.register(sql).unwrap()).collect();
-            e.run_epochs(12);
-            ids.iter()
-                .map(|&id| (e.results(id).unwrap().to_vec(), e.query_totals(id)))
-                .collect::<Vec<_>>()
+            sessions.push(e.register(HISTORIC_VERTICAL).unwrap());
+            e.run_epochs(18);
+            sessions.iter().map(|s| (s.results(), s.totals())).collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));
     }

@@ -24,11 +24,13 @@
 //! use kspot_core::{KSpotServer, ScenarioConfig, WorkloadSpec};
 //!
 //! let server = KSpotServer::new(ScenarioConfig::figure1()).with_workload(WorkloadSpec::Figure1);
-//! let execution = server
-//!     .submit("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min", 5)
+//! let mut engine = server.engine();
+//! let session = engine
+//!     .register("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min")
 //!     .unwrap();
+//! engine.run_epochs(5);
 //! // The correct answer to the paper's running example is room C with an average of 75.
-//! assert_eq!(server.bullets(execution.latest().unwrap())[0].cluster_name, "Room C");
+//! assert_eq!(server.bullets(&session.latest().unwrap())[0].cluster_name, "Room C");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,6 +45,6 @@ pub mod server;
 
 pub use client::{route_plan, LocalOperator, NodeRuntime};
 pub use config::{ConfigError, ScenarioConfig};
-pub use engine::{QueryEngine, QueryId, SessionStatus};
+pub use engine::{QueryEngine, QueryId, Session, SessionStatus};
 pub use panel::{StrategyReport, SystemPanel};
 pub use server::{BatchMode, BatchQuery, KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};

@@ -13,13 +13,13 @@ use crate::engine::QueryEngine;
 use crate::panel::{StrategyReport, SystemPanel};
 use kspot_algos::historic::HistoricAlgorithm;
 use kspot_algos::{
-    CentralizedCollection, CentralizedHistoric, HistoricDataset, HistoricSpec,
-    LocalAggregateHistoric, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult, Tput,
+    CentralizedCollection, CentralizedHistoric, HistoricDataset, HistoricSpec, SnapshotAlgorithm,
+    SnapshotSpec, TagTopK, TopKResult, Tput,
 };
 use kspot_net::{
     Epoch, GroupId, Network, NetworkConfig, PhaseTag, RoomModelParams, Workload,
 };
-use kspot_query::plan::{classify, ExecutionStrategy, QueryPlan};
+use kspot_query::plan::{classify, ExecutionStrategy, QueryClass, QueryPlan};
 use kspot_query::{parse, QueryError};
 use std::fmt;
 
@@ -220,32 +220,38 @@ impl KSpotServer {
     /// `epochs` is the number of epochs a *continuous* strategy (snapshot Top-K, plain
     /// aggregation, raw collection, node monitoring) runs for, and must be positive for
     /// those queries.  One-shot `WITH HISTORY` queries ignore `epochs` entirely: they
-    /// answer once from the locally buffered windows, whose length comes from the WITH
-    /// HISTORY clause, so the single result they return is neither capped nor repeated
-    /// by `epochs`.
+    /// answer once from the sliding windows, whose length comes from the WITH HISTORY
+    /// clause, so the single result they return is neither capped nor repeated by
+    /// `epochs`.
     ///
-    /// This is a one-shot compatibility facade over [`QueryEngine`]: each call boots an
-    /// engine, registers the query as its only session and runs the loop to completion.
-    /// Callers serving several concurrent queries should keep one engine instead
-    /// ([`Self::engine`]) so the substrate and its per-epoch cost are shared.
+    /// This is a one-shot compatibility facade over the [`QueryEngine`]'s unified
+    /// [`crate::Session`] API: each call boots an engine, registers the query as its
+    /// only session (continuous **and** historic queries alike), runs the loop to
+    /// completion and finalizes the session — plus the System-Panel baseline runs the
+    /// engine itself never executes.  It is deprecated because a per-call engine
+    /// rebuilds the whole substrate for every query; register a [`crate::Session`] on
+    /// a long-lived [`Self::engine`] instead so the substrate, its per-epoch cost and
+    /// the shared sliding windows are amortised across queries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "register a Session on KSpotServer::engine() instead; submit boots a \
+                throwaway single-session engine per call"
+    )]
     pub fn submit(&self, sql: &str, epochs: usize) -> Result<QueryExecution, QueryError> {
         let query = parse(sql)?;
         let plan = classify(&query)?;
-        let historic = matches!(
-            plan.strategy,
-            ExecutionStrategy::HistoricVerticalTopK | ExecutionStrategy::HistoricHorizontalTopK
-        );
-        if !historic && epochs == 0 {
-            return Err(QueryError::semantic(
-                "a continuous query needs epochs > 0 (an empty execution answers nothing); \
-                 only one-shot WITH HISTORY queries ignore the epoch count",
-            ));
+        match plan.class() {
+            QueryClass::Continuous => {
+                if epochs == 0 {
+                    return Err(QueryError::semantic(
+                        "a continuous query needs epochs > 0 (an empty execution answers nothing); \
+                         only one-shot WITH HISTORY queries ignore the epoch count",
+                    ));
+                }
+                self.run_continuous_via_engine(plan, epochs)
+            }
+            QueryClass::Historic => self.run_historic_via_engine(plan),
         }
-        Ok(match plan.strategy {
-            ExecutionStrategy::HistoricVerticalTopK => self.run_historic_vertical(plan)?,
-            ExecutionStrategy::HistoricHorizontalTopK => self.run_historic_horizontal(plan)?,
-            _ => self.run_continuous_via_engine(plan, epochs)?,
-        })
     }
 
     /// Executes a batch of independent submissions, returning one outcome per request
@@ -253,6 +259,17 @@ impl KSpotServer {
     /// available cores with `std::thread::scope`; every execution derives its own
     /// substrate from the server seed, so the outcomes are byte-identical to
     /// [`BatchMode::Serial`]'s regardless of scheduling.
+    ///
+    /// Deprecated alongside [`Self::submit`]: each request still pays a full
+    /// substrate rebuild.  Register the queries as [`crate::Session`]s on one shared
+    /// [`Self::engine`] when they can share a substrate; keep `submit_batch` only for
+    /// genuinely independent offline executions that need core-level parallelism.
+    #[deprecated(
+        since = "0.1.0",
+        note = "register Sessions on one shared KSpotServer::engine() instead; the batch \
+                facade rebuilds the substrate per request"
+    )]
+    #[allow(deprecated)]
     pub fn submit_batch(
         &self,
         requests: &[BatchQuery],
@@ -283,9 +300,9 @@ impl KSpotServer {
         out.into_iter().map(|slot| slot.expect("every batch slot is filled")).collect()
     }
 
-    /// Runs one continuous query through a single-session [`QueryEngine`] and, unless
-    /// lazy baselines are selected, executes the conventional acquisition baselines the
-    /// System Panel compares against.
+    /// Runs one continuous query as the only [`crate::Session`] of a throwaway
+    /// [`QueryEngine`] and, unless lazy baselines are selected, executes the
+    /// conventional acquisition baselines the System Panel compares against.
     fn run_continuous_via_engine(
         &self,
         plan: QueryPlan,
@@ -299,20 +316,51 @@ impl KSpotServer {
             None => epochs,
         };
         let mut engine = self.engine();
-        let id = engine.register_plan(plan.clone())?;
+        let session = engine.register_plan(plan)?;
         engine.run_epochs(epochs);
-        let algorithm = engine.algorithm(id).expect("session exists").to_string();
-        let kspot_report = StrategyReport::from_metrics(algorithm.clone(), engine.metrics(), epochs);
-        let session_report = engine.session_report(id).expect("session exists");
-        let results = engine.results(id).expect("session exists").to_vec();
-        let baselines =
-            if self.lazy_baselines { Vec::new() } else { self.baseline_reports(&plan, epochs)? };
-        Ok(QueryExecution {
-            algorithm,
-            plan,
-            results,
-            panel: SystemPanel::new(kspot_report, baselines).with_sessions(vec![session_report]),
-        })
+        let kspot_report =
+            StrategyReport::from_metrics(session.algorithm(), &engine.metrics(), epochs);
+        let baselines = if self.lazy_baselines {
+            Vec::new()
+        } else {
+            self.baseline_reports(&session.plan(), epochs)?
+        };
+        let mut execution = session.finalize();
+        // The one-shot facade reports whole-run metrics (the engine served exactly
+        // this query) and the comparison runs the engine itself never executes.
+        execution.panel.kspot = kspot_report;
+        execution.panel.baselines = baselines;
+        Ok(execution)
+    }
+
+    /// Runs one `WITH HISTORY` query as the only [`crate::Session`] of a throwaway
+    /// [`QueryEngine`]: the engine buffers the shared sliding windows for the span of
+    /// the query, the session answers once from them and completes.  Unless lazy
+    /// baselines are selected, the conventional historic comparison strategies run as
+    /// dedicated replays (fresh network + per-submission dataset — exactly the
+    /// execution model the engine's shared windows supersede).
+    fn run_historic_via_engine(&self, plan: QueryPlan) -> Result<QueryExecution, QueryError> {
+        let window = plan.history_epochs.ok_or_else(|| {
+            QueryError::semantic("a historic query needs a WITH HISTORY window")
+        })? as usize;
+        let mut engine = self.engine();
+        let session = engine.register_plan(plan)?;
+        engine.run_epochs(window);
+        let baselines = if self.lazy_baselines {
+            Vec::new()
+        } else {
+            self.historic_baselines(&session.plan(), window)?
+        };
+        let mut execution = session.finalize();
+        // The panel's KSpot side is the session's *scoped* slice (its own radio and
+        // CPU work), which is like-for-like with the baseline replays: those run the
+        // comparison algorithm on a fresh network without the engine's per-epoch
+        // substrate baseline or window-maintenance charges.  Using the whole engine
+        // ledger here would book `window` epochs of sampling/idle cost against TJA
+        // alone and skew the savings read-out.
+        execution.panel.kspot.name = execution.algorithm.clone();
+        execution.panel.baselines = baselines;
+        Ok(execution)
     }
 
     /// Runs a conventional-acquisition comparison strategy over a fresh copy of the
@@ -377,84 +425,52 @@ impl KSpotServer {
         HistoricDataset::collect(&mut workload, window)
     }
 
-    fn run_historic_vertical(&self, plan: QueryPlan) -> Result<QueryExecution, QueryError> {
-        let window = plan
-            .history_epochs
-            .ok_or_else(|| QueryError::semantic("a historic query needs a WITH HISTORY window"))? as usize;
-        let func = plan
-            .aggregate
-            .ok_or_else(|| QueryError::semantic("a historic ranked query needs an aggregate"))?;
-        let spec = HistoricSpec::new(plan.k.max(1) as usize, func, self.scenario.domain, window);
+    /// The System Panel baselines of a historic strategy, run as dedicated
+    /// per-submission replays over the same scenario/workload/seed: TPUT and
+    /// centralized window collection for vertically fragmented queries, centralized
+    /// window collection for horizontally fragmented ones.
+    fn historic_baselines(
+        &self,
+        plan: &QueryPlan,
+        window: usize,
+    ) -> Result<Vec<StrategyReport>, QueryError> {
         let data = self.collect_history(window);
-
         let run = |algo: &mut dyn HistoricAlgorithm| {
             let mut net = self.fresh_network();
             let mut data = data.clone();
-            let result = algo.execute(&mut net, &mut data);
-            (result, StrategyReport::from_metrics(algo.name(), net.metrics(), window))
+            algo.execute(&mut net, &mut data);
+            StrategyReport::from_metrics(algo.name(), net.metrics(), window)
         };
-        let mut tja = Tja::new(spec);
-        let (result, kspot_report) = run(&mut tja);
-        let baselines = if self.lazy_baselines {
-            Vec::new()
-        } else {
-            let (_, tput_report) = run(&mut Tput::new(spec));
-            let (_, central_report) = run(&mut CentralizedHistoric::new(spec));
-            vec![tput_report, central_report]
-        };
-
-        Ok(QueryExecution {
-            algorithm: tja.name().to_string(),
-            plan,
-            results: vec![result],
-            panel: SystemPanel::new(kspot_report, baselines),
-        })
-    }
-
-    fn run_historic_horizontal(&self, plan: QueryPlan) -> Result<QueryExecution, QueryError> {
-        let window = plan
-            .history_epochs
-            .ok_or_else(|| QueryError::semantic("a historic query needs a WITH HISTORY window"))? as usize;
-        let spec = SnapshotSpec::from_plan(&plan, self.scenario.domain)?;
-        let data = self.collect_history(window);
-
-        let mut local = LocalAggregateHistoric::new(spec);
-        let mut kspot_net = self.fresh_network();
-        let mut kspot_data = data.clone();
-        let result = local.execute(&mut kspot_net, &mut kspot_data);
-        let kspot_report =
-            StrategyReport::from_metrics("local filter + MINT update", kspot_net.metrics(), window);
-
-        let baselines = if self.lazy_baselines {
-            Vec::new()
-        } else {
-            let hist_spec = HistoricSpec::new(
-                spec.k,
-                kspot_query::AggFunc::Avg,
-                self.scenario.domain,
-                window,
-            );
-            let mut central_net = self.fresh_network();
-            let mut central_data = data;
-            CentralizedHistoric::new(hist_spec).execute(&mut central_net, &mut central_data);
-            vec![StrategyReport::from_metrics(
-                "centralized window collection",
-                central_net.metrics(),
-                window,
-            )]
-        };
-
-        Ok(QueryExecution {
-            algorithm: "local filter + MINT update".to_string(),
-            plan,
-            results: vec![result],
-            panel: SystemPanel::new(kspot_report, baselines),
+        Ok(match plan.strategy {
+            ExecutionStrategy::HistoricVerticalTopK => {
+                let func = plan.aggregate.ok_or_else(|| {
+                    QueryError::semantic("a historic ranked query needs an aggregate")
+                })?;
+                let spec =
+                    HistoricSpec::new(plan.k.max(1) as usize, func, self.scenario.domain, window);
+                vec![run(&mut Tput::new(spec)), run(&mut CentralizedHistoric::new(spec))]
+            }
+            ExecutionStrategy::HistoricHorizontalTopK => {
+                let spec = SnapshotSpec::from_plan(plan, self.scenario.domain)?;
+                let hist_spec = HistoricSpec::new(
+                    spec.k,
+                    kspot_query::AggFunc::Avg,
+                    self.scenario.domain,
+                    window,
+                );
+                vec![run(&mut CentralizedHistoric::new(hist_spec))]
+            }
+            _ => Vec::new(),
         })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated one-shot facade on purpose: it must keep
+    // producing the same executions as the Session path it wraps.
+    #![allow(deprecated)]
+
     use super::*;
 
     fn figure1_server() -> KSpotServer {

@@ -7,8 +7,10 @@
 //! runs regardless of which feature set kspot-testkit itself was compiled with.
 //! Faulted cells matter most here: per-session loss streams are what keeps a lossy
 //! channel's draws independent of which other queries share the substrate.
+//!
+//! Historic (`WITH HISTORY`) sessions get the same treatment in `historic_cells.rs`.
 
-use kspot_core::{QueryEngine, QueryId, ScenarioConfig, SessionStatus};
+use kspot_core::{QueryEngine, QueryId, ScenarioConfig, Session, SessionStatus};
 use kspot_net::rng::mix_seed;
 use kspot_testkit::{FaultProfile, ScenarioCell, TopologyKind, WorkloadProfile};
 
@@ -50,49 +52,54 @@ fn smoke_cells() -> Vec<ScenarioCell> {
 }
 
 /// Boots an engine over a cell's exact substrate (topology + faulted network +
-/// workload) and registers every query, returning the engine and the session ids.
-fn engine_for(cell: &ScenarioCell) -> (QueryEngine, Vec<QueryId>) {
+/// workload) and registers every query, returning the engine and the session handles.
+fn engine_for(cell: &ScenarioCell) -> (QueryEngine, Vec<Session>) {
     let d = cell.deployment();
     let scenario = ScenarioConfig::custom(cell.label(), "sound", d.clone());
     let mut engine =
         QueryEngine::from_substrate(scenario, cell.network(&d), cell.workload(&d));
-    let ids = QUERIES
+    let sessions = QUERIES
         .iter()
         .map(|sql| engine.register(sql).unwrap_or_else(|e| panic!("{}: {sql}: {e}", cell.label())))
         .collect();
-    (engine, ids)
+    (engine, sessions)
+}
+
+fn ids(sessions: &[Session]) -> Vec<QueryId> {
+    sessions.iter().map(Session::id).collect()
 }
 
 #[test]
 fn shared_loop_results_equal_per_query_loop_results_on_every_smoke_cell() {
     for cell in smoke_cells() {
         let label = cell.label();
-        let (mut shared, ids) = engine_for(&cell);
+        let (mut shared, sessions) = engine_for(&cell);
         shared.run_epochs(cell.epochs);
 
-        for (i, &id) in ids.iter().enumerate() {
+        for (i, session) in sessions.iter().enumerate() {
             // The per-query loop: the same engine construction and registration order
             // (ids must match — they key the per-session loss streams), with every
             // *other* session cancelled before the first epoch runs.
-            let (mut solo, solo_ids) = engine_for(&cell);
-            assert_eq!(solo_ids, ids, "{label}: registration order must reproduce ids");
-            for &other in &solo_ids {
-                if other != id {
-                    assert!(solo.cancel(other));
+            let (mut solo, mut solo_sessions) = engine_for(&cell);
+            assert_eq!(ids(&solo_sessions), ids(&sessions), "{label}: registration order must reproduce ids");
+            for other in solo_sessions.iter_mut() {
+                if other.id() != session.id() {
+                    assert!(other.cancel());
                 }
             }
             solo.run_epochs(cell.epochs);
             assert_eq!(solo.active_sessions(), 1);
 
+            let survivor = &solo_sessions[i];
             assert_eq!(
-                shared.results(id),
-                solo.results(id),
+                shared.session(session.id()).expect("session exists").results(),
+                survivor.results(),
                 "{label}: query {i} ({}) answers diverged between shared and solo loops",
                 QUERIES[i]
             );
             assert_eq!(
-                shared.query_totals(id),
-                solo.query_totals(id),
+                session.totals(),
+                survivor.totals(),
                 "{label}: query {i} ({}) attributed metrics diverged between shared and solo loops",
                 QUERIES[i]
             );
@@ -105,11 +112,9 @@ fn shared_loop_replays_bit_for_bit_on_every_smoke_cell() {
     for cell in smoke_cells() {
         let label = cell.label();
         let run = || {
-            let (mut engine, ids) = engine_for(&cell);
+            let (mut engine, sessions) = engine_for(&cell);
             engine.run_epochs(cell.epochs);
-            ids.iter()
-                .map(|&id| (engine.results(id).unwrap().to_vec(), engine.query_totals(id)))
-                .collect::<Vec<_>>()
+            sessions.iter().map(|s| (s.results(), s.totals())).collect::<Vec<_>>()
         };
         assert_eq!(run(), run(), "{label}: the shared loop is not deterministic");
     }
@@ -131,23 +136,23 @@ fn mid_run_cancellation_does_not_perturb_the_surviving_sessions() {
         window: 16,
         master_seed: mix_seed(0xE16E, &[99]),
     };
-    let (mut uninterrupted, ids) = engine_for(&cell);
+    let (mut uninterrupted, full_run) = engine_for(&cell);
     uninterrupted.run_epochs(12);
 
-    let (mut interrupted, ids2) = engine_for(&cell);
-    assert_eq!(ids, ids2);
+    let (mut interrupted, mut half_run) = engine_for(&cell);
+    assert_eq!(ids(&half_run), ids(&full_run));
     interrupted.run_epochs(6);
-    assert!(interrupted.cancel(ids[1]));
-    assert!(interrupted.cancel(ids[2]));
+    assert!(half_run[1].cancel());
+    assert!(half_run[2].cancel());
     interrupted.run_epochs(6);
 
-    for &survivor in [ids[0], ids[3]].iter() {
+    for survivor in [0usize, 3] {
         assert_eq!(
-            uninterrupted.results(survivor),
-            interrupted.results(survivor),
+            full_run[survivor].results(),
+            half_run[survivor].results(),
             "a survivor's answers changed because other sessions were cancelled"
         );
     }
-    assert_eq!(interrupted.status(ids[1]), Some(SessionStatus::Cancelled));
-    assert_eq!(interrupted.results(ids[1]).unwrap().len(), 6);
+    assert_eq!(half_run[1].status(), SessionStatus::Cancelled);
+    assert_eq!(half_run[1].results().len(), 6);
 }

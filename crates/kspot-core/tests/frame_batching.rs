@@ -6,13 +6,17 @@
 //! 2. keep the per-scope attribution a exact decomposition of the shared ledger, and
 //! 3. leave every session's per-epoch answers byte-identical to the unbatched run on
 //!    lossless cells (on lossy cells the channel is legitimately drawn per *frame*,
-//!    so only the conservation and bytes-≤ claims apply).
+//!    so only the conservation and bytes-≤ claims apply), and
+//! 4. keep a session's observed channel **invariant to co-registered sessions** even
+//!    under loss: merged-frame fates are drawn from a stream keyed by the frame's
+//!    `(sender, receiver, epoch)` hop, never in frame-open order (the batched-mode
+//!    loss-fairness guarantee, ADR-005).
 //!
 //! The unbatched (default) path itself is covered by `engine_cells.rs`, which pins the
 //! ADR-003 byte-identity guarantee cell by cell — those tests run unchanged, which is
 //! what "the legacy path is preserved verbatim" means operationally.
 
-use kspot_core::{QueryEngine, QueryId, ScenarioConfig};
+use kspot_core::{QueryEngine, QueryId, ScenarioConfig, Session};
 use kspot_net::rng::mix_seed;
 use kspot_testkit::{
     check_ledger, check_scope_attribution, FaultProfile, ScenarioCell, TopologyKind,
@@ -58,26 +62,34 @@ fn smoke_cells() -> Vec<ScenarioCell> {
 
 /// Boots an engine over a cell's exact substrate, with or without frame batching, and
 /// registers every query.
-fn engine_for(cell: &ScenarioCell, batched: bool) -> (QueryEngine, Vec<QueryId>) {
+fn engine_for(cell: &ScenarioCell, batched: bool) -> (QueryEngine, Vec<Session>) {
     let d = cell.deployment();
     let scenario = ScenarioConfig::custom(cell.label(), "sound", d.clone());
     let mut engine = QueryEngine::from_substrate(scenario, cell.network(&d), cell.workload(&d))
         .with_frame_batching(batched);
-    let ids = QUERIES
+    let sessions = QUERIES
         .iter()
         .map(|sql| engine.register(sql).unwrap_or_else(|e| panic!("{}: {sql}: {e}", cell.label())))
         .collect();
-    (engine, ids)
+    (engine, sessions)
+}
+
+fn ids(sessions: &[Session]) -> Vec<QueryId> {
+    sessions.iter().map(Session::id).collect()
 }
 
 #[test]
 fn batching_never_spends_more_bytes_and_conserves_attribution_on_every_smoke_cell() {
     for cell in smoke_cells() {
         let label = cell.label();
-        let (mut plain, ids) = engine_for(&cell, false);
+        let (mut plain, plain_sessions) = engine_for(&cell, false);
         plain.run_epochs(cell.epochs);
-        let (mut batched, ids2) = engine_for(&cell, true);
-        assert_eq!(ids, ids2, "{label}: registration order must reproduce ids");
+        let (mut batched, batched_sessions) = engine_for(&cell, true);
+        assert_eq!(
+            ids(&plain_sessions),
+            ids(&batched_sessions),
+            "{label}: registration order must reproduce ids"
+        );
         batched.run_epochs(cell.epochs);
 
         // (1) One merged frame per hop can only remove per-session overhead.
@@ -99,9 +111,9 @@ fn batching_never_spends_more_bytes_and_conserves_attribution_on_every_smoke_cel
         // (2) Attribution conservation: every transmission of the engine runs under a
         // session scope, and the merged-frame shares partition the ledger exactly.
         for (who, engine) in [("unbatched", &plain), ("batched", &batched)] {
-            let violations = check_scope_attribution(engine.metrics(), true);
+            let violations = check_scope_attribution(&engine.metrics(), true);
             assert!(violations.is_empty(), "{label} ({who}): {violations:?}");
-            let ledger = check_ledger(engine.metrics());
+            let ledger = check_ledger(&engine.metrics());
             assert!(ledger.is_empty(), "{label} ({who}): {ledger:?}");
         }
 
@@ -109,10 +121,10 @@ fn batching_never_spends_more_bytes_and_conserves_attribution_on_every_smoke_cel
         // or death channel is drawn per frame under batching, so there only the
         // invariants above are claimed.
         if cell.fault.is_lossless() {
-            for (i, &id) in ids.iter().enumerate() {
+            for (i, (p, b)) in plain_sessions.iter().zip(&batched_sessions).enumerate() {
                 assert_eq!(
-                    plain.results(id),
-                    batched.results(id),
+                    p.results(),
+                    b.results(),
                     "{label}: query {i} ({}) answers diverged under lossless batching",
                     QUERIES[i]
                 );
@@ -120,6 +132,38 @@ fn batching_never_spends_more_bytes_and_conserves_attribution_on_every_smoke_cel
             assert_eq!(
                 plain_totals.tuples, batched_totals.tuples,
                 "{label}: lossless batching must move the identical payload"
+            );
+        }
+    }
+}
+
+#[test]
+fn under_batching_a_sessions_channel_is_invariant_to_co_registered_sessions() {
+    // The batched-mode loss-fairness regression (ROADMAP item, ADR-005): merged-frame
+    // fates are keyed by (sender, receiver, epoch), so on a *lossy* cell a session's
+    // answers with batching on must be byte-identical whether it shares the loop with
+    // three other sessions or runs alone — the co-registered sessions change which
+    // frames exist and who rides them, but never the channel any session observes.
+    for cell in smoke_cells().into_iter().filter(|c| c.fault == FaultProfile::LossyLinks) {
+        let label = cell.label();
+        let (mut shared, shared_sessions) = engine_for(&cell, true);
+        shared.run_epochs(cell.epochs);
+
+        for (i, session) in shared_sessions.iter().enumerate() {
+            let (mut solo, mut solo_sessions) = engine_for(&cell, true);
+            assert_eq!(ids(&solo_sessions), ids(&shared_sessions), "{label}: id mismatch");
+            for other in solo_sessions.iter_mut() {
+                if other.id() != session.id() {
+                    assert!(other.cancel());
+                }
+            }
+            solo.run_epochs(cell.epochs);
+            assert_eq!(
+                session.results(),
+                solo_sessions[i].results(),
+                "{label}: query {i} ({}) observed a different lossy channel because \
+                 other sessions shared its frames",
+                QUERIES[i]
             );
         }
     }
@@ -139,11 +183,9 @@ fn batched_runs_replay_bit_for_bit() {
         master_seed: mix_seed(0xF4A8, &[77]),
     };
     let run = || {
-        let (mut engine, ids) = engine_for(&cell, true);
+        let (mut engine, sessions) = engine_for(&cell, true);
         engine.run_epochs(cell.epochs);
-        ids.iter()
-            .map(|&id| (engine.results(id).unwrap().to_vec(), engine.query_totals(id)))
-            .collect::<Vec<_>>()
+        sessions.iter().map(|s| (s.results(), s.totals())).collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "{}: the batched loop is not deterministic", cell.label());
 }
@@ -163,16 +205,16 @@ fn toggling_batching_between_runs_keeps_the_ledger_coherent() {
         window: 16,
         master_seed: mix_seed(0xF4A8, &[88]),
     };
-    let (mut engine, ids) = engine_for(&cell, false);
+    let (mut engine, sessions) = engine_for(&cell, false);
     engine.run_epochs(4);
     let mut engine = engine.with_frame_batching(true);
     engine.run_epochs(4);
     let mut engine = engine.with_frame_batching(false);
     engine.run_epochs(4);
-    for &id in &ids {
-        assert_eq!(engine.results(id).unwrap().len(), 12);
+    for session in &sessions {
+        assert_eq!(session.results().len(), 12);
     }
-    let violations = check_scope_attribution(engine.metrics(), true);
+    let violations = check_scope_attribution(&engine.metrics(), true);
     assert!(violations.is_empty(), "{violations:?}");
-    assert!(check_ledger(engine.metrics()).is_empty());
+    assert!(check_ledger(&engine.metrics()).is_empty());
 }

@@ -57,7 +57,7 @@ pub use metrics::{NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, QueryScop
 pub use radio::RadioModel;
 pub use schedule::{FrameScheduler, FrameSlice, ReportIntent};
 pub use sim::{Network, NetworkConfig};
-pub use storage::SlidingWindow;
+pub use storage::{SlidingWindow, WindowBank};
 pub use topology::{Deployment, DeploymentKind, Position};
 pub use tree::RoutingTree;
 pub use types::{Epoch, GroupId, NodeId, Reading, Value, ValueDomain, SINK};

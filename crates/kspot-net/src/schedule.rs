@@ -20,13 +20,16 @@
 //! A frame is one link-layer unit: ARQ retransmits the **whole frame**, and a frame
 //! dropped after its retries drops **every** scope's payload on that hop.  The fate of
 //! a frame (delivered or not, and after how many attempts) is decided once, when its
-//! first intent arrives, from a dedicated frame loss stream — so an algorithm learns
-//! the delivery outcome at enqueue time (its in-network protocol needs it to route
-//! views), while the bytes/energy are charged at flush time when the final merged
-//! payload is known.  All sessions riding a frame therefore observe the *same* channel
-//! event, which is exactly what a shared physical frame implies; the per-scope loss
-//! streams of the legacy (unbatched) path remain byte-identical to ADR-003 when
-//! batching is off.
+//! first intent arrives, from a dedicated substrate loss stream keyed by the frame's
+//! `(sender, receiver, epoch)` hop — so an algorithm learns the delivery outcome at
+//! enqueue time (its in-network protocol needs it to route views), while the
+//! bytes/energy are charged at flush time when the final merged payload is known.  All
+//! sessions riding a frame observe the *same* channel event, which is exactly what a
+//! shared physical frame implies; and because the stream is a pure function of the hop
+//! and the epoch (never of frame-open order), the channel a session observes under
+//! batching is **invariant to which other sessions are co-registered** — loss
+//! reproducibility per session survives batching.  The per-scope loss streams of the
+//! legacy (unbatched) path remain byte-identical to ADR-003 when batching is off.
 //!
 //! ## Attribution policy
 //!

@@ -132,11 +132,11 @@ pub struct Network {
     /// The per-epoch report scheduler, present while frame batching is enabled (see
     /// [`Self::set_frame_batching`] and [`crate::schedule`]).
     frame_scheduler: Option<FrameScheduler>,
-    /// Loss stream deciding merged frames' fates.  A merged frame carries several
-    /// scopes at once, so its channel draws come from this dedicated substrate stream
-    /// rather than any one scope's stream.
-    frame_loss_rng: StdRng,
 }
+
+/// Stream identifier of the per-`(sender, receiver, epoch)` merged-frame fate streams
+/// (see [`Network::send_report_up`]).
+const FRAME_FATE_STREAM: u64 = 0xF7_A3;
 
 impl Network {
     /// Deploys a network: builds the routing tree and initialises batteries and metrics.
@@ -145,7 +145,6 @@ impl Network {
         let n = deployment.num_nodes();
         let batteries = BatteryBank::uniform(n, config.battery_capacity_uj);
         let loss_rng = stream_rng(config.seed, &[0x10_55]);
-        let frame_loss_rng = stream_rng(config.seed, &[0xF7_A3]);
         Self {
             deployment,
             tree,
@@ -157,7 +156,6 @@ impl Network {
             current_scope: None,
             current_epoch: 0,
             frame_scheduler: None,
-            frame_loss_rng,
         }
     }
 
@@ -263,7 +261,6 @@ impl Network {
         self.scope_loss_rngs.clear();
         self.current_scope = None;
         self.current_epoch = 0;
-        self.frame_loss_rng = stream_rng(self.config.seed, &[0xF7_A3]);
         if self.frame_scheduler.is_some() {
             self.frame_scheduler = Some(FrameScheduler::new());
         }
@@ -440,10 +437,22 @@ impl Network {
             };
             let max_attempts = 1 + self.config.faults.max_retransmits;
             let scope = self.current_scope;
-            let rng = &mut self.frame_loss_rng;
+            let seed = self.config.seed;
             if let Some(scheduler) = self.frame_scheduler.as_mut() {
+                // A merged frame carries several scopes at once, so its channel draws
+                // come from a dedicated substrate stream keyed by `(sender, receiver,
+                // epoch)` — a pure function of the hop and the epoch.  Keying per hop
+                // (instead of drawing frames in open order from one stream) is what
+                // makes the channel a session observes under batching invariant to
+                // which other sessions happen to share its frames (ADR-005 fairness
+                // note).  The stream is only seeded when a frame actually opens;
+                // later riders on the same hop reuse the decided fate.
                 let frame = scheduler.frame_entry(from, parent, || {
-                    PendingFrame::open(epoch, heard, loss, max_attempts, rng)
+                    let mut fate_rng = stream_rng(
+                        seed,
+                        &[FRAME_FATE_STREAM, u64::from(from), u64::from(parent), epoch],
+                    );
+                    PendingFrame::open(epoch, heard, loss, max_attempts, &mut fate_rng)
                 });
                 frame.slices.push(ReportIntent { scope, phase, data_tuples, control_tuples });
                 return frame.delivered.then_some(parent);
@@ -466,8 +475,10 @@ impl Network {
     /// as the frame's fate used, with each riding scope charged its payload plus a
     /// pro-rata share of the shared overhead (see [`crate::schedule`]).  A no-op
     /// unless frame batching is enabled and intents are pending.  Epoch drivers call
-    /// this once per epoch after every session's sweep
-    /// (`kspot_algos::run_shared_epoch` does).
+    /// this once per epoch after every session's sweep — both
+    /// `kspot_algos::run_shared_epoch` and the multi-query engine's own epoch loop
+    /// (`kspot-core`, which interleaves historic sessions and must stay in lockstep
+    /// with the same begin/scope/flush contract).
     pub fn flush_frames(&mut self) {
         let frames = match self.frame_scheduler.as_mut() {
             Some(scheduler) if !scheduler.is_empty() => scheduler.take_frames(),
@@ -970,6 +981,34 @@ mod tests {
         assert_eq!(n.query_totals(0).dropped_messages, 1, "…but every rider lost its payload");
         assert_eq!(n.query_totals(1).dropped_messages, 1);
         assert_eq!(n.metrics().node(4).rx_messages, 1, "the receiver still listened to the attempt");
+    }
+
+    #[test]
+    fn frame_fate_is_keyed_by_hop_and_epoch_not_by_open_order() {
+        // Two runs over a half-broken link: in run A another node's frame opens first
+        // every epoch, in run B the observed hop's frame opens alone.  The hop's
+        // delivery outcomes must be identical — the fate stream is keyed by
+        // (sender, receiver, epoch), not drawn in frame-open order.
+        let config = || NetworkConfig {
+            radio: RadioModel::mica2().with_loss(0.5),
+            ..NetworkConfig::mica2().with_seed(23)
+        };
+        let run = |with_decoy: bool| {
+            let mut n = net(config());
+            n.set_frame_batching(true);
+            (0..40u64)
+                .map(|e| {
+                    n.begin_epoch(e);
+                    if with_decoy {
+                        n.send_report_up(8, e, 1, 0, PhaseTag::Update);
+                    }
+                    let delivered = n.send_report_up(9, e, 1, 0, PhaseTag::Update).is_some();
+                    n.flush_frames();
+                    delivered
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(true), run(false), "the 9->4 channel must not depend on 8->7 traffic");
     }
 
     #[test]

@@ -13,11 +13,16 @@
 //! Read costs are accounted in page reads so the energy of local storage access can be
 //! charged if an experiment wants to (flash reads are ~1000× cheaper than radio bytes,
 //! which is exactly why local filtering wins).
+//!
+//! [`WindowBank`] is the *engine-side* counterpart: one shared sliding window per node,
+//! fed once per epoch from the live readings, serving **every** registered historic
+//! query at once (ADR-005).  Capacity follows the largest registered `WITH HISTORY`
+//! span, so a single maintenance pass per epoch amortises the buffering work across all
+//! historic sessions instead of replaying a collection pass per submission.
 
-use crate::types::{Epoch, Value};
-use crate::types::cmp_value;
+use crate::types::{cmp_value, Epoch, NodeId, Reading, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A bounded, epoch-ordered buffer of `(epoch, value)` samples.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +53,17 @@ impl SlidingWindow {
     /// Maximum number of samples retained.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Grows the retention capacity to at least `capacity`, keeping every buffered
+    /// sample and all accounting.  Shrinking is not supported — a window that already
+    /// promised `capacity` epochs of history to one query must not silently forget
+    /// them when another query registers.
+    pub fn grow_capacity(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            self.samples.reserve(capacity.saturating_sub(self.samples.len()));
+        }
     }
 
     /// Number of samples currently buffered.
@@ -109,6 +125,15 @@ impl SlidingWindow {
         self.samples.iter().copied()
     }
 
+    /// All buffered samples, oldest first, **charged as one full window scan** in
+    /// page reads — the accounted counterpart of [`Self::iter`] for callers that
+    /// model a real flash pass (e.g. the span-filtered scans of
+    /// `kspot_algos::BankWindows`).
+    pub fn scan(&mut self) -> Vec<(Epoch, Value)> {
+        self.page_reads += (self.samples.len().div_ceil(self.samples_per_page)) as u64;
+        self.samples.iter().copied().collect()
+    }
+
     /// The `k` buffered samples with the highest values, best first.
     /// Ties are broken towards the older epoch so results are deterministic.
     pub fn local_top_k(&mut self, k: usize) -> Vec<(Epoch, Value)> {
@@ -128,6 +153,98 @@ impl SlidingWindow {
     /// Values at the requested epochs (missing epochs are skipped).
     pub fn values_at(&mut self, epochs: &[Epoch]) -> Vec<(Epoch, Value)> {
         epochs.iter().filter_map(|&e| self.get(e).map(|v| (e, v))).collect()
+    }
+}
+
+/// One engine-shared sliding window per node, fed once per epoch from the live
+/// readings all registered queries consume (see the module docs and ADR-005).
+///
+/// The bank is deliberately *fault-oblivious*: sensing and buffering are node-local
+/// (no radio involved), so a node keeps writing its own flash even while its parent is
+/// dead or the link is lossy — exactly the semantics of the per-submission
+/// `HistoricDataset::collect` replay the bank supersedes.  Whether a node's window is
+/// *reachable* at query time is decided by the network when the historic algorithm
+/// runs, not here.
+#[derive(Debug, Clone, Default)]
+pub struct WindowBank {
+    capacity: usize,
+    windows: BTreeMap<NodeId, SlidingWindow>,
+    /// The epochs currently covered, oldest first (bounded by `capacity`).
+    epochs: VecDeque<Epoch>,
+    /// Total number of epochs ever fed (readiness counter for waiting sessions).
+    fed: u64,
+}
+
+impl WindowBank {
+    /// Creates an empty bank retaining up to `capacity` epochs per node.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window bank capacity must be positive");
+        Self { capacity, windows: BTreeMap::new(), epochs: VecDeque::new(), fed: 0 }
+    }
+
+    /// The per-node retention capacity, in epochs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grows the retention capacity to at least `capacity` epochs (never shrinks),
+    /// growing every node's window with it.  Called when a historic query with a
+    /// longer `WITH HISTORY` span registers.
+    pub fn grow_capacity(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            for w in self.windows.values_mut() {
+                w.grow_capacity(capacity);
+            }
+        }
+    }
+
+    /// Total number of epochs ever fed into the bank (not capped by the capacity).
+    pub fn epochs_fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// Number of epochs the bank **currently buffers** — the covered span.  This is
+    /// what readiness gates must check: after a [`Self::grow_capacity`] call the
+    /// buffered span can be far shorter than [`Self::epochs_fed`] suggests, because
+    /// history evicted under the old capacity is gone for good.
+    pub fn buffered_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The epochs currently buffered, oldest first.
+    pub fn epochs(&self) -> Vec<Epoch> {
+        self.epochs.iter().copied().collect()
+    }
+
+    /// Node identifiers holding a window, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.windows.keys().copied().collect()
+    }
+
+    /// Mutable access to one node's shared window, if the node ever reported.
+    pub fn window_mut(&mut self, node: NodeId) -> Option<&mut SlidingWindow> {
+        self.windows.get_mut(&node)
+    }
+
+    /// Feeds one epoch of readings: every node's value is appended to its window and
+    /// the epoch joins the covered span.  This is the **single** maintenance pass that
+    /// serves every registered historic session — the amortisation the engine's
+    /// shared-window design exists for.
+    pub fn feed(&mut self, readings: &[Reading]) {
+        let Some(first) = readings.first() else { return };
+        let capacity = self.capacity;
+        for r in readings {
+            self.windows
+                .entry(r.node)
+                .or_insert_with(|| SlidingWindow::new(capacity))
+                .push(r.epoch, r.value);
+        }
+        if self.epochs.len() == self.capacity {
+            self.epochs.pop_front();
+        }
+        self.epochs.push_back(first.epoch);
+        self.fed += 1;
     }
 }
 
@@ -216,5 +333,66 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn grow_capacity_keeps_samples_and_never_shrinks() {
+        let mut w = SlidingWindow::new(2);
+        w.push(0, 1.0);
+        w.push(1, 2.0);
+        w.push(2, 3.0); // evicts epoch 0
+        assert_eq!(w.evicted(), 1);
+        w.grow_capacity(4);
+        assert_eq!(w.capacity(), 4);
+        assert_eq!(w.len(), 2, "growth keeps the buffered samples");
+        w.push(3, 4.0);
+        w.push(4, 5.0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.evicted(), 1, "no eviction until the new capacity fills");
+        w.grow_capacity(1);
+        assert_eq!(w.capacity(), 4, "shrinking is ignored");
+    }
+
+    fn reading(node: NodeId, epoch: Epoch, value: Value) -> Reading {
+        Reading::new(node, 0, epoch, value)
+    }
+
+    #[test]
+    fn window_bank_feeds_one_window_per_node_and_tracks_the_covered_span() {
+        let mut bank = WindowBank::new(3);
+        for e in 0..5u64 {
+            bank.feed(&[reading(1, e, e as f64), reading(2, e, 10.0 + e as f64)]);
+        }
+        assert_eq!(bank.epochs_fed(), 5);
+        assert_eq!(bank.epochs(), vec![2, 3, 4], "the span is the last `capacity` epochs");
+        assert_eq!(bank.node_ids(), vec![1, 2]);
+        let w1 = bank.window_mut(1).expect("node 1 reported");
+        assert_eq!(w1.len(), 3);
+        assert_eq!(w1.get(4), Some(4.0));
+        assert_eq!(w1.get(1), None, "evicted with the span");
+        assert!(bank.window_mut(9).is_none());
+        bank.feed(&[]);
+        assert_eq!(bank.epochs_fed(), 5, "an empty epoch feeds nothing");
+    }
+
+    #[test]
+    fn window_bank_grows_with_the_largest_registered_span() {
+        let mut bank = WindowBank::new(2);
+        bank.feed(&[reading(1, 0, 1.0)]);
+        bank.feed(&[reading(1, 1, 2.0)]);
+        bank.grow_capacity(4);
+        assert_eq!(bank.capacity(), 4);
+        bank.feed(&[reading(1, 2, 3.0)]);
+        bank.feed(&[reading(1, 3, 4.0)]);
+        assert_eq!(bank.epochs(), vec![0, 1, 2, 3], "growth keeps pre-growth history");
+        assert_eq!(bank.window_mut(1).unwrap().len(), 4);
+        bank.grow_capacity(1);
+        assert_eq!(bank.capacity(), 4, "shrinking is ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn window_bank_rejects_zero_capacity() {
+        let _ = WindowBank::new(0);
     }
 }

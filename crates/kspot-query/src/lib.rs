@@ -55,5 +55,5 @@ pub mod validate;
 pub use ast::{AggFunc, Duration, Predicate, Query, SelectItem, TimeUnit};
 pub use error::{QueryError, QueryResult};
 pub use parser::parse;
-pub use plan::{classify, ExecutionStrategy, QueryPlan};
+pub use plan::{classify, ExecutionStrategy, QueryClass, QueryPlan};
 pub use validate::validate;

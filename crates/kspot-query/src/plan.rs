@@ -22,6 +22,29 @@ use crate::error::{QueryError, QueryResult};
 use crate::validate::validate;
 use serde::{Deserialize, Serialize};
 
+/// The two *submission classes* a query can belong to, from the engine's point of
+/// view: how a registered session behaves inside the shared epoch loop.
+///
+/// Every [`ExecutionStrategy`] maps to exactly one class ([`ExecutionStrategy::class`]).
+/// A [`QueryClass::Continuous`] session produces one ranked answer per epoch until it
+/// is cancelled or its `LIFETIME` elapses; a [`QueryClass::Historic`] session buffers
+/// (or reuses) an engine-maintained sliding window and produces exactly one answer the
+/// moment the window covers its `WITH HISTORY` span, then completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// Answers every epoch from the live readings (MINT, TAG, FILA, raw collection).
+    Continuous,
+    /// Answers once from in-network sliding windows (TJA, local-aggregate historic).
+    Historic,
+}
+
+impl QueryClass {
+    /// True for the one-shot historic class.
+    pub fn is_historic(self) -> bool {
+        self == QueryClass::Historic
+    }
+}
+
 /// The execution strategy the KSpot server routes a query to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionStrategy {
@@ -60,6 +83,17 @@ impl ExecutionStrategy {
     pub fn is_ranked(self) -> bool {
         !matches!(self, ExecutionStrategy::InNetworkAggregate | ExecutionStrategy::RawCollection)
     }
+
+    /// The submission class of the strategy: one answer per epoch versus one answer
+    /// from sliding windows (see [`QueryClass`]).
+    pub fn class(self) -> QueryClass {
+        match self {
+            ExecutionStrategy::HistoricHorizontalTopK | ExecutionStrategy::HistoricVerticalTopK => {
+                QueryClass::Historic
+            }
+            _ => QueryClass::Continuous,
+        }
+    }
 }
 
 /// A validated query plus the routing decision and normalised execution parameters.
@@ -83,6 +117,13 @@ pub struct QueryPlan {
     pub lifetime_epochs: Option<u64>,
     /// The original query (kept for display and re-dissemination).
     pub query: Query,
+}
+
+impl QueryPlan {
+    /// The plan's submission class (shorthand for `self.strategy.class()`).
+    pub fn class(&self) -> QueryClass {
+        self.strategy.class()
+    }
 }
 
 /// Classifies a query into its execution strategy.  The query is (re)validated first so
@@ -159,6 +200,31 @@ mod tests {
         let p = plan("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 30 epochs");
         assert_eq!(p.strategy, ExecutionStrategy::HistoricHorizontalTopK);
         assert_eq!(p.history_epochs, Some(30));
+    }
+
+    #[test]
+    fn every_strategy_maps_to_exactly_one_query_class() {
+        let historic = [
+            ExecutionStrategy::HistoricHorizontalTopK,
+            ExecutionStrategy::HistoricVerticalTopK,
+        ];
+        let continuous = [
+            ExecutionStrategy::SnapshotTopK,
+            ExecutionStrategy::NodeMonitoringTopK,
+            ExecutionStrategy::InNetworkAggregate,
+            ExecutionStrategy::RawCollection,
+        ];
+        for s in historic {
+            assert_eq!(s.class(), QueryClass::Historic);
+            assert!(s.class().is_historic());
+        }
+        for s in continuous {
+            assert_eq!(s.class(), QueryClass::Continuous);
+            assert!(!s.class().is_historic());
+        }
+        let p = plan("SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs");
+        assert_eq!(p.class(), QueryClass::Historic);
+        assert_eq!(plan("SELECT * FROM sensors").class(), QueryClass::Continuous);
     }
 
     #[test]

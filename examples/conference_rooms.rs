@@ -6,6 +6,13 @@
 //! with the System Panel that the demo projects on the wall.
 //!
 //! Run with: `cargo run --example conference_rooms`
+//!
+//! This example deliberately drives the deprecated one-shot facade
+//! (`KSpotServer::submit`): it is the System Panel walk-through, and the panel's
+//! baseline comparison runs (TAG, centralized collection) are exactly what the facade
+//! adds on top of the `Session` API.  For the session-first workflow see
+//! `examples/multi_query.rs` and `examples/quickstart.rs`.
+#![allow(deprecated)]
 
 use kspot::core::{KSpotServer, ScenarioConfig, WorkloadSpec};
 use kspot::net::RoomModelParams;

@@ -1,13 +1,20 @@
 //! Historic Top-K: "find the K time instances with the highest average temperature".
 //!
-//! Every node buffers its readings locally in a sliding window; the query is vertically
-//! fragmented (each node holds one column of every epoch), so KSpot routes it to the TJA
-//! algorithm, whose three phases (Lower Bound, Hierarchical Join, Clean-Up) avoid
+//! Every node buffers its readings in a sliding window; the query is vertically
+//! fragmented (each node holds one column of every epoch), so KSpot routes it to the
+//! TJA algorithm, whose three phases (Lower Bound, Hierarchical Join, Clean-Up) avoid
 //! shipping the whole windows to the base station.
+//!
+//! Since ADR-005 historic queries register as ordinary engine *sessions*: the engine
+//! maintains ONE shared sliding window per node — fed once per epoch for every
+//! registered historic query — and the session answers the moment the windows cover
+//! its `WITH HISTORY` span.  No per-submission collection replay, and co-registered
+//! historic queries amortise both the maintenance and (with frame batching) the
+//! per-frame radio overhead.
 //!
 //! Run with: `cargo run --example historic_top_instants`
 
-use kspot::core::{KSpotServer, ScenarioConfig, WorkloadSpec};
+use kspot::core::{KSpotServer, ScenarioConfig, SessionStatus, WorkloadSpec};
 use kspot::net::{Deployment, RoomModelParams};
 
 fn main() {
@@ -22,24 +29,45 @@ fn main() {
         }))
         .with_seed(42);
 
+    let window = 14 * 24; // 14 days of hourly epochs
     let sql = "SELECT TOP 5 epoch, AVG(temperature) FROM sensors GROUP BY epoch EPOCH DURATION 1 h WITH HISTORY 14 days";
     println!("query: {sql}\n");
 
-    let execution = server.submit(sql, 0).expect("the historic query executes");
-    println!("algorithm routed to: {}\n", execution.algorithm);
+    // Frame batching on: the co-registered historic sessions below piggy-back their
+    // protocol reports into merged frames on top of sharing the window maintenance.
+    let mut engine = server.engine().with_frame_batching(true);
+    let hottest = engine.register(sql).expect("the historic query registers as a session");
+    // A second user watches the same two weeks with a different K — it rides the SAME
+    // shared windows; only its own protocol traffic is extra.
+    let runner_up = engine
+        .register("SELECT TOP 3 epoch, AVG(temperature) FROM sensors GROUP BY epoch EPOCH DURATION 1 h WITH HISTORY 14 days")
+        .expect("a second historic session admits");
 
-    let answer = execution.latest().expect("one answer");
+    // Live the two weeks: the engine feeds every node's shared window once per epoch;
+    // both sessions answer the epoch their span is covered, then complete.
+    engine.run_epochs(window);
+    assert_eq!(hottest.status(), SessionStatus::Completed);
+    assert_eq!(runner_up.status(), SessionStatus::Completed);
+
+    println!("algorithm routed to: {}\n", hottest.algorithm());
+    let answer = hottest.latest().expect("one answer");
     println!("the 5 hottest time instances of the last 14 days (hourly epochs):");
     for (rank, item) in answer.items.iter().enumerate() {
         println!("  #{:<2} epoch {:>4}  average {:.2}", rank + 1, item.key, item.value);
     }
 
-    println!("\n{}", execution.panel);
-    if let Some(savings) = execution.panel.savings_vs("centralized window collection") {
-        println!(
-            "\nTJA transmitted {:.1}% fewer bytes than collecting every buffered sample ({}x reduction)",
-            savings.byte_savings_pct(),
-            savings.byte_reduction_factor() as u64
-        );
-    }
+    // Per-session attribution still works with shared windows and merged frames:
+    // each session is charged its own protocol traffic, while the maintenance cost is
+    // charged once for everyone.
+    let a = hottest.totals();
+    let b = runner_up.totals();
+    println!("\nper-session attributed traffic over the shared substrate:");
+    println!("  top-5 session: {:>8} B in {:>4} frames", a.bytes, a.messages);
+    println!("  top-3 session: {:>8} B in {:>4} frames", b.bytes, b.messages);
+    println!(
+        "  shared window maintenance (paid once for both): {:.1} mJ over {window} epochs",
+        engine.window_maintenance_energy_uj() / 1000.0
+    );
+
+    println!("\n{}", hottest.finalize().panel);
 }

@@ -1,77 +1,94 @@
 //! The multi-query engine in action: several users monitor one live conference venue
-//! at once, each with their own query, sharing a single epoch loop and substrate.
+//! at once, each with their own query, sharing a single epoch loop and substrate —
+//! continuous and `WITH HISTORY` queries alike, through one `Session` API.
 //!
 //! ```console
 //! cargo run --release --example multi_query
 //! ```
 
-use kspot::core::{QueryEngine, ScenarioConfig, SessionStatus};
+use kspot::core::{QueryEngine, ScenarioConfig, Session, SessionStatus};
 
 fn main() {
     let mut engine = QueryEngine::new(ScenarioConfig::conference()).with_seed(42);
 
-    // Three users register their queries; each gets a session id.
-    let loudest_rooms = engine
+    // Four users register their queries; each gets a typed Session handle.  The same
+    // `register` call admits every query class: the historic query joins the loop
+    // too, answers once from the engine-shared sliding windows when they cover its
+    // WITH HISTORY span, and completes (no per-submit collection replay).
+    let mut loudest_rooms = engine
         .register("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid")
         .expect("snapshot Top-K admits");
-    let all_rooms = engine
+    let mut all_rooms = engine
         .register("SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid")
         .expect("plain aggregation admits");
     let hot_nodes = engine
         .register("SELECT TOP 2 nodeid, sound FROM sensors LIFETIME 10 epochs")
         .expect("node monitoring admits");
+    let hottest_instants = engine
+        .register("SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 20 epochs")
+        .expect("historic queries admit too");
 
-    // One shared loop serves all of them: readings are acquired once per epoch and the
-    // fixed substrate cost is charged once, not once per query.
+    // One shared loop serves all of them: readings are acquired once per epoch, the
+    // fixed substrate cost is charged once, and the sliding windows every historic
+    // session answers from are fed once — not once per query.
     engine.run_epochs(15);
+
+    // poll() drains the answers produced since the handle's last poll.
+    println!("after 15 epochs, the loudest rooms produced {} new answers", loudest_rooms.poll().len());
 
     // A user walks away mid-stream; the others are unaffected (their answers are
-    // byte-identical to what they would see running alone — see ADR-003).
-    engine.cancel(all_rooms);
+    // byte-identical to what they would see running alone — see ADR-003/ADR-005).
+    all_rooms.cancel();
     engine.run_epochs(15);
 
-    println!("after 30 shared epochs:");
-    for id in engine.session_ids() {
-        let sql = engine.sql(id).unwrap();
-        let status = engine.status(id).unwrap();
-        let answers = engine.results(id).unwrap().len();
-        let totals = engine.query_totals(id);
-        println!("  session {id} [{status:?}] {sql}");
+    println!("\nafter 30 shared epochs:");
+    for session in engine.sessions() {
+        let totals = session.totals();
+        println!("  session {} [{:?}] {}", session.id(), session.status(), session.sql());
         println!(
-            "    {answers} answers; attributed traffic: {} msgs, {} B, {:.1} mJ",
+            "    {} answers; attributed traffic: {} msgs, {} B, {:.1} mJ",
+            session.results().len(),
             totals.messages,
             totals.bytes,
             totals.energy_uj / 1000.0
         );
-        if let Some(latest) = engine.latest(id) {
+        if let Some(latest) = session.latest() {
             println!("    latest: {latest}");
         }
     }
 
-    assert_eq!(engine.status(hot_nodes), Some(SessionStatus::Completed), "LIFETIME elapsed");
-    assert_eq!(engine.results(loudest_rooms).unwrap().len(), 30);
+    assert_eq!(hot_nodes.status(), SessionStatus::Completed, "LIFETIME elapsed");
+    assert_eq!(
+        hottest_instants.status(),
+        SessionStatus::Completed,
+        "the historic session answered from the shared windows and completed"
+    );
+    assert_eq!(hottest_instants.results().len(), 1, "historic sessions answer exactly once");
+    assert_eq!(loudest_rooms.results().len(), 30);
 
-    // The per-query slices plus the unscoped per-epoch substrate baseline make up the
-    // whole ledger.
+    // The per-query slices plus the unscoped per-epoch substrate baseline (and the
+    // shared window-maintenance cost, charged once per epoch for ALL historic
+    // sessions) make up the whole ledger.
     let grand = engine.metrics().totals();
     println!(
-        "shared substrate grand total: {} msgs, {} B, {:.1} mJ",
+        "shared substrate grand total: {} msgs, {} B, {:.1} mJ (window maintenance: {:.1} mJ)",
         grand.messages,
         grand.bytes,
-        grand.energy_uj / 1000.0
+        grand.energy_uj / 1000.0,
+        engine.window_maintenance_energy_uj() / 1000.0
     );
 
     // --- cross-query frame batching (ADR-004) ------------------------------------
-    // Re-run the same three sessions with the frame scheduler off and on: with
-    // batching, every node's per-epoch reports across all sessions leave as ONE
-    // merged frame (one preamble + header instead of one per session).  The venue is
-    // lossless, so every session's answers are byte-identical either way — only the
-    // overhead disappears.
+    // Re-run the same sessions with the frame scheduler off and on: with batching,
+    // every node's per-epoch reports across all sessions leave as ONE merged frame
+    // (one preamble + header instead of one per session).  The venue is lossless, so
+    // every session's answers are byte-identical either way — only the overhead
+    // disappears.
     let replay = |batched: bool| {
         let mut engine = QueryEngine::new(ScenarioConfig::conference())
             .with_seed(42)
             .with_frame_batching(batched);
-        let ids: Vec<_> = [
+        let sessions: Vec<Session> = [
             "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid",
             "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
             "SELECT TOP 2 nodeid, sound FROM sensors",
@@ -80,9 +97,10 @@ fn main() {
         .map(|sql| engine.register(sql).expect("admits"))
         .collect();
         engine.run_epochs(30);
-        let answers: Vec<_> = ids.iter().map(|&id| engine.results(id).unwrap().to_vec()).collect();
-        let per_session: Vec<u64> = ids.iter().map(|&id| engine.query_totals(id).bytes).collect();
-        (answers, per_session, engine.metrics().totals().bytes)
+        let answers: Vec<_> = sessions.iter().map(|s| s.results()).collect();
+        let per_session: Vec<u64> = sessions.iter().map(|s| s.totals().bytes).collect();
+        let total = engine.metrics().totals().bytes;
+        (answers, per_session, total)
     };
     let (plain_answers, plain_bytes, plain_total) = replay(false);
     let (batched_answers, batched_bytes, batched_total) = replay(true);

@@ -1,9 +1,10 @@
-//! Quickstart: the paper's Figure-1 running example, end to end.
+//! Quickstart: the paper's Figure-1 running example, end to end, on the unified
+//! `Session` API.
 //!
 //! A 4-room building is monitored by 9 sensors; the user asks for the single room with
-//! the highest average sound level.  The example shows why naive in-network pruning gets
-//! the answer wrong, and how KSpot's MINT-based execution gets it right while spending
-//! less radio traffic than TAG.
+//! the highest average sound level.  The example registers the query as a session on
+//! the engine, streams its per-epoch answers, and shows why naive in-network pruning
+//! would have answered wrongly.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -12,24 +13,38 @@ use kspot::core::{KSpotServer, ScenarioConfig, WorkloadSpec};
 fn main() {
     // The Configuration Panel: the Figure-1 scenario (rooms A-D, sensors s1-s9).
     let scenario = ScenarioConfig::figure1();
-    println!("scenario: {} ({} sensors in {} rooms)\n", scenario.name, scenario.deployment.num_nodes(), scenario.num_clusters());
+    println!(
+        "scenario: {} ({} sensors in {} rooms)\n",
+        scenario.name,
+        scenario.deployment.num_nodes(),
+        scenario.num_clusters()
+    );
 
-    // The Query Panel: the paper's running example, verbatim.
+    // The Query Panel: the paper's running example, verbatim, registered as a Session
+    // on the long-lived engine — the single submission surface for every query class.
     let sql = "SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min";
     println!("query: {sql}\n");
 
     let server = KSpotServer::new(scenario).with_workload(WorkloadSpec::Figure1);
-    let execution = server.submit(sql, 10).expect("the running example executes");
+    let mut engine = server.engine();
+    let mut session = engine.register(sql).expect("the running example registers");
+    engine.run_epochs(10);
 
-    // The Display Panel: the KSpot bullet for the highest-ranked room.
-    let latest = execution.latest().expect("ten epochs produced answers");
-    println!("algorithm routed to: {}", execution.algorithm);
-    for bullet in server.bullets(latest) {
+    // The Display Panel: poll() drains the answers produced since the last poll; the
+    // KSpot bullet renders the highest-ranked room.
+    println!("algorithm routed to: {}", session.algorithm());
+    let answers = session.poll();
+    assert_eq!(answers.len(), 10, "ten epochs produced ten answers");
+    for bullet in server.bullets(answers.last().expect("ten answers")) {
         println!("KSpot bullet: {bullet}");
     }
     println!();
 
-    // The System Panel: savings against the conventional acquisition strategies.
+    // The System Panel, per session: the query's own attributed slice of the shared
+    // ledger (totals and per-phase table).  The deprecated one-shot facade
+    // (`KSpotServer::submit`) still attaches the TAG/centralized comparison runs for
+    // callers that want the savings read-outs — see `examples/conference_rooms.rs`.
+    let execution = session.finalize();
     println!("{}", execution.panel);
 
     // The anecdote of Figure 1: the naive strategy would have answered (D, 76.5).

@@ -5,13 +5,17 @@ Usage: bench_trend_check.py PREVIOUS_JSON CURRENT_JSON
 
 Compares the shared-epoch engine's throughput between the previous merge's
 artifact and the fresh one and fails (exit 1) on a >2x regression of
-`shared_loop_qps` at batch size 8.  Everything else is a silent pass (exit 0):
+`shared_loop_qps` at batch size 8.  Everything else passes (exit 0), but the
+skip paths are **announced**, never silent: each one emits a GitHub Actions
+`::warning::` annotation so a trajectory that quietly stopped being checked
+(missing artifact, artifact-fetch step broken, schema drift) shows up on the
+workflow run instead of looking like a pass:
 
-* no previous artifact (the trajectory starts empty),
+* no previous artifact (the trajectory starts empty — or the fetch broke),
 * either artifact unreadable or in an unknown schema,
 * no batch-8 row (smoke-sized PR runs only sweep small batches).
 
-Understands both the schema-2 merged document ({"schema": 2, "experiments":
+Understands the schema-2/3 merged documents ({"schema": N, "experiments":
 [...]}) and the original flat e12 document ({"experiment":
 "engine-throughput", ...}).
 """
@@ -21,6 +25,13 @@ import sys
 
 REGRESSION_FACTOR = 2.0
 BATCH = 8
+
+
+def warn_skip(reason):
+    """Announce a skipped comparison as a CI warning annotation (stdout, where the
+    Actions runner picks `::warning::` lines up), then as a plain log line."""
+    print(f"::warning title=bench trend check skipped::{reason}")
+    print(f"trend check: {reason}, skipping")
 
 
 def load(path):
@@ -64,10 +75,13 @@ def main(argv):
     previous = shared_qps_at_batch(load(argv[1]), BATCH)
     current = shared_qps_at_batch(load(argv[2]), BATCH)
     if previous is None or previous <= 0.0:
-        print("trend check: no prior batch-8 throughput to compare against, skipping")
+        warn_skip(
+            f"no prior batch-{BATCH} shared-loop throughput in {argv[1]} to compare "
+            "against (first run of the trajectory, or the artifact fetch broke)"
+        )
         return 0
     if current is None:
-        print("trend check: current artifact has no batch-8 row, skipping")
+        warn_skip(f"current artifact {argv[2]} has no batch-{BATCH} row (smoke-sized run)")
         return 0
     ratio = previous / current if current > 0.0 else float("inf")
     print(

@@ -16,10 +16,12 @@
 //! use kspot::core::{KSpotServer, ScenarioConfig, WorkloadSpec};
 //!
 //! let server = KSpotServer::new(ScenarioConfig::figure1()).with_workload(WorkloadSpec::Figure1);
-//! let execution = server
-//!     .submit("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid", 3)
+//! let mut engine = server.engine();
+//! let session = engine
+//!     .register("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid")
 //!     .unwrap();
-//! assert_eq!(execution.latest().unwrap().top().unwrap().key, 2); // room C
+//! engine.run_epochs(3);
+//! assert_eq!(session.latest().unwrap().top().unwrap().key, 2); // room C
 //! ```
 
 #![forbid(unsafe_code)]

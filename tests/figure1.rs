@@ -1,5 +1,8 @@
 //! Integration test for experiment E1: the Figure-1 scenario across the whole stack —
 //! query text → parser → plan → server → MINT execution → Display-Panel bullets.
+//! (Drives the deprecated one-shot facade on purpose — the paper's running example
+//! must keep working through it.)
+#![allow(deprecated)]
 
 use kspot::algos::snapshot::exact_reference;
 use kspot::algos::{NaiveLocalPrune, SnapshotAlgorithm, SnapshotSpec};
