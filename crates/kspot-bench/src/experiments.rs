@@ -20,9 +20,10 @@ use kspot_query::AggFunc;
 /// The identifiers of every experiment in the suite.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
 ];
 
-/// Runs one experiment by id ("e1" … "e14"), returning its table.
+/// Runs one experiment by id ("e1" … "e15"), returning its table.
 pub fn run(id: &str) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1_figure1()),
@@ -39,6 +40,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e12" => Some(e12_engine_throughput().0),
         "e13" => Some(e13_frame_batching().0),
         "e14" => Some(e14_historic_sessions().0),
+        "e15" => Some(e15_fleet_scaling().0),
         _ => None,
     }
 }
@@ -854,6 +856,123 @@ fn historic_sessions_sized(window: usize, session_counts: &[usize]) -> (Table, S
     (table, json)
 }
 
+// ---------------------------------------------------------------------------------
+// E15 — fleet scaling: qps vs threads vs deployments
+// ---------------------------------------------------------------------------------
+
+/// E15: throughput of the sharded engine fleet (ADR-006) as the worker-pool size and
+/// the deployment count grow — the multi-core step past E12's single-loop ceiling.
+/// Each deployment is an independent venue serving its own session batch, so a
+/// `D`-deployment fleet does `D×` the work of a solo engine; the question the table
+/// answers is how much of that the pool claws back in wall-clock time.  Every row
+/// also re-checks the determinism contract: the per-session answers at `T` threads
+/// must be byte-identical to the 1-thread run of the same fleet.
+///
+/// The speedup column is against the 1-thread row **of the same deployment count**;
+/// it can only exceed 1 where the host has cores to fan out to (the artifact records
+/// the core count, and `scripts/bench_trend_check.py` skips the scaling gate on
+/// single-core hosts).  Set `KSPOT_BENCH_SMOKE=1` to shrink the sizes for CI smoke.
+pub fn e15_fleet_scaling() -> (Table, String) {
+    if std::env::var("KSPOT_BENCH_SMOKE").is_ok() {
+        fleet_scaling_sized(10, 3, &[(1, 1), (4, 1), (4, 2), (4, 4)], ScenarioConfig::conference())
+    } else {
+        let deployment =
+            Deployment::clustered_rooms(8, 8, 20.0, kspot_net::rng::topology_seed(15));
+        let scenario = ScenarioConfig::custom("fleet venue", "sound", deployment);
+        fleet_scaling_sized(40, 8, &[(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4), (4, 8)], scenario)
+    }
+}
+
+/// The sized core of E15 (the unit tests call it with tiny parameters).  `grid` is
+/// the list of `(deployments, threads)` points; a `(d, 1)` row must precede other
+/// `(d, _)` rows so the speedup baseline and the byte-identity reference exist.
+fn fleet_scaling_sized(
+    epochs: usize,
+    sessions_per_deployment: usize,
+    grid: &[(usize, usize)],
+    scenario: ScenarioConfig,
+) -> (Table, String) {
+    use kspot_algos::TopKResult;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    let server = KSpotServer::new(scenario).with_seed(15).with_lazy_baselines(true);
+    let sql_for = |i: usize| -> String {
+        match i % 4 {
+            0 => format!("SELECT TOP {} roomid, AVG(sound) FROM sensors GROUP BY roomid", 1 + i % 3),
+            1 => format!("SELECT TOP {} roomid, MAX(sound) FROM sensors GROUP BY roomid", 1 + i % 4),
+            2 => "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid".to_string(),
+            _ => "SELECT TOP 2 nodeid, sound FROM sensors".to_string(),
+        }
+    };
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut table = Table::new(
+        format!(
+            "E15 — fleet scaling: qps vs threads vs deployments ({sessions_per_deployment} \
+             sessions x {epochs} epochs per deployment, {cores} core(s))"
+        ),
+        "Each deployment is an independent venue (own substrate, own seed); the pool only schedules, so answers at T threads are byte-identical to 1 thread. Speedup is vs the 1-thread row of the same deployment count and needs >1 core to exceed 1.",
+        &["deployments", "threads", "wall ms", "sessions", "qps", "speedup vs 1 thread", "identical"],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    // Per deployment count: the 1-thread wall time and answers, for speedup/identity.
+    let mut baselines: HashMap<usize, (f64, Vec<Vec<TopKResult>>)> = HashMap::new();
+
+    for &(deployments, threads) in grid {
+        let fleet = server.fleet(deployments, threads);
+        let sessions: Vec<_> = (0..deployments)
+            .flat_map(|d| {
+                (0..sessions_per_deployment)
+                    .map(move |i| (d, i))
+            })
+            .map(|(d, i)| fleet.register(d, &sql_for(i)).expect("the fleet queries admit"))
+            .collect();
+        let t = Instant::now();
+        fleet.run_epochs(epochs);
+        let secs = t.elapsed().as_secs_f64();
+        let answers: Vec<Vec<TopKResult>> = sessions.iter().map(|s| s.results()).collect();
+
+        let baseline = baselines.entry(deployments).or_insert_with(|| (secs, answers.clone()));
+        let identical = answers == baseline.1;
+        let speedup = if secs > 0.0 { baseline.0 / secs } else { f64::INFINITY };
+        let total_sessions = deployments * sessions_per_deployment;
+        let qps = if secs > 0.0 { total_sessions as f64 / secs } else { f64::INFINITY };
+
+        table.push_row(vec![
+            deployments.to_string(),
+            threads.to_string(),
+            fmt_f(secs * 1e3, 2),
+            total_sessions.to_string(),
+            fmt_f(qps, 1),
+            fmt_f(speedup, 2),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"deployments\": {}, \"threads\": {}, \"wall_ms\": {:.3}, ",
+                "\"sessions\": {}, \"qps\": {:.2}, \"speedup_vs_single_thread\": {:.3}, ",
+                "\"identical_to_single_thread\": {}}}"
+            ),
+            deployments,
+            threads,
+            secs * 1e3,
+            total_sessions,
+            qps,
+            speedup,
+            identical,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fleet-scaling\",\n  \"epochs\": {epochs},\n  \
+         \"sessions_per_deployment\": {sessions_per_deployment},\n  \"cores\": {cores},\n  \
+         \"rows\": [\n{}\n  ]\n}}",
+        json_rows.join(",\n")
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -952,6 +1071,27 @@ mod tests {
         );
         assert!(json.contains("\"experiment\": \"historic-sessions\""));
         assert!(json.contains("\"answers_identical\": true"));
+        assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
+    }
+
+    #[test]
+    fn e15_fleet_answers_are_identical_across_pool_sizes_and_emit_json() {
+        let (table, json) =
+            fleet_scaling_sized(5, 2, &[(1, 1), (2, 1), (2, 2)], ScenarioConfig::conference());
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            assert_eq!(
+                row.last().unwrap(),
+                "yes",
+                "pool size must be invisible to the answers: {row:?}"
+            );
+        }
+        // The 2-deployment rows serve twice the sessions of the 1-deployment row.
+        assert_eq!(table.rows[0][3], "2");
+        assert_eq!(table.rows[1][3], "4");
+        assert!(json.contains("\"experiment\": \"fleet-scaling\""));
+        assert!(json.contains("\"identical_to_single_thread\": true"));
+        assert!(json.contains("\"cores\""));
         assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
     }
 

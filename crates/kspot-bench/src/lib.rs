@@ -20,7 +20,7 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    e12_engine_throughput, e13_frame_batching, e14_historic_sessions, run, run_all,
-    ALL_EXPERIMENTS,
+    e12_engine_throughput, e13_frame_batching, e14_historic_sessions, e15_fleet_scaling, run,
+    run_all, ALL_EXPERIMENTS,
 };
 pub use table::Table;

@@ -26,11 +26,32 @@ fn run_script(args: &[&str]) -> Output {
         .expect("python3 runs the trend-check script")
 }
 
+/// A healthy schema-4 artifact: a batch-8 throughput row plus a fleet-scaling
+/// experiment that clears the 1.5x floor on a 4-core host.
 fn artifact(dir: &std::path::Path, name: &str, qps: f64) -> String {
+    fleet_artifact(dir, name, qps, 4, 50.0, 100.0)
+}
+
+/// Schema-4 artifact with explicit fleet-scaling numbers: `cores` on the host,
+/// `single` qps at 4 deployments / 1 thread, `pooled` qps at 4 deployments / 4
+/// threads.
+fn fleet_artifact(
+    dir: &std::path::Path,
+    name: &str,
+    qps: f64,
+    cores: u32,
+    single: f64,
+    pooled: f64,
+) -> String {
     let path = dir.join(name);
     let json = format!(
-        "{{\"schema\": 3, \"experiments\": [{{\"experiment\": \"engine-throughput\", \
-         \"rows\": [{{\"batch\": 8, \"shared_loop_qps\": {qps}}}]}}]}}"
+        "{{\"schema\": 4, \"experiments\": [\
+         {{\"experiment\": \"engine-throughput\", \
+          \"rows\": [{{\"batch\": 8, \"shared_loop_qps\": {qps}}}]}}, \
+         {{\"experiment\": \"fleet-scaling\", \"cores\": {cores}, \
+          \"rows\": [\
+           {{\"deployments\": 4, \"threads\": 1, \"qps\": {single}}}, \
+           {{\"deployments\": 4, \"threads\": 4, \"qps\": {pooled}}}]}}]}}"
     );
     std::fs::write(&path, json).expect("write artifact");
     path.to_string_lossy().into_owned()
@@ -100,4 +121,86 @@ fn a_real_regression_still_fails_and_a_healthy_run_still_passes() {
 
     let out = run_script(&[&previous, &healthy]);
     assert!(out.status.success(), "a healthy trajectory passes: {out:?}");
+}
+
+#[test]
+fn a_fleet_that_fails_to_scale_on_a_multicore_host_fails_the_gate() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_fleet_fail");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    // 4 cores, but 4 threads deliver only 1.2x the single-thread qps: below the floor.
+    let flat = fleet_artifact(&dir, "flat.json", 95.0, 4, 50.0, 60.0);
+
+    let out = run_script(&[&previous, &flat]);
+    assert!(!out.status.success(), "sub-1.5x scaling on 4 cores must fail the job: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("less than 1.5x"), "the failure names the floor: {stderr}");
+}
+
+#[test]
+fn a_fleet_that_clears_the_scaling_floor_passes_without_warnings() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_fleet_pass");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    let scaling = fleet_artifact(&dir, "scaling.json", 95.0, 4, 50.0, 90.0);
+
+    let out = run_script(&[&previous, &scaling]);
+    assert!(out.status.success(), "1.8x scaling clears the 1.5x floor: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("::warning"), "both gates really ran: {stdout}");
+    assert!(stdout.contains("fleet qps"), "the scaling gate reports its numbers: {stdout}");
+}
+
+#[test]
+fn a_single_core_host_skips_the_scaling_gate_with_a_warning() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_fleet_1core");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    // A single-core host cannot scale however healthy the fleet is; the gate must
+    // skip loudly rather than fail or silently pass.
+    let single_core = fleet_artifact(&dir, "single_core.json", 95.0, 1, 50.0, 49.0);
+
+    let out = run_script(&[&previous, &single_core]);
+    assert!(out.status.success(), "single-core hosts must not fail the gate: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("::warning"), "the skip is announced: {stdout}");
+    assert!(stdout.contains("cores"), "the reason names the core count: {stdout}");
+}
+
+#[test]
+fn a_pre_schema_4_artifact_skips_the_scaling_gate_with_a_warning() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_fleet_old_schema");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    let old = dir.join("old.json");
+    std::fs::write(
+        &old,
+        "{\"schema\": 3, \"experiments\": [{\"experiment\": \"engine-throughput\", \
+         \"rows\": [{\"batch\": 8, \"shared_loop_qps\": 95.0}]}]}",
+    )
+    .unwrap();
+
+    let out = run_script(&[&previous, &old.to_string_lossy()]);
+    assert!(out.status.success(), "schema-3 artifacts must not fail the new gate: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no fleet-scaling experiment"),
+        "the skip names the missing experiment: {stdout}"
+    );
 }

@@ -106,6 +106,19 @@
 //! A parallel *batch* front-end ([`crate::KSpotServer::submit_batch`]) complements the
 //! engine for offline workloads: independent executions fan out across cores with
 //! `std::thread::scope` and return results byte-identical to the serial order.
+//!
+//! ## Going multi-core: the engine fleet
+//!
+//! The engine's state cell is `Send` (`Arc<Mutex<EngineCore>>`, `Send` algorithm
+//! boxes), so whole engines can migrate across threads.  [`crate::EngineFleet`]
+//! builds on that: M independent *deployments* — each its own engine with its own
+//! Network, Workload and epoch loop — driven concurrently by a fixed thread pool,
+//! with session routing by deployment id and a fleet-level admission cap on top of
+//! each engine's own.  Because deployments share no mutable state (not even RNG
+//! streams — every substrate derives its own from its own master seed), every
+//! deployment in a fleet is **byte-identical** to a solo engine built from the same
+//! seeds, whatever the pool's scheduling — the `engine_cells` guarantee applied per
+//! shard, asserted by `tests/fleet_cells.rs` and ADR-006.
 
 use crate::config::ScenarioConfig;
 use crate::panel::{StrategyReport, SystemPanel};
@@ -121,9 +134,9 @@ use kspot_net::{
 };
 use kspot_query::plan::{classify, ExecutionStrategy, QueryClass, QueryPlan};
 use kspot_query::{parse, AggFunc, QueryError};
-use std::cell::{Ref, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Identifier of a registered query session.  Session ids double as the metrics
 /// attribution scope (see [`kspot_net::QueryScope`]), so they are stable for the
@@ -146,13 +159,15 @@ pub enum SessionStatus {
 /// The executor a session runs — the two submission classes of
 /// [`kspot_query::QueryClass`] made concrete.
 enum SessionExec {
-    /// One in-network sweep per epoch (MINT, TAG, centralized, FILA).
-    Continuous(Box<dyn SnapshotAlgorithm>),
+    /// One in-network sweep per epoch (MINT, TAG, centralized, FILA).  The executor is
+    /// `Send`: the engine's whole state cell crosses threads (fleet shards run on a
+    /// thread pool), so the boxed algorithm state it drags along must too.
+    Continuous(Box<dyn SnapshotAlgorithm + Send>),
     /// One answer from the engine-shared sliding windows once they cover `window`
     /// epochs (TJA, local-aggregate historic).
     Historic {
         /// The historic executor, generalised over [`kspot_algos::WindowSource`].
-        algorithm: Box<dyn HistoricAlgorithm>,
+        algorithm: Box<dyn HistoricAlgorithm + Send>,
         /// The `WITH HISTORY` span, in epochs.
         window: usize,
     },
@@ -242,8 +257,12 @@ pub(crate) fn continuous_spec(
     }
 }
 
-/// The engine state every [`QueryEngine`] and [`Session`] handle shares.
-struct EngineCore {
+/// The engine state every [`QueryEngine`] and [`Session`] handle shares — and, since
+/// the fleet refactor, the unit of work a [`crate::EngineFleet`] shard schedules on
+/// its thread pool.  The core is `Send` (plain owned data, `Send` algorithm boxes),
+/// which is what lets one deployment's whole epoch loop migrate across pool threads
+/// while staying byte-identical to a single-threaded run (ADR-006).
+pub(crate) struct EngineCore {
     scenario: ScenarioConfig,
     workload_spec: WorkloadSpec,
     net_config: NetworkConfig,
@@ -269,7 +288,7 @@ struct EngineCore {
 }
 
 impl EngineCore {
-    fn active_sessions(&self) -> usize {
+    pub(crate) fn active_sessions(&self) -> usize {
         self.sessions.values().filter(|s| s.status == SessionStatus::Active).count()
     }
 
@@ -294,7 +313,7 @@ impl EngineCore {
         self.workload = workload;
     }
 
-    fn register_plan_with_sql(
+    pub(crate) fn register_plan_with_sql(
         &mut self,
         plan: QueryPlan,
         sql: String,
@@ -341,7 +360,7 @@ impl EngineCore {
                     "a historic query needs a positive WITH HISTORY window",
                 ));
             }
-            let algorithm: Box<dyn HistoricAlgorithm> = match plan.strategy {
+            let algorithm: Box<dyn HistoricAlgorithm + Send> = match plan.strategy {
                 ExecutionStrategy::HistoricVerticalTopK => {
                     let func = plan.aggregate.ok_or_else(|| {
                         QueryError::semantic("a historic ranked query needs an aggregate")
@@ -389,7 +408,7 @@ impl EngineCore {
         }
     }
 
-    fn run_epochs(&mut self, epochs: usize) {
+    pub(crate) fn run_epochs(&mut self, epochs: usize) {
         for _ in 0..epochs {
             let readings = self.workload.next_epoch();
             let epoch = readings.first().map(|r| r.epoch).unwrap_or(0);
@@ -473,13 +492,56 @@ impl EngineCore {
     }
 }
 
+/// Locks an engine core, surfacing poisoning as a first-class failure: a panic inside
+/// a prior engine operation (mid-epoch) leaves the shard's state torn, and silently
+/// recovering it would void every byte-identity guarantee the engine makes.  Healthy
+/// concurrent use never poisons — the fleet's concurrency spike test pins that down.
+pub(crate) fn lock_core(core: &Arc<Mutex<EngineCore>>) -> MutexGuard<'_, EngineCore> {
+    core.lock().expect(
+        "EngineCore lock poisoned: a prior engine operation panicked mid-epoch, \
+         leaving this deployment's state torn (ADR-006)",
+    )
+}
+
+/// A read guard over a slice of the shared engine state, handed out by
+/// [`QueryEngine::metrics`], [`QueryEngine::network`] and [`QueryEngine::scenario`].
+///
+/// The guard holds the engine's lock for its lifetime.  Read what you need and drop
+/// it before driving the engine on: calling a mutating method (`run_epochs`,
+/// `register`, [`Session::cancel`], …) from the **same thread** while the guard is
+/// alive deadlocks (the lock is not reentrant); other threads simply block until the
+/// guard drops.
+pub struct EngineRef<'a, T: ?Sized> {
+    guard: MutexGuard<'a, EngineCore>,
+    project: fn(&EngineCore) -> &T,
+}
+
+impl<T: ?Sized> Deref for EngineRef<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        (self.project)(&self.guard)
+    }
+}
+
 /// The long-lived multi-query execution engine (see the module docs).
 ///
-/// The engine and the [`Session`] handles it hands out share one state cell, so a
-/// handle stays usable however the engine is driven in between.  The engine is
-/// single-threaded (`!Send`), like the boxed algorithm state it owns.
+/// The engine and the [`Session`] handles it hands out share one state cell
+/// (`Arc<Mutex<EngineCore>>`), so a handle stays usable however the engine is driven
+/// in between.  The engine is `Send + Sync`: handles can be cloned ([`Clone`] shares
+/// the same cell) and moved across threads, and a [`crate::EngineFleet`] schedules
+/// whole engine cores on a thread pool.  All methods serialise on the core's lock, so
+/// concurrent use is safe but not parallel *within* one engine — parallelism comes
+/// from running many deployments (ADR-006).
 pub struct QueryEngine {
-    core: Rc<RefCell<EngineCore>>,
+    core: Arc<Mutex<EngineCore>>,
+}
+
+impl Clone for QueryEngine {
+    /// Clones the *handle*, not the engine: both handles drive the same sessions,
+    /// substrate and epoch loop.
+    fn clone(&self) -> Self {
+        Self { core: Arc::clone(&self.core) }
+    }
 }
 
 impl QueryEngine {
@@ -538,7 +600,7 @@ impl QueryEngine {
         injected_substrate: bool,
     ) -> Self {
         Self {
-            core: Rc::new(RefCell::new(EngineCore {
+            core: Arc::new(Mutex::new(EngineCore {
                 scenario,
                 workload_spec,
                 net_config,
@@ -557,6 +619,17 @@ impl QueryEngine {
         }
     }
 
+    /// Wraps an existing shared core in a fresh handle (the path [`crate::EngineFleet`]
+    /// uses to hand out per-deployment engine handles).
+    pub(crate) fn from_core(core: Arc<Mutex<EngineCore>>) -> Self {
+        Self { core }
+    }
+
+    /// The shared state cell itself (fleet internals).
+    pub(crate) fn core_handle(&self) -> Arc<Mutex<EngineCore>> {
+        Arc::clone(&self.core)
+    }
+
     fn build_substrate(
         scenario: &ScenarioConfig,
         workload_spec: &WorkloadSpec,
@@ -573,7 +646,7 @@ impl QueryEngine {
     /// before registering queries).
     pub fn with_workload(self, workload: WorkloadSpec) -> Self {
         {
-            let mut core = self.core.borrow_mut();
+            let mut core = lock_core(&self.core);
             core.workload_spec = workload;
             core.rebuild_substrate();
         }
@@ -584,7 +657,7 @@ impl QueryEngine {
     /// registering queries).
     pub fn with_network_config(self, config: NetworkConfig) -> Self {
         {
-            let mut core = self.core.borrow_mut();
+            let mut core = lock_core(&self.core);
             core.net_config = config;
             core.rebuild_substrate();
         }
@@ -595,7 +668,7 @@ impl QueryEngine {
     /// queries).
     pub fn with_seed(self, seed: u64) -> Self {
         {
-            let mut core = self.core.borrow_mut();
+            let mut core = lock_core(&self.core);
             core.seed = seed;
             core.rebuild_substrate();
         }
@@ -604,7 +677,7 @@ impl QueryEngine {
 
     /// Overrides the admission cap on concurrently active sessions.
     pub fn with_max_sessions(self, max: usize) -> Self {
-        self.core.borrow_mut().max_sessions = max.max(1);
+        lock_core(&self.core).max_sessions = max.max(1);
         self
     }
 
@@ -619,7 +692,7 @@ impl QueryEngine {
     /// it does not rebuild (and therefore also works on injected substrates).
     pub fn with_frame_batching(self, on: bool) -> Self {
         {
-            let mut core = self.core.borrow_mut();
+            let mut core = lock_core(&self.core);
             core.frame_batching = on;
             core.net.set_frame_batching(on);
         }
@@ -628,29 +701,29 @@ impl QueryEngine {
 
     /// True while cross-query frame batching is enabled.
     pub fn frame_batching(&self) -> bool {
-        self.core.borrow().frame_batching
+        lock_core(&self.core).frame_batching
     }
 
-    /// The configured scenario.  (A borrow guard — see [`Self::metrics`] for the
+    /// The configured scenario.  (A lock guard — see [`Self::metrics`] for the
     /// aliasing rule.)
-    pub fn scenario(&self) -> Ref<'_, ScenarioConfig> {
-        Ref::map(self.core.borrow(), |c| &c.scenario)
+    pub fn scenario(&self) -> EngineRef<'_, ScenarioConfig> {
+        EngineRef { guard: lock_core(&self.core), project: |c| &c.scenario }
     }
 
     /// Number of shared epochs the engine has executed so far.
     pub fn epochs_run(&self) -> u64 {
-        self.core.borrow().epochs_run
+        lock_core(&self.core).epochs_run
     }
 
     /// Number of sessions currently taking part in the shared loop (including
     /// historic sessions still waiting for their window to fill).
     pub fn active_sessions(&self) -> usize {
-        self.core.borrow().active_sessions()
+        lock_core(&self.core).active_sessions()
     }
 
     /// Every session ever registered, in registration order.
     pub fn session_ids(&self) -> Vec<QueryId> {
-        self.core.borrow().sessions.keys().copied().collect()
+        lock_core(&self.core).sessions.keys().copied().collect()
     }
 
     /// Fresh [`Session`] handles for every session ever registered, in registration
@@ -661,11 +734,11 @@ impl QueryEngine {
 
     /// A fresh [`Session`] handle for a known session id, or `None` for unknown ids.
     pub fn session(&self, id: QueryId) -> Option<Session> {
-        self.core.borrow().sessions.contains_key(&id).then(|| self.handle(id))
+        lock_core(&self.core).sessions.contains_key(&id).then(|| self.handle(id))
     }
 
     fn handle(&self, id: QueryId) -> Session {
-        Session { id, core: Rc::clone(&self.core), cursor: 0 }
+        Session { id, core: Arc::clone(&self.core), cursor: 0 }
     }
 
     /// Parses, classifies and admits a query into the shared epoch loop, returning
@@ -690,7 +763,7 @@ impl QueryEngine {
         plan: QueryPlan,
         sql: String,
     ) -> Result<Session, QueryError> {
-        let id = self.core.borrow_mut().register_plan_with_sql(plan, sql)?;
+        let id = lock_core(&self.core).register_plan_with_sql(plan, sql)?;
         Ok(self.handle(id))
     }
 
@@ -700,37 +773,37 @@ impl QueryEngine {
     /// own protocol sweep with its metrics scope installed.  The substrate advances
     /// even when no session is active (the field keeps living between queries).
     pub fn run_epochs(&mut self, epochs: usize) {
-        self.core.borrow_mut().run_epochs(epochs);
+        lock_core(&self.core).run_epochs(epochs);
     }
 
     /// Total node-local energy spent feeding the shared sliding windows so far (µJ).
     /// Charged once per epoch regardless of how many historic sessions are registered
     /// — the amortisation the shared-window design exists for (module docs).
     pub fn window_maintenance_energy_uj(&self) -> f64 {
-        self.core.borrow().maintenance_energy_uj
+        lock_core(&self.core).maintenance_energy_uj
     }
 
     /// The shared substrate's full metrics ledger (all sessions plus the unscoped
     /// per-epoch baseline and window-maintenance cost).
     ///
-    /// Returns a borrow guard over the state shared with every [`Session`] handle:
+    /// Returns a lock guard over the state shared with every [`Session`] handle:
     /// calling a mutating method (`run_epochs`, `register`, `Session::cancel`, …)
-    /// while the guard is alive panics at runtime.  Read what you need and drop the
-    /// guard (e.g. `let totals = engine.metrics().totals();`) before driving the
-    /// engine on.
-    pub fn metrics(&self) -> Ref<'_, NetworkMetrics> {
-        Ref::map(self.core.borrow(), |c| c.net.metrics())
+    /// from the same thread while the guard is alive deadlocks.  Read what you need
+    /// and drop the guard (e.g. `let totals = engine.metrics().totals();`) before
+    /// driving the engine on.
+    pub fn metrics(&self) -> EngineRef<'_, NetworkMetrics> {
+        EngineRef { guard: lock_core(&self.core), project: |c| c.net.metrics() }
     }
 
-    /// The shared network substrate.  (A borrow guard — see [`Self::metrics`] for
+    /// The shared network substrate.  (A lock guard — see [`Self::metrics`] for
     /// the aliasing rule.)
-    pub fn network(&self) -> Ref<'_, Network> {
-        Ref::map(self.core.borrow(), |c| &c.net)
+    pub fn network(&self) -> EngineRef<'_, Network> {
+        EngineRef { guard: lock_core(&self.core), project: |c| &c.net }
     }
 
     /// The workload epoch number the next [`Self::run_epochs`] sweep will acquire.
     pub fn upcoming_epoch(&self) -> Epoch {
-        self.core.borrow().workload.upcoming_epoch()
+        lock_core(&self.core).workload.upcoming_epoch()
     }
 }
 
@@ -742,17 +815,20 @@ impl QueryEngine {
 ///
 /// Handles are cheap to clone; each clone keeps its own [`Self::poll`] cursor.  A
 /// handle shares state with its engine, so results produced by later
-/// [`QueryEngine::run_epochs`] calls are visible through it immediately.
+/// [`QueryEngine::run_epochs`] calls are visible through it immediately.  Sessions
+/// are `Send + Sync`: a handle can be polled, cancelled and finalized from any
+/// thread while the engine (or the fleet's thread pool) drives the epoch loop —
+/// every access serialises on the engine's lock.
 pub struct Session {
     id: QueryId,
-    core: Rc<RefCell<EngineCore>>,
+    core: Arc<Mutex<EngineCore>>,
     /// Index of the first result the next [`Self::poll`] returns.
     cursor: usize,
 }
 
 impl Clone for Session {
     fn clone(&self) -> Self {
-        Self { id: self.id, core: Rc::clone(&self.core), cursor: self.cursor }
+        Self { id: self.id, core: Arc::clone(&self.core), cursor: self.cursor }
     }
 }
 
@@ -767,6 +843,12 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
+    /// Wraps a shared core and a known session id in a fresh handle (the path
+    /// [`crate::EngineFleet::register`] uses).
+    pub(crate) fn from_core(core: Arc<Mutex<EngineCore>>, id: QueryId) -> Self {
+        Self { id, core, cursor: 0 }
+    }
+
     /// The session id — also the metrics attribution scope the session's traffic is
     /// booked under.
     pub fn id(&self) -> QueryId {
@@ -775,46 +857,46 @@ impl Session {
 
     /// The SQL text the session was registered with.
     pub fn sql(&self) -> String {
-        self.core.borrow().state(self.id).sql.clone()
+        lock_core(&self.core).state(self.id).sql.clone()
     }
 
     /// The classified plan of the session.
     pub fn plan(&self) -> QueryPlan {
-        self.core.borrow().state(self.id).plan.clone()
+        lock_core(&self.core).state(self.id).plan.clone()
     }
 
     /// The session's submission class: continuous (one answer per epoch) or historic
     /// (one answer from the shared windows).
     pub fn class(&self) -> QueryClass {
-        self.core.borrow().state(self.id).exec.class()
+        lock_core(&self.core).state(self.id).exec.class()
     }
 
     /// The name of the in-network algorithm the session was routed to.
     pub fn algorithm(&self) -> &'static str {
-        self.core.borrow().state(self.id).exec.name()
+        lock_core(&self.core).state(self.id).exec.name()
     }
 
     /// The session's lifecycle state.
     pub fn status(&self) -> SessionStatus {
-        self.core.borrow().state(self.id).status
+        lock_core(&self.core).state(self.id).status
     }
 
     /// The session's ranked answers so far: one entry per epoch a continuous session
     /// was active in; exactly one entry once a historic session has answered.
     pub fn results(&self) -> Vec<TopKResult> {
-        self.core.borrow().state(self.id).results.clone()
+        lock_core(&self.core).state(self.id).results.clone()
     }
 
     /// The session's most recent ranked answer.
     pub fn latest(&self) -> Option<TopKResult> {
-        self.core.borrow().state(self.id).results.last().cloned()
+        lock_core(&self.core).state(self.id).results.last().cloned()
     }
 
     /// The answers produced since this handle's last [`Self::poll`] / [`Self::stream`]
     /// call (all answers so far on the first call).  Each handle keeps its own
     /// cursor, so clones poll independently.
     pub fn poll(&mut self) -> Vec<TopKResult> {
-        let core = self.core.borrow();
+        let core = lock_core(&self.core);
         let results = &core.state(self.id).results;
         let start = self.cursor.min(results.len());
         self.cursor = results.len();
@@ -831,20 +913,20 @@ impl Session {
     /// cancelled.  Cancelled sessions keep their id, results and attributed metrics
     /// readable.
     pub fn cancel(&mut self) -> bool {
-        self.core.borrow_mut().cancel(self.id)
+        lock_core(&self.core).cancel(self.id)
     }
 
     /// The message/byte/energy totals attributed to the session — its slice of the
     /// shared substrate's ledger.
     pub fn totals(&self) -> PhaseTotals {
-        let core = self.core.borrow();
+        let core = lock_core(&self.core);
         core.net.query_totals(self.id)
     }
 
     /// The session's traffic broken down per algorithm phase (Creation, Update,
     /// Lower-Bound, …) — the scope×phase slice of the shared ledger, in phase order.
     pub fn phase_totals(&self) -> Vec<(kspot_net::PhaseTag, PhaseTotals)> {
-        let core = self.core.borrow();
+        let core = lock_core(&self.core);
         core.net.metrics().scope_phases(self.id).collect()
     }
 
@@ -853,7 +935,7 @@ impl Session {
     /// guarantee regime; `true` marks its answers as battery-coupled to the
     /// concurrent session mix (see the module docs and ADR-004).
     pub fn depleted_during_run(&self) -> bool {
-        self.core.borrow().state(self.id).depleted_during_run
+        lock_core(&self.core).state(self.id).depleted_during_run
     }
 
     /// A System-Panel [`StrategyReport`] for the session, built from its attribution
@@ -861,7 +943,7 @@ impl Session {
     /// run.  The per-node breakdown is not scoped, so the report carries no
     /// bottleneck-energy estimate (see [`StrategyReport::from_scope`]).
     pub fn report(&self) -> StrategyReport {
-        self.core.borrow().session_report(self.id)
+        lock_core(&self.core).session_report(self.id)
     }
 
     /// Converts the session into a one-shot-style [`QueryExecution`]: the classified
@@ -870,7 +952,7 @@ impl Session {
     /// (no baselines — the deprecated [`crate::KSpotServer::submit`] facade attaches
     /// those for callers that still want the comparison runs).
     pub fn finalize(self) -> QueryExecution {
-        let core = self.core.borrow();
+        let core = lock_core(&self.core);
         let state = core.state(self.id);
         let algorithm = state.exec.name().to_string();
         let report = core.session_report(self.id);

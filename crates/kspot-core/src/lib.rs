@@ -13,6 +13,9 @@
 //! * [`engine::QueryEngine`] — the long-lived multi-query engine: N registered query
 //!   sessions (with admission and cancellation) share one live substrate and one epoch
 //!   loop, with per-session metrics attribution — see ADR-003;
+//! * [`fleet::EngineFleet`] — M independent engine deployments driven concurrently by
+//!   a fixed thread pool, with session routing by deployment id and a fleet-level
+//!   admission cap; every shard stays byte-identical to a solo engine — see ADR-006;
 //! * [`server::KSpotServer`] — the base station: parses Query Panel SQL, routes it to
 //!   MINT / TJA / TAG / FILA based on the query semantics, executes it over the engine
 //!   and produces the ranked answers and the Display Panel bullets, serially or as a
@@ -40,11 +43,13 @@
 pub mod client;
 pub mod config;
 pub mod engine;
+pub mod fleet;
 pub mod panel;
 pub mod server;
 
 pub use client::{route_plan, LocalOperator, NodeRuntime};
 pub use config::{ConfigError, ScenarioConfig};
-pub use engine::{QueryEngine, QueryId, Session, SessionStatus};
+pub use engine::{EngineRef, QueryEngine, QueryId, Session, SessionStatus};
+pub use fleet::{DeploymentId, EngineFleet};
 pub use panel::{StrategyReport, SystemPanel};
 pub use server::{BatchMode, BatchQuery, KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};

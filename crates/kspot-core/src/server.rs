@@ -10,6 +10,7 @@
 
 use crate::config::ScenarioConfig;
 use crate::engine::QueryEngine;
+use crate::fleet::EngineFleet;
 use crate::panel::{StrategyReport, SystemPanel};
 use kspot_algos::historic::HistoricAlgorithm;
 use kspot_algos::{
@@ -186,6 +187,22 @@ impl KSpotServer {
             self.workload,
             self.net_config.clone(),
             self.seed,
+        )
+    }
+
+    /// Boots a sharded engine fleet: `deployments` independent copies of this server's
+    /// scenario and workload — each with its own master seed derived from the server's
+    /// via [`EngineFleet::shard_seed`] — driven by a fixed pool of `threads` workers.
+    /// Sessions are routed by deployment id; see [`EngineFleet`] and ADR-006 for the
+    /// per-shard byte-identity contract.
+    pub fn fleet(&self, deployments: usize, threads: usize) -> EngineFleet {
+        EngineFleet::homogeneous(
+            self.scenario.clone(),
+            self.workload,
+            self.net_config.clone(),
+            self.seed,
+            deployments,
+            threads,
         )
     }
 

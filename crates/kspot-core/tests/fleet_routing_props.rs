@@ -1,0 +1,162 @@
+//! Property tests for fleet session routing (ADR-006): under **arbitrary**
+//! interleavings of register / cancel / finalize / epoch-sweep operations across
+//! deployment ids, a session only ever lives on — and only ever reads from — the
+//! deployment it was registered on.
+//!
+//! The complete no-cross-routing check is bookkeeping equality: after any operation
+//! sequence, the `(QueryId, sql)` set each shard's session table actually holds must
+//! equal the set the driver registered on that shard, nothing moved, nothing leaked.
+//! On top of that, every session handle must read the same bytes (answers, attributed
+//! ledger totals) through the fleet-issued handle and through the shard's own engine
+//! handle, and the whole interpretation must replay bit-for-bit.
+
+use kspot_core::{EngineFleet, KSpotServer, QueryId, ScenarioConfig, Session};
+use proptest::prelude::*;
+
+const DEPLOYMENTS: usize = 3;
+
+/// Query rotation; index 3 is historic (one-shot over an 8-epoch window), the rest
+/// continuous.
+const QUERIES: [&str; 4] = [
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT TOP 1 nodeid, sound FROM sensors",
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8 epochs",
+];
+
+/// One scripted operation: `(kind, deployment, pick)`.
+///
+/// kind 0 → register `QUERIES[pick % 4]` on `deployment`;
+/// kind 1 → cancel the `pick`-th still-held session (if any);
+/// kind 2 → finalize the `pick`-th still-held session (if any);
+/// kind 3 → sweep one epoch across the whole fleet.
+type Op = (u8, usize, usize);
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..4, 0usize..DEPLOYMENTS, 0usize..32)
+}
+
+/// Everything one interpretation produced, for the replay comparison.
+#[derive(Debug, PartialEq)]
+struct Trace {
+    /// Per finalized session: its deployment and final answer count.
+    finalized: Vec<(usize, usize)>,
+    /// Per session still held at the end: deployment, answers, attributed messages.
+    held: Vec<(usize, usize, u64)>,
+}
+
+/// Runs the op script against a fresh fleet and checks the routing invariants.
+fn interpret(ops: &[Op]) -> Trace {
+    let fleet: EngineFleet =
+        KSpotServer::new(ScenarioConfig::conference()).with_seed(0xF00D).fleet(DEPLOYMENTS, 2);
+    // Everything ever registered, in order: (deployment, id, sql, live handle).
+    let mut registered: Vec<(usize, QueryId, &str, Option<Session>)> = Vec::new();
+    let mut finalized = Vec::new();
+
+    for &(kind, deployment, pick) in ops {
+        match kind {
+            0 => {
+                let sql = QUERIES[pick % QUERIES.len()];
+                let session = fleet.register(deployment, sql).expect("admission holds");
+                registered.push((deployment, session.id(), sql, Some(session)));
+            }
+            1 => {
+                let mut live: Vec<&mut Option<Session>> = registered
+                    .iter_mut()
+                    .map(|(_, _, _, s)| s)
+                    .filter(|s| s.is_some())
+                    .collect();
+                if !live.is_empty() {
+                    let slot = pick % live.len();
+                    live[slot].as_mut().expect("filtered to live").cancel();
+                }
+            }
+            2 => {
+                let live_indices: Vec<usize> = registered
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, _, s))| s.is_some())
+                    .map(|(i, _)| i)
+                    .collect();
+                if !live_indices.is_empty() {
+                    let i = live_indices[pick % live_indices.len()];
+                    let session = registered[i].3.take().expect("chosen live");
+                    let execution = session.finalize();
+                    finalized.push((registered[i].0, execution.results.len()));
+                }
+            }
+            _ => fleet.run_epochs(1),
+        }
+    }
+
+    // The complete no-cross-routing check: each shard's session table holds exactly
+    // the (id, sql) pairs registered on it — finalize reads without deregistering, so
+    // every registration ever made is still visible somewhere, and it must be *here*.
+    for d in 0..DEPLOYMENTS {
+        let shard = fleet.deployment(d).expect("in range");
+        let mut expected: Vec<(QueryId, String)> = registered
+            .iter()
+            .filter(|(rd, ..)| *rd == d)
+            .map(|(_, id, sql, _)| (*id, sql.to_string()))
+            .collect();
+        expected.sort();
+        let mut actual: Vec<(QueryId, String)> = shard
+            .session_ids()
+            .into_iter()
+            .map(|id| (id, shard.session(id).expect("listed").sql()))
+            .collect();
+        actual.sort();
+        assert_eq!(actual, expected, "shard {d}: session table diverged from the routing log");
+    }
+
+    // Handle coherence: the fleet-issued handle and the shard's own handle read the
+    // same bytes for every still-held session.
+    let held = registered
+        .iter()
+        .filter_map(|(d, id, _, s)| s.as_ref().map(|s| (*d, *id, s)))
+        .map(|(d, id, session)| {
+            let shard = fleet.deployment(d).expect("in range");
+            let through_shard = shard.session(id).expect("routed here");
+            assert_eq!(session.results(), through_shard.results(), "shard {d} id {id}");
+            assert_eq!(session.totals(), through_shard.totals(), "shard {d} id {id}");
+            (d, session.results().len(), session.totals().messages)
+        })
+        .collect();
+
+    Trace { finalized, held }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any operation interleaving keeps every shard's session table equal to the
+    /// routing log, keeps fleet-issued and shard-issued handles byte-coherent, and
+    /// replays bit-for-bit.
+    #[test]
+    fn arbitrary_interleavings_never_cross_route(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let first = interpret(&ops);
+        let second = interpret(&ops);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Registration order alone decides ids, per shard: interleaving registrations
+    /// across deployments yields each shard a dense id sequence independent of what
+    /// the other shards did in between.
+    #[test]
+    fn per_shard_ids_are_dense_regardless_of_interleaving(
+        deployments in prop::collection::vec(0usize..DEPLOYMENTS, 1..24),
+    ) {
+        let fleet: EngineFleet =
+            KSpotServer::new(ScenarioConfig::conference()).with_seed(1).fleet(DEPLOYMENTS, 1);
+        let mut per_shard: Vec<Vec<QueryId>> = vec![Vec::new(); DEPLOYMENTS];
+        for &d in &deployments {
+            per_shard[d].push(fleet.register(d, QUERIES[0]).expect("admission holds").id());
+        }
+        for (d, ids) in per_shard.iter().enumerate() {
+            let dense: Vec<QueryId> = (0..ids.len() as QueryId).collect();
+            prop_assert_eq!(ids, &dense, "shard {} ids are not dense from 0", d);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Concurrency spike for the engine fleet: many client threads registering, polling
+//! and cancelling sessions against a fleet whose pool is concurrently driving the
+//! epoch loops.  Three things are pinned down (ADR-006):
+//!
+//! 1. **Liveness** — no interleaving of client operations with the epoch jobs
+//!    deadlocks: `register` takes the shard locks in ascending order, epoch jobs take
+//!    exactly one, so there is no cycle for the scheduler to find.
+//! 2. **No poisoned locks** — after the storm, every shard still answers metrics and
+//!    session queries (a poisoned `Mutex` would panic on first touch).
+//! 3. **Determinism** — with mutations aligned to epoch boundaries (reads race
+//!    freely), every session's final [`QueryExecution`] is byte-identical run to run:
+//!    client-thread scheduling may reorder the *observations*, never the *outcomes*.
+//!
+//! The choreography keeps registration deterministic by giving each client thread its
+//! own deployment — session ids key the per-session loss streams, so two clients
+//! racing to register on one shard would legitimately swap ids.  Cross-shard races
+//! (the admission check locks every shard) still happen on every round.
+
+use kspot_core::{EngineFleet, KSpotServer, ScenarioConfig, Session};
+use kspot_core::server::QueryExecution;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Rotation of queries the clients draw from, covering every continuous strategy and
+/// a one-shot historic query riding the shared windows.
+const QUERIES: [&str; 5] = [
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid",
+    "SELECT * FROM sensors",
+    "SELECT TOP 1 nodeid, sound FROM sensors",
+    "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8 epochs",
+];
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 6;
+const EPOCHS_PER_ROUND: usize = 4;
+
+fn query_for(client: usize, round: usize) -> &'static str {
+    QUERIES[(client + 2 * round) % QUERIES.len()]
+}
+
+fn fleet() -> EngineFleet {
+    KSpotServer::new(ScenarioConfig::conference()).with_seed(0x5B1C).fleet(CLIENTS, 3)
+}
+
+/// What one client deterministically produced over a full run: for each round, the
+/// cancel outcome of the session opened two rounds earlier, and at the end the final
+/// execution of every session it ever opened, in round order.
+type ClientOutcome = (Vec<bool>, Vec<QueryExecution>);
+
+/// The barrier-choreographed storm.  Per round, in lockstep across CLIENT threads and
+/// one driver: (a) every client mutates its own shard — register this round's query,
+/// cancel the one from two rounds back; (b) the driver sweeps EPOCHS_PER_ROUND epochs
+/// across the fleet while the clients hammer reads (poll/status/totals) that race the
+/// epoch jobs arbitrarily.
+fn choreographed_run() -> Vec<ClientOutcome> {
+    let fleet = fleet();
+    let barrier = Barrier::new(CLIENTS + 1);
+    let reads_observed = AtomicUsize::new(0);
+
+    let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let fleet = &fleet;
+        let barrier = &barrier;
+        let reads_observed = &reads_observed;
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut sessions: Vec<Session> = Vec::new();
+                    let mut cancel_log = Vec::new();
+                    for round in 0..ROUNDS {
+                        barrier.wait(); // mutations begin
+                        sessions.push(
+                            fleet
+                                .register(client, query_for(client, round))
+                                .expect("admission never rejects this load"),
+                        );
+                        if round >= 2 {
+                            // May be false when the target already completed (the
+                            // historic query answers after its window fills) — the
+                            // outcome itself must be deterministic, so log it.
+                            cancel_log.push(sessions[round - 2].cancel());
+                        }
+                        barrier.wait(); // mutations done; the driver starts sweeping
+                        for _ in 0..32 {
+                            for session in sessions.iter_mut() {
+                                // Racy reads: these observe whatever epochs landed so
+                                // far, so only *count* them — never compare them.
+                                let observed = session.poll().len()
+                                    + session.results().len()
+                                    + usize::from(session.status() as u8)
+                                    + session.totals().messages as usize;
+                                reads_observed.fetch_add(observed, Ordering::Relaxed);
+                            }
+                        }
+                        barrier.wait(); // round ends
+                    }
+                    let executions =
+                        sessions.into_iter().map(Session::finalize).collect::<Vec<_>>();
+                    (cancel_log, executions)
+                })
+            })
+            .collect();
+
+        for _ in 0..ROUNDS {
+            barrier.wait(); // clients mutate
+            barrier.wait(); // mutations done
+            fleet.run_epochs(EPOCHS_PER_ROUND);
+            barrier.wait(); // round ends
+        }
+        clients.into_iter().map(|c| c.join().expect("client thread must not panic")).collect()
+    });
+
+    // No lock was poisoned: every shard still serves queries after the storm.
+    for d in 0..fleet.deployments() {
+        let shard = fleet.deployment(d).expect("in range");
+        assert_eq!(shard.epochs_run(), (ROUNDS * EPOCHS_PER_ROUND) as u64);
+    }
+    assert!(reads_observed.load(Ordering::Relaxed) > 0, "the read hammer never ran");
+    // Each client cancelled all but its last two rounds' sessions (finalize reads,
+    // it does not deregister), so at most two per client can still be running.
+    assert!(fleet.active_sessions() <= CLIENTS * 2, "cancellations did not land");
+
+    outcomes.iter_mut().for_each(|(log, _)| log.shrink_to_fit());
+    outcomes
+}
+
+#[test]
+fn concurrent_clients_never_deadlock_and_every_execution_is_deterministic() {
+    let first = choreographed_run();
+    let second = choreographed_run();
+    assert_eq!(
+        first.len(),
+        CLIENTS,
+        "every client thread joined cleanly both runs"
+    );
+    for (client, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(a.0, b.0, "client {client}: cancel outcomes diverged run-to-run");
+        assert_eq!(
+            a.1, b.1,
+            "client {client}: a final QueryExecution diverged run-to-run — thread \
+             scheduling leaked into the results"
+        );
+        assert_eq!(a.1.len(), ROUNDS);
+    }
+}
+
+#[test]
+fn unstructured_churn_cannot_wedge_or_poison_the_fleet() {
+    // No choreography at all: every thread fires register/cancel/poll at shards it
+    // does NOT own, racing the driver's one-epoch sweeps.  Outcomes are timing-
+    // dependent by construction, so nothing is compared — the assertions are pure
+    // liveness and lock health.
+    const THREADS: usize = 8;
+    const OPS: usize = 48;
+    let fleet = KSpotServer::new(ScenarioConfig::conference())
+        .with_seed(0xC4A0)
+        .fleet(3, 2);
+
+    std::thread::scope(|scope| {
+        let fleet = &fleet;
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                let mut live: Vec<Session> = Vec::new();
+                // Tiny xorshift stream per thread: deterministic op mix, racy timing.
+                let mut z = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                let mut next = || {
+                    z ^= z << 13;
+                    z ^= z >> 7;
+                    z ^= z << 17;
+                    z
+                };
+                for _ in 0..OPS {
+                    match next() % 4 {
+                        0 | 1 => {
+                            let d = (next() % 3) as usize;
+                            let sql = QUERIES[(next() % 4) as usize]; // continuous only
+                            if let Ok(session) = fleet.register(d, sql) {
+                                live.push(session);
+                            }
+                        }
+                        2 => {
+                            if !live.is_empty() {
+                                let i = (next() as usize) % live.len();
+                                let mut session = live.swap_remove(i);
+                                session.cancel();
+                            }
+                        }
+                        _ => {
+                            for session in live.iter_mut() {
+                                let _ = session.poll();
+                                let _ = session.totals();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        scope.spawn(move || {
+            for _ in 0..24 {
+                fleet.run_epochs(1);
+            }
+        });
+    });
+
+    // Lock health: every surface still answers, nothing is poisoned.
+    assert_eq!(fleet.deployment(0).unwrap().epochs_run(), 24);
+    let _ = fleet.active_sessions();
+    for d in 0..fleet.deployments() {
+        let shard = fleet.deployment(d).expect("in range");
+        for mut session in shard.sessions() {
+            let _ = session.poll();
+        }
+    }
+}

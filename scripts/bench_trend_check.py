@@ -3,19 +3,30 @@
 
 Usage: bench_trend_check.py PREVIOUS_JSON CURRENT_JSON
 
-Compares the shared-epoch engine's throughput between the previous merge's
-artifact and the fresh one and fails (exit 1) on a >2x regression of
-`shared_loop_qps` at batch size 8.  Everything else passes (exit 0), but the
-skip paths are **announced**, never silent: each one emits a GitHub Actions
-`::warning::` annotation so a trajectory that quietly stopped being checked
-(missing artifact, artifact-fetch step broken, schema drift) shows up on the
-workflow run instead of looking like a pass:
+Two gates, both on the CURRENT artifact's merged document; the first also needs
+the previous merge's artifact:
+
+1. **Regression** — fails (exit 1) on a >2x regression of `shared_loop_qps` at
+   batch size 8 between the previous artifact and the fresh one.
+2. **Fleet scaling** (schema 4) — fails (exit 1) if the current artifact's E15
+   fleet-scaling experiment shows the 4-deployment / 4-thread fleet delivering
+   less than 1.5x the qps of the 4-deployment / 1-thread run.  This gate only
+   runs where it can physically pass: the artifact records the host's core
+   count, and hosts with fewer than 2 cores skip it (announced, see below).
+
+Everything else passes (exit 0), but the skip paths are **announced**, never
+silent: each one emits a GitHub Actions `::warning::` annotation so a
+trajectory that quietly stopped being checked (missing artifact, artifact-fetch
+step broken, schema drift, single-core runner) shows up on the workflow run
+instead of looking like a pass:
 
 * no previous artifact (the trajectory starts empty — or the fetch broke),
 * either artifact unreadable or in an unknown schema,
-* no batch-8 row (smoke-sized PR runs only sweep small batches).
+* no batch-8 row (smoke-sized PR runs only sweep small batches),
+* no fleet-scaling experiment (pre-schema-4 artifact),
+* missing 4-deployment rows, or a single-core host.
 
-Understands the schema-2/3 merged documents ({"schema": N, "experiments":
+Understands the schema-2/3/4 merged documents ({"schema": N, "experiments":
 [...]}) and the original flat e12 document ({"experiment":
 "engine-throughput", ...}).
 """
@@ -25,6 +36,13 @@ import sys
 
 REGRESSION_FACTOR = 2.0
 BATCH = 8
+
+# The E15 acceptance gate: at this many deployments, this many threads must
+# deliver at least MIN_FLEET_SPEEDUP x the single-thread qps.
+FLEET_DEPLOYMENTS = 4
+FLEET_THREADS = 4
+MIN_FLEET_SPEEDUP = 1.5
+MIN_CORES_FOR_SCALING = 2
 
 
 def warn_skip(reason):
@@ -42,23 +60,26 @@ def load(path):
         return None
 
 
-def engine_throughput_rows(doc):
-    """The engine-throughput rows of either artifact schema, or None."""
+def experiment(doc, name):
+    """The named experiment object of either artifact schema, or None."""
     if not isinstance(doc, dict):
         return None
-    experiments = doc.get("experiments", [doc])
-    for experiment in experiments:
-        if (
-            isinstance(experiment, dict)
-            and experiment.get("experiment") == "engine-throughput"
-        ):
-            rows = experiment.get("rows")
-            return rows if isinstance(rows, list) else None
+    for entry in doc.get("experiments", [doc]):
+        if isinstance(entry, dict) and entry.get("experiment") == name:
+            return entry
     return None
 
 
+def experiment_rows(doc, name):
+    entry = experiment(doc, name)
+    if entry is None:
+        return None
+    rows = entry.get("rows")
+    return rows if isinstance(rows, list) else None
+
+
 def shared_qps_at_batch(doc, batch):
-    rows = engine_throughput_rows(doc)
+    rows = experiment_rows(doc, "engine-throughput")
     if rows is None:
         return None
     for row in rows:
@@ -68,20 +89,33 @@ def shared_qps_at_batch(doc, batch):
     return None
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} PREVIOUS_JSON CURRENT_JSON", file=sys.stderr)
-        return 0  # misconfiguration must not block CI
-    previous = shared_qps_at_batch(load(argv[1]), BATCH)
-    current = shared_qps_at_batch(load(argv[2]), BATCH)
+def fleet_qps(doc, deployments, threads):
+    rows = experiment_rows(doc, "fleet-scaling")
+    if rows is None:
+        return None
+    for row in rows:
+        if (
+            isinstance(row, dict)
+            and row.get("deployments") == deployments
+            and row.get("threads") == threads
+        ):
+            qps = row.get("qps")
+            return float(qps) if isinstance(qps, (int, float)) else None
+    return None
+
+
+def check_regression(previous_path, current_path):
+    """Gate 1: the cross-merge shared-loop throughput trajectory."""
+    previous = shared_qps_at_batch(load(previous_path), BATCH)
+    current = shared_qps_at_batch(load(current_path), BATCH)
     if previous is None or previous <= 0.0:
         warn_skip(
-            f"no prior batch-{BATCH} shared-loop throughput in {argv[1]} to compare "
-            "against (first run of the trajectory, or the artifact fetch broke)"
+            f"no prior batch-{BATCH} shared-loop throughput in {previous_path} to "
+            "compare against (first run of the trajectory, or the artifact fetch broke)"
         )
         return 0
     if current is None:
-        warn_skip(f"current artifact {argv[2]} has no batch-{BATCH} row (smoke-sized run)")
+        warn_skip(f"current artifact {current_path} has no batch-{BATCH} row (smoke-sized run)")
         return 0
     ratio = previous / current if current > 0.0 else float("inf")
     print(
@@ -96,6 +130,58 @@ def main(argv):
         )
         return 1
     return 0
+
+
+def check_fleet_scaling(current_path):
+    """Gate 2 (schema 4): the E15 multi-core scaling floor, current artifact only."""
+    doc = load(current_path)
+    entry = experiment(doc, "fleet-scaling")
+    if entry is None:
+        warn_skip(
+            f"current artifact {current_path} has no fleet-scaling experiment "
+            "(pre-schema-4 artifact, or e15 was not run)"
+        )
+        return 0
+    cores = entry.get("cores")
+    if not isinstance(cores, int) or cores < MIN_CORES_FOR_SCALING:
+        warn_skip(
+            f"fleet scaling gate needs a host with >= {MIN_CORES_FOR_SCALING} cores, "
+            f"artifact records cores={cores!r} — a {FLEET_THREADS}-thread pool cannot "
+            "beat 1 thread without cores to fan out to"
+        )
+        return 0
+    single = fleet_qps(doc, FLEET_DEPLOYMENTS, 1)
+    pooled = fleet_qps(doc, FLEET_DEPLOYMENTS, FLEET_THREADS)
+    if single is None or single <= 0.0 or pooled is None:
+        warn_skip(
+            f"fleet-scaling experiment lacks the {FLEET_DEPLOYMENTS}-deployment rows at "
+            f"1 and {FLEET_THREADS} threads"
+        )
+        return 0
+    speedup = pooled / single
+    print(
+        f"trend check: fleet qps at {FLEET_DEPLOYMENTS} deployments: "
+        f"1 thread {single:.2f}, {FLEET_THREADS} threads {pooled:.2f} "
+        f"({speedup:.2f}x, floor {MIN_FLEET_SPEEDUP}x, {cores} cores)"
+    )
+    if speedup < MIN_FLEET_SPEEDUP:
+        print(
+            f"trend check: FAIL — the {FLEET_THREADS}-thread fleet delivers less than "
+            f"{MIN_FLEET_SPEEDUP}x the single-thread qps at {FLEET_DEPLOYMENTS} "
+            "deployments",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} PREVIOUS_JSON CURRENT_JSON", file=sys.stderr)
+        return 0  # misconfiguration must not block CI
+    status = check_regression(argv[1], argv[2])
+    status = check_fleet_scaling(argv[2]) or status
+    return status
 
 
 if __name__ == "__main__":
