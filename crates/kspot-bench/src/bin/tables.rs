@@ -1,4 +1,4 @@
-//! Prints the experiment tables (E1–E15) that regenerate the paper's quantitative
+//! Prints the experiment tables (E1–E16) that regenerate the paper's quantitative
 //! claims and the engine's perf trajectory.
 //!
 //! Usage:
@@ -6,20 +6,21 @@
 //! ```text
 //! cargo run --release -p kspot-bench --bin tables -- all
 //! cargo run --release -p kspot-bench --bin tables -- e1 e2 e9
-//! cargo run --release -p kspot-bench --bin tables -- e12 e13 e14 e15  # also writes BENCH_engine.json
+//! cargo run --release -p kspot-bench --bin tables -- e12 e13 e14 e15 e16  # also writes BENCH_engine.json
 //! ```
 //!
 //! `e12` (engine throughput), `e13` (frame-batching savings), `e14`
-//! (historic-session amortisation) and `e15` (fleet scaling) additionally write their
-//! machine-readable results to `BENCH_engine.json` in the current directory — one
-//! merged `{"schema": 4, "experiments": [...]}` document that the `bench-smoke` CI job uploads per merge
+//! (historic-session amortisation), `e15` (fleet scaling) and `e16` (serve latency)
+//! additionally write their machine-readable results to `BENCH_engine.json` in the
+//! current directory — one merged `{"schema": 5, "experiments": [...]}` document
+//! that the `bench-smoke` CI job uploads per merge
 //! and `scripts/bench_trend_check.py` compares across runs.  Override the path with
 //! the `BENCH_ENGINE_OUT` environment variable, and set `KSPOT_BENCH_SMOKE=1` for
 //! CI-sized runs.
 
 use kspot_bench::{
-    e12_engine_throughput, e13_frame_batching, e14_historic_sessions, e15_fleet_scaling, run,
-    ALL_EXPERIMENTS,
+    e12_engine_throughput, e13_frame_batching, e14_historic_sessions, e15_fleet_scaling,
+    e16_serve_latency, run, ALL_EXPERIMENTS,
 };
 
 fn main() {
@@ -59,6 +60,12 @@ fn main() {
             artifacts.push(json.trim().to_string());
             continue;
         }
+        if id.eq_ignore_ascii_case("e16") {
+            let (table, json) = e16_serve_latency();
+            println!("{table}");
+            artifacts.push(json.trim().to_string());
+            continue;
+        }
         match run(id) {
             Some(table) => println!("{table}"),
             None => unknown.push(id.clone()),
@@ -66,7 +73,7 @@ fn main() {
     }
     if !artifacts.is_empty() {
         let json = format!(
-            "{{\n\"schema\": 4,\n\"experiments\": [\n{}\n]\n}}\n",
+            "{{\n\"schema\": 5,\n\"experiments\": [\n{}\n]\n}}\n",
             artifacts.join(",\n")
         );
         let path = std::env::var("BENCH_ENGINE_OUT")

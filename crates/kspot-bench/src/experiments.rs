@@ -20,10 +20,10 @@ use kspot_query::AggFunc;
 /// The identifiers of every experiment in the suite.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e15", "e16",
 ];
 
-/// Runs one experiment by id ("e1" … "e15"), returning its table.
+/// Runs one experiment by id ("e1" … "e16"), returning its table.
 pub fn run(id: &str) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1_figure1()),
@@ -41,6 +41,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e13" => Some(e13_frame_batching().0),
         "e14" => Some(e14_historic_sessions().0),
         "e15" => Some(e15_fleet_scaling().0),
+        "e16" => Some(e16_serve_latency().0),
         _ => None,
     }
 }
@@ -973,6 +974,84 @@ fn fleet_scaling_sized(
     (table, json)
 }
 
+// ---------------------------------------------------------------------------------
+// E16 — serve latency: wire front-end under concurrent load
+// ---------------------------------------------------------------------------------
+
+/// E16: per-op latency percentiles of the wire front-end (ADR-007) under hundreds of
+/// concurrent client connections.  `kspot-serve`'s loadgen drives the full
+/// register/poll/cancel script over real loopback sockets against a multi-deployment
+/// fleet with a pacer advancing epochs; with more connections than the fleet's
+/// admission cap, the overflow must surface as 429-style `Rejected` frames and the
+/// `protocol_errors` column must stay **0** — that column is the wire layer's
+/// correctness gate, the latency columns its performance record.  Set
+/// `KSPOT_BENCH_SMOKE=1` to shrink the sizes for CI smoke.
+pub fn e16_serve_latency() -> (Table, String) {
+    let config = if std::env::var("KSPOT_BENCH_SMOKE").is_ok() {
+        kspot_serve::LoadgenConfig {
+            connections: 48,
+            deployments: 2,
+            threads: 2,
+            workers: 4,
+            polls_per_connection: 4,
+            fleet_cap: 32,
+            tenants: 8,
+            ..kspot_serve::LoadgenConfig::default()
+        }
+    } else {
+        kspot_serve::LoadgenConfig::default()
+    };
+    let report = kspot_serve::run_loadgen(&config);
+
+    let mut table = Table::new(
+        format!(
+            "E16 — serve latency: {} connections x {} deployments over loopback TCP",
+            report.connections, report.deployments
+        ),
+        format!(
+            "Wire front-end (ADR-007) under concurrent load: admitted {}, rejected {} \
+             (admission overflow as 429 frames), unavailable {}, protocol errors {} \
+             (must be 0), {} answers streamed.",
+            report.admitted,
+            report.rejected,
+            report.unavailable,
+            report.protocol_errors,
+            report.answers
+        ),
+        &["op", "count", "p50 ms", "p99 ms", "max ms"],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for op in &report.ops {
+        table.push_row(vec![
+            op.name.to_string(),
+            op.count.to_string(),
+            fmt_f(op.p50_ms, 3),
+            fmt_f(op.p99_ms, 3),
+            fmt_f(op.max_ms, 3),
+        ]);
+        json_rows.push(format!(
+            "    {{\"op\": \"{}\", \"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"max_ms\": {:.3}}}",
+            op.name, op.count, op.p50_ms, op.p99_ms, op.max_ms
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"serve-latency\",\n  \"connections\": {},\n  \
+         \"deployments\": {},\n  \"admitted\": {},\n  \"rejected\": {},\n  \
+         \"unavailable\": {},\n  \"protocol_errors\": {},\n  \"answers\": {},\n  \
+         \"rows\": [\n{}\n  ]\n}}",
+        report.connections,
+        report.deployments,
+        report.admitted,
+        report.rejected,
+        report.unavailable,
+        report.protocol_errors,
+        report.answers,
+        json_rows.join(",\n")
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1093,6 +1172,27 @@ mod tests {
         assert!(json.contains("\"identical_to_single_thread\": true"));
         assert!(json.contains("\"cores\""));
         assert!(!json.contains("NaN") && !json.contains("inf"), "artifact must be valid JSON: {json}");
+    }
+
+    #[test]
+    fn e16_serve_latency_emits_clean_json_with_zero_protocol_errors() {
+        let config = kspot_serve::LoadgenConfig {
+            connections: 12,
+            deployments: 2,
+            threads: 2,
+            workers: 2,
+            polls_per_connection: 2,
+            fleet_cap: 8,
+            tenants: 4,
+            tenant_quota: 8,
+            ..kspot_serve::LoadgenConfig::default()
+        };
+        let report = kspot_serve::run_loadgen(&config);
+        assert_eq!(report.protocol_errors, 0, "the wire layer must stay clean under load");
+        assert_eq!(report.admitted, 8, "the fleet cap admits exactly 8 of 12");
+        assert_eq!(report.rejected, 4, "overflow surfaces as 429 Rejected frames");
+        assert_eq!(report.ops.len(), 3);
+        assert!(report.ops.iter().all(|op| op.p50_ms <= op.p99_ms && op.p99_ms <= op.max_ms));
     }
 
     #[test]

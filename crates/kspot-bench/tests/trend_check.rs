@@ -26,15 +26,16 @@ fn run_script(args: &[&str]) -> Output {
         .expect("python3 runs the trend-check script")
 }
 
-/// A healthy schema-4 artifact: a batch-8 throughput row plus a fleet-scaling
-/// experiment that clears the 1.5x floor on a 4-core host.
+/// A healthy schema-5 artifact: a batch-8 throughput row, a fleet-scaling
+/// experiment that clears the 1.5x floor on a 4-core host, and a clean
+/// serve-latency record.
 fn artifact(dir: &std::path::Path, name: &str, qps: f64) -> String {
     fleet_artifact(dir, name, qps, 4, 50.0, 100.0)
 }
 
-/// Schema-4 artifact with explicit fleet-scaling numbers: `cores` on the host,
+/// Schema-5 artifact with explicit fleet-scaling numbers (`cores` on the host,
 /// `single` qps at 4 deployments / 1 thread, `pooled` qps at 4 deployments / 4
-/// threads.
+/// threads) and a clean serve-latency experiment.
 fn fleet_artifact(
     dir: &std::path::Path,
     name: &str,
@@ -43,15 +44,35 @@ fn fleet_artifact(
     single: f64,
     pooled: f64,
 ) -> String {
+    serve_artifact(dir, name, qps, cores, single, pooled, 0)
+}
+
+/// The full schema-5 fixture, down to the serve-latency protocol-error count.
+#[allow(clippy::too_many_arguments)]
+fn serve_artifact(
+    dir: &std::path::Path,
+    name: &str,
+    qps: f64,
+    cores: u32,
+    single: f64,
+    pooled: f64,
+    protocol_errors: u32,
+) -> String {
     let path = dir.join(name);
     let json = format!(
-        "{{\"schema\": 4, \"experiments\": [\
+        "{{\"schema\": 5, \"experiments\": [\
          {{\"experiment\": \"engine-throughput\", \
           \"rows\": [{{\"batch\": 8, \"shared_loop_qps\": {qps}}}]}}, \
          {{\"experiment\": \"fleet-scaling\", \"cores\": {cores}, \
           \"rows\": [\
            {{\"deployments\": 4, \"threads\": 1, \"qps\": {single}}}, \
-           {{\"deployments\": 4, \"threads\": 4, \"qps\": {pooled}}}]}}]}}"
+           {{\"deployments\": 4, \"threads\": 4, \"qps\": {pooled}}}]}}, \
+         {{\"experiment\": \"serve-latency\", \"connections\": 320, \
+          \"admitted\": 256, \"rejected\": 64, \
+          \"protocol_errors\": {protocol_errors}, \
+          \"rows\": [\
+           {{\"op\": \"register\", \"count\": 320, \"p50_ms\": 1.5, \"p99_ms\": 9.0}}, \
+           {{\"op\": \"poll\", \"count\": 2560, \"p50_ms\": 2.0, \"p99_ms\": 12.0}}]}}]}}"
     );
     std::fs::write(&path, json).expect("write artifact");
     path.to_string_lossy().into_owned()
@@ -177,6 +198,58 @@ fn a_single_core_host_skips_the_scaling_gate_with_a_warning() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("::warning"), "the skip is announced: {stdout}");
     assert!(stdout.contains("cores"), "the reason names the core count: {stdout}");
+}
+
+#[test]
+fn an_artifact_without_serve_latency_warns_but_does_not_fail() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_serve_missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    // A schema-4 era artifact: fleet-scaling present, serve-latency absent.
+    let old = dir.join("no_serve.json");
+    std::fs::write(
+        &old,
+        "{\"schema\": 4, \"experiments\": [{\"experiment\": \"engine-throughput\", \
+         \"rows\": [{\"batch\": 8, \"shared_loop_qps\": 95.0}]}, \
+         {\"experiment\": \"fleet-scaling\", \"cores\": 4, \
+         \"rows\": [{\"deployments\": 4, \"threads\": 1, \"qps\": 50.0}, \
+         {\"deployments\": 4, \"threads\": 4, \"qps\": 90.0}]}]}",
+    )
+    .unwrap();
+
+    let out = run_script(&[&previous, &old.to_string_lossy()]);
+    assert!(out.status.success(), "a missing E16 is warn-only, never a failure: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no serve-latency experiment"),
+        "the skip names the missing experiment: {stdout}"
+    );
+    assert!(stdout.contains("::warning"), "the skip is announced: {stdout}");
+}
+
+#[test]
+fn serve_latency_with_protocol_errors_warns_but_does_not_fail() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_serve_errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    let dirty = serve_artifact(&dir, "dirty.json", 95.0, 4, 50.0, 90.0, 3);
+
+    let out = run_script(&[&previous, &dirty]);
+    assert!(out.status.success(), "this check is warn-only by design: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("protocol errors"),
+        "recorded protocol errors are called out: {stdout}"
+    );
+    assert!(stdout.contains("::warning"), "as a warning annotation: {stdout}");
 }
 
 #[test]

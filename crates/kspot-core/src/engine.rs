@@ -292,6 +292,10 @@ impl EngineCore {
         self.sessions.values().filter(|s| s.status == SessionStatus::Active).count()
     }
 
+    pub(crate) fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
     fn rebuild_substrate(&mut self) {
         assert!(
             !self.injected_substrate,
@@ -359,6 +363,16 @@ impl EngineCore {
                 return Err(QueryError::semantic(
                     "a historic query needs a positive WITH HISTORY window",
                 ));
+            }
+            // Admission-time resource bound: each node's sliding window preallocates
+            // `window` sample slots, so an untrusted WITH HISTORY span is a direct
+            // memory-exhaustion vector once SQL arrives over the wire.
+            if window > QueryEngine::MAX_HISTORY_EPOCHS {
+                return Err(QueryError::semantic(format!(
+                    "WITH HISTORY spans {window} epochs, beyond the engine's retention \
+                     cap of {} epochs",
+                    QueryEngine::MAX_HISTORY_EPOCHS
+                )));
             }
             let algorithm: Box<dyn HistoricAlgorithm + Send> = match plan.strategy {
                 ExecutionStrategy::HistoricVerticalTopK => {
@@ -503,6 +517,16 @@ pub(crate) fn lock_core(core: &Arc<Mutex<EngineCore>>) -> MutexGuard<'_, EngineC
     )
 }
 
+/// Non-panicking variant of [`lock_core`]: `None` when the cell is poisoned.
+///
+/// `lock_core`'s panic-on-poison is the right in-process contract (ADR-006), but it is
+/// fatal behind a listener — one torn deployment would take the whole serving process
+/// down.  The fleet's health-aware paths (ADR-007) use this to map poisoning to a
+/// per-deployment unhealthy state returned to clients instead.
+pub(crate) fn try_lock_core(core: &Arc<Mutex<EngineCore>>) -> Option<MutexGuard<'_, EngineCore>> {
+    core.lock().ok()
+}
+
 /// A read guard over a slice of the shared engine state, handed out by
 /// [`QueryEngine::metrics`], [`QueryEngine::network`] and [`QueryEngine::scenario`].
 ///
@@ -547,6 +571,13 @@ impl Clone for QueryEngine {
 impl QueryEngine {
     /// Default cap on concurrently active sessions (admission control).
     pub const DEFAULT_MAX_SESSIONS: usize = 64;
+
+    /// Cap on the `WITH HISTORY` span (in epochs) a historic session may demand.
+    /// Each node's sliding window preallocates one slot per retained epoch, so the
+    /// span bounds per-node memory; queries beyond the cap are rejected at admission
+    /// rather than allowed to exhaust the process (the wire surface feeds untrusted
+    /// SQL here).
+    pub const MAX_HISTORY_EPOCHS: usize = 1 << 20;
 
     /// Boots an engine for a scenario with the default (room-correlated) workload and
     /// the MICA2 cost model, seed 0.

@@ -38,7 +38,7 @@
 //! the thread that called [`EngineFleet::run_epochs`], never swallowed.
 
 use crate::config::ScenarioConfig;
-use crate::engine::{lock_core, EngineCore, QueryEngine, Session};
+use crate::engine::{lock_core, try_lock_core, EngineCore, QueryEngine, Session};
 use crate::server::WorkloadSpec;
 use kspot_net::NetworkConfig;
 use kspot_query::plan::classify;
@@ -50,6 +50,103 @@ use std::thread::JoinHandle;
 /// Index of a deployment (shard) within a fleet.  Assigned densely from 0 in the
 /// order the engines were handed to [`EngineFleet::from_engines`].
 pub type DeploymentId = usize;
+
+/// Health of one deployment's state cell, as reported by
+/// [`EngineFleet::shard_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard serves normally.
+    Healthy,
+    /// The shard's state cell is poisoned: a prior operation panicked mid-epoch and
+    /// its sessions/metrics are unrecoverable (ADR-006).  The rest of the fleet keeps
+    /// serving; requests routed here fail with [`FleetError::Unhealthy`].
+    Poisoned,
+}
+
+/// Which admission cap refused a registration (see [`FleetError::Rejected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionScope {
+    /// The fleet-wide cap ([`EngineFleet::max_total_sessions`]).
+    Fleet,
+    /// The target deployment's own per-engine cap.
+    Deployment(DeploymentId),
+}
+
+/// The typed error surface of [`EngineFleet::try_register`] — what a front-end needs
+/// to map failures onto distinct wire responses (ADR-007): admission overflow is a
+/// 429-style rejection, a poisoned shard a 503-style outage, and everything else a
+/// plain bad request.  [`EngineFleet::register`] flattens this back into
+/// [`QueryError`] for in-process callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The deployment id is out of range for this fleet (a routing error).
+    UnknownDeployment {
+        /// The id the caller asked for.
+        deployment: DeploymentId,
+        /// How many deployments this fleet serves (ids are `0..deployments`).
+        deployments: usize,
+    },
+    /// Admission control refused the session: a cap is full.  Retry after other
+    /// sessions complete or are cancelled (429-style).
+    Rejected {
+        /// Which cap refused.
+        scope: AdmissionScope,
+        /// Active sessions counted against that cap.
+        active: usize,
+        /// The cap itself.
+        cap: usize,
+    },
+    /// The target deployment's state cell is poisoned; only this shard is affected
+    /// (503-style).
+    Unhealthy {
+        /// The poisoned deployment.
+        deployment: DeploymentId,
+    },
+    /// The SQL failed to parse, validate or classify, or the engine refused the plan.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownDeployment { deployment, deployments } => write!(
+                f,
+                "unknown deployment id {deployment}: this fleet serves deployments \
+                 0..{deployments}"
+            ),
+            FleetError::Rejected { scope: AdmissionScope::Fleet, active, cap } => write!(
+                f,
+                "fleet admission rejected: {active} concurrent sessions (fleet cap {cap})"
+            ),
+            FleetError::Rejected { scope: AdmissionScope::Deployment(d), active, cap } => write!(
+                f,
+                "admission rejected: deployment {d} already serves {active} concurrent \
+                 queries (cap {cap})"
+            ),
+            FleetError::Unhealthy { deployment } => write!(
+                f,
+                "deployment {deployment} is unavailable: its state cell is poisoned \
+                 (a prior operation panicked mid-epoch, ADR-006)"
+            ),
+            FleetError::Query(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for FleetError {
+    fn from(e: QueryError) -> Self {
+        FleetError::Query(e)
+    }
+}
 
 // ---------------------------------------------------------------------------------
 // the worker pool
@@ -304,27 +401,80 @@ impl EngineFleet {
     /// [`Self::max_total_sessions`], and the target engine applies its own per-shard
     /// cap as usual.
     pub fn register(&self, deployment: DeploymentId, sql: &str) -> Result<Session, QueryError> {
-        let query = parse(sql)?;
-        let plan = classify(&query)?;
+        self.try_register(deployment, sql).map_err(|e| match e {
+            FleetError::Query(q) => q,
+            other => QueryError::semantic(other.to_string()),
+        })
+    }
+
+    /// [`Self::register`] with the typed [`FleetError`] surface a wire front-end
+    /// needs: admission overflow, routing errors and poisoned shards come back as
+    /// distinct variants instead of flattened message strings (ADR-007).
+    ///
+    /// Unlike the panic-on-poison contract of in-process handles (ADR-006), this path
+    /// treats a poisoned shard as *that shard's* outage: poisoned cells are skipped
+    /// when locking (their sessions can never complete, so they no longer count
+    /// against the fleet cap), and targeting one yields [`FleetError::Unhealthy`]
+    /// rather than tearing down the caller.
+    pub fn try_register(&self, deployment: DeploymentId, sql: &str) -> Result<Session, FleetError> {
+        let query = parse(sql).map_err(FleetError::Query)?;
+        let plan = classify(&query).map_err(FleetError::Query)?;
         if deployment >= self.shards.len() {
-            return Err(QueryError::semantic(format!(
-                "unknown deployment id {deployment}: this fleet serves deployments 0..{}",
-                self.shards.len()
-            )));
+            return Err(FleetError::UnknownDeployment {
+                deployment,
+                deployments: self.shards.len(),
+            });
         }
-        let mut guards = self.lock_all();
-        let active: usize = guards.iter().map(|core| core.active_sessions()).sum();
+        // Lock every *healthy* shard in ascending order (the fleet's global lock
+        // order), skipping poisoned cells so one torn deployment cannot wedge
+        // admission for the rest of the fleet.
+        let mut guards: Vec<(DeploymentId, MutexGuard<'_, EngineCore>)> =
+            Vec::with_capacity(self.shards.len());
+        for (d, core) in self.shards.iter().enumerate() {
+            match try_lock_core(core) {
+                Some(guard) => guards.push((d, guard)),
+                None if d == deployment => return Err(FleetError::Unhealthy { deployment }),
+                None => {}
+            }
+        }
+        let active: usize = guards.iter().map(|(_, core)| core.active_sessions()).sum();
         if active >= self.max_total_sessions {
-            return Err(QueryError::semantic(format!(
-                "fleet admission rejected: {active} concurrent sessions across {} deployments \
-                 (fleet cap {})",
-                self.shards.len(),
-                self.max_total_sessions
-            )));
+            return Err(FleetError::Rejected {
+                scope: AdmissionScope::Fleet,
+                active,
+                cap: self.max_total_sessions,
+            });
         }
-        let id = guards[deployment].register_plan_with_sql(plan, sql.to_string())?;
+        let (_, target) = guards
+            .iter_mut()
+            .find(|(d, _)| *d == deployment)
+            .expect("the target shard was locked above or reported unhealthy");
+        let shard_active = target.active_sessions();
+        let shard_cap = target.max_sessions();
+        if shard_active >= shard_cap {
+            return Err(FleetError::Rejected {
+                scope: AdmissionScope::Deployment(deployment),
+                active: shard_active,
+                cap: shard_cap,
+            });
+        }
+        let id =
+            target.register_plan_with_sql(plan, sql.to_string()).map_err(FleetError::Query)?;
         drop(guards);
         Ok(Session::from_core(Arc::clone(&self.shards[deployment]), id))
+    }
+
+    /// Reports one deployment's health without blocking on its lock, or `None` for
+    /// out-of-range ids.  A [`ShardHealth::Poisoned`] shard stays poisoned for the
+    /// fleet's lifetime; front-ends should route around it (ADR-007).
+    pub fn shard_health(&self, deployment: DeploymentId) -> Option<ShardHealth> {
+        self.shards.get(deployment).map(|core| {
+            if core.is_poisoned() {
+                ShardHealth::Poisoned
+            } else {
+                ShardHealth::Healthy
+            }
+        })
     }
 
     /// Runs `epochs` shared epochs on **every** deployment, fanning the per-shard
@@ -370,6 +520,43 @@ impl EngineFleet {
             tracker.finish_one(outcome.err());
         }));
         batch.wait();
+    }
+
+    /// [`Self::run_epochs`] for a fleet behind a listener: instead of re-raising a
+    /// shard's panic (fatal for a serving process), poisoned shards are skipped and
+    /// newly-panicking ones recorded, and the sorted list of **all** currently
+    /// poisoned deployment ids is returned.  Healthy shards advance exactly as they
+    /// would under [`Self::run_epochs`] — same per-shard loop, same determinism.
+    pub fn run_epochs_surviving(&self, epochs: usize) -> Vec<DeploymentId> {
+        let mut poisoned: Vec<DeploymentId> = Vec::new();
+        let mut live: Vec<DeploymentId> = Vec::new();
+        for d in 0..self.shards.len() {
+            if self.shards[d].is_poisoned() {
+                poisoned.push(d);
+            } else {
+                live.push(d);
+            }
+        }
+        let newly = Arc::new(Mutex::new(Vec::new()));
+        let batch = Batch::new(live.len());
+        for d in live {
+            let core = Arc::clone(&self.shards[d]);
+            let batch = Arc::clone(&batch);
+            let newly = Arc::clone(&newly);
+            self.pool.submit(Box::new(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    lock_core(&core).run_epochs(epochs);
+                }));
+                if outcome.is_err() {
+                    newly.lock().expect("fleet health tracker poisoned").push(d);
+                }
+                batch.finish_one(None);
+            }));
+        }
+        batch.wait();
+        poisoned.extend(newly.lock().expect("fleet health tracker poisoned").drain(..));
+        poisoned.sort_unstable();
+        poisoned
     }
 }
 

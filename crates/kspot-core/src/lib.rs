@@ -50,6 +50,6 @@ pub mod server;
 pub use client::{route_plan, LocalOperator, NodeRuntime};
 pub use config::{ConfigError, ScenarioConfig};
 pub use engine::{EngineRef, QueryEngine, QueryId, Session, SessionStatus};
-pub use fleet::{DeploymentId, EngineFleet};
+pub use fleet::{AdmissionScope, DeploymentId, EngineFleet, FleetError, ShardHealth};
 pub use panel::{StrategyReport, SystemPanel};
 pub use server::{BatchMode, BatchQuery, KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};

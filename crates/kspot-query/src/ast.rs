@@ -238,6 +238,10 @@ impl Duration {
     /// Converts the duration to a whole number of epochs, given the epoch length in
     /// seconds.  Durations already expressed in epochs ignore the epoch length.
     /// The result is at least 1 (a zero-length window would be meaningless).
+    ///
+    /// The seconds conversion saturates on overflow; `validate()` rejects any
+    /// duration for which [`Self::overflows`] is true before a plan is built, so a
+    /// validated query never reaches the saturating path.
     pub fn to_epochs(&self, epoch_seconds: u64) -> u64 {
         match self.unit.seconds() {
             None => self.amount.max(1),
@@ -248,9 +252,20 @@ impl Duration {
         }
     }
 
-    /// The duration in seconds, if the unit has an absolute length.
+    /// The duration in seconds, if the unit has an absolute length.  Saturates on
+    /// overflow (see [`Self::overflows`] and the `to_epochs` note).
     pub fn to_seconds(&self) -> Option<u64> {
         self.unit.seconds().map(|s| s.saturating_mul(self.amount))
+    }
+
+    /// True when converting this duration to seconds overflows 64-bit arithmetic —
+    /// the case `validate()` rejects with `QueryError::DurationOverflow` so the
+    /// saturating conversions above can never silently clamp a validated query.
+    pub fn overflows(&self) -> bool {
+        match self.unit.seconds() {
+            None => false,
+            Some(unit_secs) => self.amount.checked_mul(unit_secs).is_none(),
+        }
     }
 }
 
@@ -381,6 +396,16 @@ mod tests {
         assert_eq!(Duration::new(90, TimeUnit::Seconds).to_epochs(30), 3);
         assert_eq!(Duration::new(10, TimeUnit::Epochs).to_epochs(999), 10);
         assert_eq!(Duration::new(1, TimeUnit::Seconds).to_epochs(60), 1, "never below one epoch");
+    }
+
+    #[test]
+    fn duration_overflow_is_detected_not_clamped() {
+        assert!(Duration::new(u64::MAX, TimeUnit::Hours).overflows());
+        assert!(Duration::new(u64::MAX / 3_600 + 1, TimeUnit::Hours).overflows());
+        assert!(!Duration::new(u64::MAX / 3_600, TimeUnit::Hours).overflows());
+        assert!(!Duration::new(u64::MAX, TimeUnit::Seconds).overflows());
+        // Epoch-denominated durations never multiply, so they can never overflow.
+        assert!(!Duration::new(u64::MAX, TimeUnit::Epochs).overflows());
     }
 
     #[test]

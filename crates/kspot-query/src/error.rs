@@ -41,6 +41,19 @@ pub enum QueryError {
         /// Human-readable explanation.
         message: String,
     },
+    /// A duration clause whose span overflows the engine's 64-bit time arithmetic.
+    ///
+    /// Durations are stored as a `u64` amount of a unit; converting to seconds (and
+    /// from there to epochs) multiplies by the unit length.  Before this variant the
+    /// conversion silently saturated (`saturating_mul`), so an absurd `LIFETIME`
+    /// clamped to `u64::MAX` instead of failing — unacceptable once untrusted SQL
+    /// arrives over the wire.  `validate()` rejects such spans with this typed error.
+    DurationOverflow {
+        /// The clause the duration appeared in (e.g. `LIFETIME`, `WITH HISTORY`).
+        clause: String,
+        /// The duration as written in the query.
+        duration: String,
+    },
 }
 
 impl QueryError {
@@ -66,6 +79,11 @@ impl fmt::Display for QueryError {
                 write!(f, "query ended unexpectedly, expected {expected}")
             }
             QueryError::Semantic { message } => write!(f, "invalid query: {message}"),
+            QueryError::DurationOverflow { clause, duration } => write!(
+                f,
+                "invalid query: {clause} span {duration} overflows the engine's 64-bit \
+                 time arithmetic; use a smaller span"
+            ),
         }
     }
 }
@@ -98,6 +116,13 @@ mod tests {
 
         let e = QueryError::InvalidNumber { text: "1.2.3".into(), position: 9 };
         assert!(e.to_string().contains("1.2.3"));
+
+        let e = QueryError::DurationOverflow {
+            clause: "LIFETIME".into(),
+            duration: "99999999999999999 h".into(),
+        };
+        assert!(e.to_string().contains("LIFETIME"));
+        assert!(e.to_string().contains("overflows"));
     }
 
     #[test]

@@ -271,6 +271,15 @@ impl Parser {
         if amount < 0.0 || amount.fract() != 0.0 {
             return Err(QueryError::semantic(format!("durations must be non-negative integers, got {amount}")));
         }
+        // `amount as u64` saturates for values at or beyond 2^64 (and `fract()` of
+        // such huge floats is 0, so they pass the integer check above); reject them
+        // instead of silently clamping the span.
+        if amount >= u64::MAX as f64 {
+            return Err(QueryError::DurationOverflow {
+                clause: "duration literal".to_string(),
+                duration: format!("{amount}"),
+            });
+        }
         // The unit may collide with the EPOCH keyword (`WITH HISTORY 90 epochs`).
         let unit_name = if self.take_keyword(Keyword::Epoch) {
             "epochs".to_string()
@@ -386,6 +395,23 @@ mod tests {
     fn rejects_trailing_garbage() {
         let err = parse("SELECT * FROM sensors banana").unwrap_err();
         assert!(err.to_string().contains("end of query"));
+    }
+
+    #[test]
+    fn rejects_duration_literals_beyond_u64() {
+        // 2e19 > u64::MAX: the f64 -> u64 cast used to saturate silently.
+        let err = parse(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid \
+             WITH HISTORY 20000000000000000000 epochs",
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::DurationOverflow { .. }), "{err:?}");
+        // A 400-digit literal parses to f64 infinity; it must be rejected, not cast.
+        let huge = format!(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME 1{} h",
+            "0".repeat(400)
+        );
+        assert!(parse(&huge).is_err());
     }
 
     #[test]

@@ -115,6 +115,24 @@ pub fn validate(query: &Query) -> QueryResult<()> {
             return Err(QueryError::semantic("EPOCH DURATION must be positive"));
         }
     }
+    // Duration spans whose seconds conversion would overflow u64 are rejected with a
+    // typed error here, *before* planning — `Duration::to_epochs`/`to_seconds`
+    // saturate, and a silently clamped LIFETIME or HISTORY window is indistinguishable
+    // from the span the user asked for.
+    for (clause, duration) in [
+        ("EPOCH DURATION", query.epoch_duration),
+        ("WITH HISTORY", query.history),
+        ("LIFETIME", query.lifetime),
+    ] {
+        if let Some(d) = duration {
+            if d.overflows() {
+                return Err(QueryError::DurationOverflow {
+                    clause: clause.to_string(),
+                    duration: d.to_string(),
+                });
+            }
+        }
+    }
     if query.group_by.as_deref() == Some("epoch") && !query.is_historic() {
         return Err(QueryError::semantic(
             "GROUP BY epoch ranks time instances and therefore requires a WITH HISTORY window",
@@ -213,6 +231,43 @@ mod tests {
     fn rejects_zero_length_windows() {
         assert!(check("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 0 epochs").is_err());
         assert!(check("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 0 s").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_duration_spans_with_a_typed_error() {
+        // 99999999999999999 h = 1e17 * 3600 s > u64::MAX: the old saturating math
+        // silently clamped this to u64::MAX seconds instead of failing.
+        let err = check(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid \
+             LIFETIME 99999999999999999 h",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, QueryError::DurationOverflow { ref clause, .. } if clause == "LIFETIME"),
+            "expected a typed DurationOverflow, got {err:?}"
+        );
+        assert!(err.to_string().contains("overflows"), "{err}");
+
+        let err = check(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid \
+             WITH HISTORY 9999999999999999999 min",
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::DurationOverflow { .. }), "{err:?}");
+
+        let err = check(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid \
+             EPOCH DURATION 999999999999999999 d",
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::DurationOverflow { .. }), "{err:?}");
+
+        // The largest non-overflowing hour span still validates.
+        assert!(check(&format!(
+            "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid LIFETIME {} h",
+            u64::MAX / 3_600
+        ))
+        .is_ok());
     }
 
     #[test]

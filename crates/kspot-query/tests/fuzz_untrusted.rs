@@ -1,0 +1,160 @@
+//! Panic-hardening properties for the query front end over **untrusted bytes**.
+//!
+//! `kspot-serve` feeds attacker-controlled SQL straight into
+//! `tokenize`/`parse`/`classify`, so the whole pipeline must return `Ok`/`Err` for
+//! *any* input — never panic, never overflow-abort, never slice off a char boundary.
+//! Three generators probe different failure surfaces:
+//!
+//! 1. raw byte soup (lossily decoded — the wire layer only forwards valid UTF-8, but
+//!    lossy decoding also lands replacement chars mid-token),
+//! 2. printable ASCII soup biased towards the dialect's punctuation and digits (deep
+//!    number/operator paths the uniform generator rarely reaches),
+//! 3. mutated near-SQL: well-formed clause fragments shuffled, duplicated and
+//!    truncated (deep *parser* paths behind a successful lex).
+//!
+//! Every error the pipeline does return must also `Display` without panicking — the
+//! serve layer stringifies errors into wire frames.
+
+use kspot_query::lexer::tokenize;
+use kspot_query::parser::parse_unvalidated;
+use kspot_query::plan::classify;
+use kspot_query::parse;
+use proptest::prelude::*;
+
+/// Drives the whole front-end pipeline and stringifies whatever comes out.  The
+/// property is simply "this function returns".
+fn exercise_pipeline(input: &str) {
+    if let Err(e) = tokenize(input) {
+        let _ = e.to_string();
+    }
+    match parse_unvalidated(input) {
+        Ok(query) => {
+            // Display must hold for anything that parses (the panel echoes it back).
+            let _ = query.to_string();
+            let _ = query.epoch_seconds();
+            let _ = query.history_epochs();
+        }
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+    match parse(input) {
+        Ok(query) => match classify(&query) {
+            Ok(plan) => {
+                // The spans a validated plan carries must be overflow-checked by
+                // `validate`, never silently clamped to the u64 ceiling by the
+                // saturating conversions (the ast.rs:245/253 bug this suite pins).
+                if let Some(h) = plan.history_epochs {
+                    assert!(
+                        h < u64::MAX,
+                        "history span saturated instead of being rejected: {input:?}"
+                    );
+                }
+                if let Some(l) = plan.lifetime_epochs {
+                    assert!(
+                        l < u64::MAX,
+                        "lifetime span saturated instead of being rejected: {input:?}"
+                    );
+                }
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        },
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// Fragments of real queries plus hostile near-misses; generator 3 splices these.
+const FRAGMENTS: &[&str] = &[
+    "SELECT",
+    "TOP",
+    "TOP 3",
+    "TOP -1",
+    "TOP 1.5",
+    "TOP 99999999999",
+    "roomid",
+    "epoch",
+    "*",
+    ",",
+    "AVG(sound)",
+    "COUNT(*)",
+    "MEDIAN(sound",
+    "FROM",
+    "FROM sensors",
+    "WHERE",
+    "sound > 10",
+    "sound <=",
+    "!= 3.5",
+    "AND",
+    "GROUP BY",
+    "GROUP BY roomid",
+    "GROUP BY epoch",
+    "EPOCH DURATION",
+    "EPOCH DURATION 1 min",
+    "EPOCH DURATION 0 s",
+    "WITH HISTORY",
+    "WITH HISTORY 30 epochs",
+    "WITH HISTORY 20000000000000000000 epochs",
+    "WITH HISTORY 99999999999999999 h",
+    "LIFETIME",
+    "LIFETIME 99999999999 h",
+    "LIFETIME 999999999999999999 d",
+    "(",
+    ")",
+    "<>",
+    "<",
+    "!",
+    "-",
+    ".",
+    "..",
+    "9999999999999999999999999999999999999999",
+    "1.2.3",
+    "-0",
+    "_",
+    "\u{fffd}",
+];
+
+/// Bytes biased towards the dialect's working set: digits, punctuation, operators,
+/// letters — uniform bytes almost never lex, so they only test the first error path.
+const BIASED: &[u8] = b"0123456789.,*()<>=!-_ \t\nabcdefghijklmnopqrstuvwxyzSELCTOPFRMWHGUBYDabc";
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn raw_byte_soup_never_panics(bytes in prop::collection::vec(0u32..256, 0usize..80)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        exercise_pipeline(&text);
+    }
+
+    #[test]
+    fn biased_ascii_soup_never_panics(picks in prop::collection::vec(0usize..70, 0usize..120)) {
+        let text: String =
+            picks.iter().map(|&i| BIASED[i % BIASED.len()] as char).collect();
+        exercise_pipeline(&text);
+    }
+
+    #[test]
+    fn mutated_near_sql_never_panics(
+        picks in prop::collection::vec(0usize..46, 0usize..16),
+        truncate_at in 0usize..400,
+    ) {
+        let mut text = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Truncating mid-token probes end-of-input handling (on a char boundary).
+        if truncate_at < text.len() {
+            let cut = (truncate_at..=text.len())
+                .find(|&i| text.is_char_boundary(i))
+                .unwrap_or(text.len());
+            text.truncate(cut);
+        }
+        exercise_pipeline(&text);
+    }
+}

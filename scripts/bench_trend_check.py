@@ -14,6 +14,13 @@ the previous merge's artifact:
    runs where it can physically pass: the artifact records the host's core
    count, and hosts with fewer than 2 cores skip it (announced, see below).
 
+Plus one **warn-only** check:
+
+3. **Serve latency** (schema 5) — never fails the build; prints the E16
+   serve-latency numbers for the trajectory log, warns if the experiment is
+   missing (pre-schema-5 artifact) and warns loudly if the run recorded any
+   wire protocol errors (the loadgen's own exit code is the hard gate there).
+
 Everything else passes (exit 0), but the skip paths are **announced**, never
 silent: each one emits a GitHub Actions `::warning::` annotation so a
 trajectory that quietly stopped being checked (missing artifact, artifact-fetch
@@ -24,9 +31,10 @@ instead of looking like a pass:
 * either artifact unreadable or in an unknown schema,
 * no batch-8 row (smoke-sized PR runs only sweep small batches),
 * no fleet-scaling experiment (pre-schema-4 artifact),
-* missing 4-deployment rows, or a single-core host.
+* missing 4-deployment rows, or a single-core host,
+* no serve-latency experiment (pre-schema-5 artifact).
 
-Understands the schema-2/3/4 merged documents ({"schema": N, "experiments":
+Understands the schema-2/3/4/5 merged documents ({"schema": N, "experiments":
 [...]}) and the original flat e12 document ({"experiment":
 "engine-throughput", ...}).
 """
@@ -175,12 +183,50 @@ def check_fleet_scaling(current_path):
     return 0
 
 
+def check_serve_latency(current_path):
+    """Check 3 (schema 5, warn-only): the E16 wire front-end latency record.
+
+    Never fails the build — the loadgen binary itself exits non-zero on protocol
+    errors, so this check only keeps the trajectory log honest: print the
+    percentiles per op, and warn (not fail) when the experiment is missing or the
+    recorded run saw protocol errors."""
+    doc = load(current_path)
+    entry = experiment(doc, "serve-latency")
+    if entry is None:
+        warn_skip(
+            f"current artifact {current_path} has no serve-latency experiment "
+            "(pre-schema-5 artifact, or e16 was not run)"
+        )
+        return 0
+    errors = entry.get("protocol_errors")
+    if not isinstance(errors, int) or errors > 0:
+        print(
+            "::warning title=serve latency recorded protocol errors::"
+            f"E16 recorded protocol_errors={errors!r}; the wire layer must stay clean"
+        )
+    rows = experiment_rows(doc, "serve-latency") or []
+    for row in rows:
+        if isinstance(row, dict):
+            print(
+                "trend check: serve latency "
+                f"{row.get('op')}: p50 {row.get('p50_ms')} ms, "
+                f"p99 {row.get('p99_ms')} ms ({row.get('count')} samples)"
+            )
+    print(
+        f"trend check: serve run admitted {entry.get('admitted')} / rejected "
+        f"{entry.get('rejected')} of {entry.get('connections')} connections, "
+        f"protocol_errors {errors}"
+    )
+    return 0
+
+
 def main(argv):
     if len(argv) != 3:
         print(f"usage: {argv[0]} PREVIOUS_JSON CURRENT_JSON", file=sys.stderr)
         return 0  # misconfiguration must not block CI
     status = check_regression(argv[1], argv[2])
     status = check_fleet_scaling(argv[2]) or status
+    status = check_serve_latency(argv[2]) or status
     return status
 
 
