@@ -181,3 +181,49 @@ fn a_single_poisoned_epoch_cannot_inflate_the_elimination_threshold() {
         assert_eq!(real_keys(m), real_keys(t), "MINT diverged from TAG on epoch {}", m.epoch);
     }
 }
+
+/// Direct contract test for the shared comparator itself (`types.rs`), now built on
+/// `f64::total_cmp`: every NaN payload is one equivalence class ranked below every
+/// real value, and the order is total (antisymmetric + transitive), so `sort_by`
+/// can never panic or misorder the clean values.
+#[test]
+fn cmp_value_is_a_total_order_with_every_nan_smallest_and_equal() {
+    use kspot_net::types::cmp_value;
+    use std::cmp::Ordering;
+
+    // Distinct NaN bit patterns: positive quiet, negative quiet, nonzero payload.
+    let nans = [f64::NAN, -f64::NAN, f64::from_bits(0x7ff8_0000_0000_0001)];
+    let reals = [f64::NEG_INFINITY, -1.5e300, -0.0, 0.0, 42.0, f64::INFINITY];
+
+    for &a in &nans {
+        for &b in &nans {
+            assert_eq!(cmp_value(a, b), Ordering::Equal, "NaN payloads must collapse");
+        }
+        for &r in &reals {
+            assert_eq!(cmp_value(a, r), Ordering::Less, "NaN must rank below {r}");
+            assert_eq!(cmp_value(r, a), Ordering::Greater, "{r} must rank above NaN");
+        }
+    }
+
+    // Antisymmetry over every real pair (the property the old fallback comparator
+    // violated once a NaN entered the mix).
+    for &a in &reals {
+        for &b in &reals {
+            assert_eq!(cmp_value(a, b), cmp_value(b, a).reverse(), "({a}, {b})");
+        }
+    }
+}
+
+#[test]
+fn cmp_value_sorts_poisoned_samples_without_panicking() {
+    use kspot_net::types::cmp_value;
+
+    let mut xs = [3.0, f64::NAN, f64::NEG_INFINITY, -7.0, f64::INFINITY, -f64::NAN, 0.5];
+    xs.sort_by(|a, b| cmp_value(*a, *b));
+    assert!(xs[0].is_nan() && xs[1].is_nan(), "both NaNs sort first (smallest)");
+    assert_eq!(&xs[2..], &[f64::NEG_INFINITY, -7.0, 0.5, 3.0, f64::INFINITY]);
+
+    // Descending ranking order — how the algorithms consume it — puts NaN last.
+    xs.sort_by(|a, b| cmp_value(*b, *a));
+    assert!(xs[5].is_nan() && xs[6].is_nan(), "NaN ranks last in descending order");
+}

@@ -1,0 +1,42 @@
+//! `cargo run -p kspot-lint [workspace-root]` — lint the workspace and exit
+//! non-zero on any unsuppressed finding. See the library docs and ADR-008 for
+//! the rule catalogue.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let report = match kspot_lint::lint_workspace(Path::new(&root)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("kspot-lint: i/o error walking `{root}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for s in &report.suppressions {
+        println!(
+            "note: {}:{}: [{}] suppressed — {}",
+            s.file, s.line, s.rule, s.reason
+        );
+    }
+    if report.findings.is_empty() {
+        println!(
+            "kspot-lint: {} files clean ({} suppression{} on record)",
+            report.files_scanned,
+            report.suppressions.len(),
+            if report.suppressions.len() == 1 { "" } else { "s" },
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "kspot-lint: {} finding{} in {} files scanned",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+    );
+    ExitCode::FAILURE
+}

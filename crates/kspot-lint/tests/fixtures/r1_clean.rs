@@ -1,0 +1,9 @@
+// Fixture: total_cmp ordering passes; mentions of partial_cmp in prose or
+// string literals must not fire (the tokenizer keeps them out of the stream).
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn describe() -> &'static str {
+    "replaced partial_cmp with a total order"
+}

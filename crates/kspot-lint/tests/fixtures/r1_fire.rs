@@ -1,0 +1,5 @@
+// Fixture: R1 fires on any partial_cmp-based float ordering, even when the
+// fallback avoids panicking — the comparator is still NaN-inconsistent.
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,22 @@
+// Fixture: reasoned expects pass, unwrap-family combinators pass, and
+// unwraps inside an inline #[cfg(test)] module are out of scope.
+pub fn parse_port(s: &str) -> u16 {
+    let port: u16 = s
+        .parse()
+        .expect("the CLI layer validates the port before it reaches here");
+    let fallback: u16 = std::env::var("PORT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8080);
+    port.max(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Result<u16, ()> = Ok(1);
+        assert_eq!(x.unwrap(), 1);
+        let _ = std::env::var("PORT").expect("");
+    }
+}

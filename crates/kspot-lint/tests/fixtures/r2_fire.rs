@@ -1,0 +1,6 @@
+// Fixture: R2 fires on a bare unwrap and on an empty expect message.
+pub fn parse_port(s: &str) -> u16 {
+    let explicit: u16 = s.parse().unwrap();
+    let _vague = std::env::var("PORT").expect("");
+    explicit
+}

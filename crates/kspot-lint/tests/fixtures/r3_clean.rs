@@ -1,0 +1,9 @@
+// Fixture: BTreeMap iteration and epoch counters are the deterministic way.
+use std::collections::BTreeMap;
+
+pub fn epoch_tick(ledger: &mut BTreeMap<u64, f64>, epoch: u64) -> u64 {
+    for (_k, v) in ledger.iter_mut() {
+        *v += 1.0;
+    }
+    epoch + 1
+}

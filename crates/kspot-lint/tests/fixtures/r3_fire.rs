@@ -1,0 +1,12 @@
+// Fixture: in a deterministic path, R3 fires on wall-clock reads and on
+// hash-ordered collections (iteration order leaks into answers/ledgers).
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn epoch_tick(ledger: &mut HashMap<u64, f64>) -> f64 {
+    let t = Instant::now();
+    for (_k, v) in ledger.iter_mut() {
+        *v += 1.0;
+    }
+    t.elapsed().as_secs_f64()
+}

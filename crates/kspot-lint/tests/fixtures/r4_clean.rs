@@ -1,0 +1,7 @@
+// Fixture: seeds derived through the approved kspot_net::rng surface pass.
+use kspot_net::rng::{stream_rng, topology_seed, STREAM_TOPOLOGY};
+
+pub fn topo(master: u64) -> u64 {
+    let _rng = stream_rng(master, &[STREAM_TOPOLOGY]);
+    topology_seed(master)
+}

@@ -1,0 +1,7 @@
+// Fixture: R4 fires on direct RNG construction outside the rng module.
+use rand::{Rng, SeedableRng};
+
+pub fn shuffle_seed() -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDEAD_BEEF);
+    rng.gen()
+}

@@ -1,0 +1,20 @@
+// Fixture: disciplined lock usage passes — a guard explicitly dropped before
+// the next acquisition, and expression temporaries that die at statement end.
+use std::sync::Mutex;
+
+pub fn drop_then_lock(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().expect("a not poisoned");
+    let total = *ga;
+    drop(ga);
+    let gb = b.lock().expect("b not poisoned");
+    total + *gb
+}
+
+pub fn scoped_then_lock(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let first = {
+        let g = a.lock().expect("a not poisoned");
+        *g
+    };
+    let second = *b.lock().expect("b not poisoned");
+    first + second
+}

@@ -1,0 +1,9 @@
+// Fixture: R5 fires on a second lock taken while the first guard is live.
+use std::sync::Mutex;
+
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let mut from = a.lock().expect("account a not poisoned");
+    let mut to = b.lock().expect("account b not poisoned");
+    *to += *from;
+    *from = 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: a reasoned lock-order marker documents and suppresses a
+// deliberate nested acquisition (the ADR-006 escape hatch).
+use std::sync::Mutex;
+
+pub fn ordered(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().expect("a not poisoned");
+    // lint: lock-order(b is strictly after a in the global deployment order)
+    let gb = b.lock().expect("b not poisoned");
+    *ga + *gb
+}

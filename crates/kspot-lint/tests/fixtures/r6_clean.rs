@@ -1,0 +1,11 @@
+// Fixture: a count bounded against the bytes actually held passes, as do
+// literal-sized allocations.
+pub fn decode_items(buf: &[u8]) -> Vec<u8> {
+    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let n = declared.min(buf.len().saturating_sub(4));
+    let mut items = Vec::with_capacity(n);
+    items.extend_from_slice(&buf[4..4 + n]);
+    let mut header = vec![0u8; 4];
+    header.append(&mut items);
+    header
+}

@@ -1,0 +1,9 @@
+// Fixture: R6 fires when a decoded length reaches an allocation without ever
+// being validated against the remaining input.
+pub fn decode_items(buf: &[u8]) -> Vec<u8> {
+    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let mut items = Vec::with_capacity(declared);
+    let scratch = vec![0u8; declared];
+    items.extend_from_slice(&scratch);
+    items
+}

@@ -1,0 +1,27 @@
+// Fixture: every way a suppression marker can rot, each an R0 finding.
+pub fn missing_reason(xs: &mut [f64]) {
+    // lint: allow(nan-ordering)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn unknown_rule(xs: &mut [f64]) {
+    // lint: allow(made-up-rule, a perfectly good reason)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn stale_marker() -> u32 {
+    // lint: allow(nan-ordering, this code was fixed but the marker remains)
+    1
+}
+
+pub fn malformed_marker() -> u32 {
+    // lint: beep(whatever)
+    2
+}
+
+pub fn reasonless_lock_order(a: &std::sync::Mutex<u64>, b: &std::sync::Mutex<u64>) -> u64 {
+    let ga = a.lock().expect("a not poisoned");
+    // lint: lock-order()
+    let gb = b.lock().expect("b not poisoned");
+    *ga + *gb
+}

@@ -1,0 +1,6 @@
+// Fixture: a reasoned allow() suppresses the finding on the next line and
+// leaves an audit-trail entry.
+pub fn legacy_sort(xs: &mut [f64]) {
+    // lint: allow(nan-ordering, corpus fixture demonstrating the audit trail)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

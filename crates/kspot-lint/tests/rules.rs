@@ -1,0 +1,164 @@
+//! The fixture corpus: at least one firing and one non-firing case per rule
+//! R1–R6, plus the suppression grammar (reasoned `allow` silences with an
+//! audit trail; a reason-less, unknown-rule, stale or malformed marker is an
+//! R0 finding of its own).
+
+use kspot_lint::{lint_file, lint_source, FileContext, Rule};
+
+fn lib_ctx() -> FileContext {
+    FileContext::from_path("crates/kspot-core/src/fixture.rs")
+}
+
+fn serve_ctx() -> FileContext {
+    FileContext::from_path("crates/kspot-serve/src/fixture.rs")
+}
+
+fn test_ctx() -> FileContext {
+    FileContext::from_path("crates/kspot-core/tests/fixture.rs")
+}
+
+/// Sorted, deduplicated list of rules that fired.
+fn fired(ctx: &FileContext, src: &str) -> Vec<Rule> {
+    let mut rules: Vec<Rule> = lint_source(ctx, src).into_iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn r1_fires_on_partial_cmp_and_total_cmp_passes() {
+    let fire = lint_source(&lib_ctx(), include_str!("fixtures/r1_fire.rs"));
+    assert_eq!(fire.len(), 1, "{fire:?}");
+    assert_eq!(fire[0].rule, Rule::NanOrdering);
+    assert_eq!(fire[0].line, 4, "the violating sort line");
+    assert!(fire[0].hint.contains("total_cmp"));
+
+    assert!(fired(&lib_ctx(), include_str!("fixtures/r1_clean.rs")).is_empty());
+}
+
+#[test]
+fn r1_fires_even_in_test_trees() {
+    // The NaN class causes flaky tests too; R1 is scoped everywhere.
+    let fire = lint_source(&test_ctx(), include_str!("fixtures/r1_fire.rs"));
+    assert_eq!(fire.len(), 1);
+    assert_eq!(fire[0].rule, Rule::NanOrdering);
+}
+
+#[test]
+fn r2_fires_on_bare_unwrap_and_empty_expect() {
+    let fire = lint_source(&lib_ctx(), include_str!("fixtures/r2_fire.rs"));
+    let r2: Vec<_> = fire.iter().filter(|f| f.rule == Rule::BareUnwrap).collect();
+    assert_eq!(r2.len(), 2, "{fire:?}");
+    assert!(r2[0].message.contains("unwrap"));
+    assert!(r2[1].message.contains("expect"));
+}
+
+#[test]
+fn r2_passes_reasoned_expects_and_skips_test_code() {
+    assert!(fired(&lib_ctx(), include_str!("fixtures/r2_clean.rs")).is_empty());
+    // The same violations in a tests/ tree are out of scope entirely.
+    assert!(fired(&test_ctx(), include_str!("fixtures/r2_fire.rs")).is_empty());
+}
+
+#[test]
+fn r3_fires_in_deterministic_paths_only() {
+    let fire = lint_source(&lib_ctx(), include_str!("fixtures/r3_fire.rs"));
+    let wall = fire.iter().filter(|f| f.message.contains("wall-clock")).count();
+    let hash = fire.iter().filter(|f| f.message.contains("hash-ordered")).count();
+    assert!(wall >= 1 && hash >= 1, "{fire:?}");
+    assert!(fire.iter().all(|f| f.rule == Rule::OrderLeak));
+
+    // kspot-serve is allowed to read clocks and use HashMap (ledger keys are
+    // re-sorted at the wire); the rule is scoped to net/core/algos src.
+    assert!(fired(&serve_ctx(), include_str!("fixtures/r3_fire.rs")).is_empty());
+    assert!(fired(&lib_ctx(), include_str!("fixtures/r3_clean.rs")).is_empty());
+}
+
+#[test]
+fn r4_fires_outside_the_rng_module_only() {
+    let fire = lint_source(&lib_ctx(), include_str!("fixtures/r4_fire.rs"));
+    assert_eq!(fire.len(), 1, "{fire:?}");
+    assert_eq!(fire[0].rule, Rule::RawRng);
+    assert!(fire[0].hint.contains("kspot_net::rng"));
+
+    assert!(fired(&lib_ctx(), include_str!("fixtures/r4_clean.rs")).is_empty());
+    // The one module allowed to construct RNGs is exempt.
+    let rng_ctx = FileContext::from_path("crates/kspot-net/src/rng.rs");
+    assert!(fired(&rng_ctx, include_str!("fixtures/r4_fire.rs")).is_empty());
+}
+
+#[test]
+fn r5_fires_on_nested_guards_and_passes_disciplined_code() {
+    let fire = lint_source(&lib_ctx(), include_str!("fixtures/r5_fire.rs"));
+    assert_eq!(fire.len(), 1, "{fire:?}");
+    assert_eq!(fire[0].rule, Rule::LockDiscipline);
+    assert_eq!(fire[0].line, 6, "the second acquisition");
+
+    assert!(fired(&lib_ctx(), include_str!("fixtures/r5_clean.rs")).is_empty());
+}
+
+#[test]
+fn r5_lock_order_marker_suppresses_with_audit_trail() {
+    let report = lint_file(&lib_ctx(), include_str!("fixtures/r5_marker.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressions.len(), 1);
+    assert_eq!(report.suppressions[0].rule, Rule::LockDiscipline);
+    assert!(report.suppressions[0].reason.contains("deployment order"));
+}
+
+#[test]
+fn r6_fires_on_unvalidated_lengths_in_wire_code_only() {
+    let fire = lint_source(&serve_ctx(), include_str!("fixtures/r6_fire.rs"));
+    let r6: Vec<_> = fire
+        .iter()
+        .filter(|f| f.rule == Rule::AllocBeforeValidate)
+        .collect();
+    assert_eq!(r6.len(), 2, "with_capacity and vec![..; n] both fire: {fire:?}");
+
+    assert!(fired(&serve_ctx(), include_str!("fixtures/r6_clean.rs")).is_empty());
+    // Outside the wire-facing crate the rule does not apply.
+    assert!(fired(&lib_ctx(), include_str!("fixtures/r6_fire.rs")).is_empty());
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_records_the_reason() {
+    let report = lint_file(&lib_ctx(), include_str!("fixtures/suppression_ok.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressions.len(), 1);
+    assert_eq!(report.suppressions[0].rule, Rule::NanOrdering);
+    assert!(report.suppressions[0].reason.contains("audit trail"));
+}
+
+#[test]
+fn defective_markers_are_r0_findings_and_do_not_suppress() {
+    let findings = lint_source(&lib_ctx(), include_str!("fixtures/suppression_bad.rs"));
+    let r0: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::Suppression)
+        .collect();
+    let r0_msgs: Vec<&str> = r0.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(r0.len(), 5, "{r0_msgs:?}");
+    assert!(r0_msgs.iter().any(|m| m.contains("without a reason")));
+    assert!(r0_msgs.iter().any(|m| m.contains("unknown rule")));
+    assert!(r0_msgs.iter().any(|m| m.contains("suppresses nothing")));
+    assert!(r0_msgs.iter().any(|m| m.contains("unparseable")));
+    assert!(r0_msgs.iter().any(|m| m.contains("lock-order marker")));
+
+    // None of the defective markers silenced anything: both partial_cmp sites
+    // and the undocumented second lock still fire.
+    let survived: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        survived
+            .iter()
+            .filter(|r| **r == Rule::NanOrdering)
+            .count(),
+        2
+    );
+    assert_eq!(
+        survived
+            .iter()
+            .filter(|r| **r == Rule::LockDiscipline)
+            .count(),
+        1
+    );
+}

@@ -1,0 +1,22 @@
+//! Pins the acceptance criterion inside `cargo test -q`: the real workspace
+//! must lint clean, so any PR that introduces a rule violation fails the
+//! tier-1 suite as well as the dedicated CI job.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = kspot_lint::lint_workspace(&root).expect("workspace walk is readable");
+    assert!(
+        report.files_scanned > 50,
+        "the walker must actually find the workspace (saw {} files)",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -104,20 +104,16 @@ impl Default for ValueDomain {
     }
 }
 
-/// Orders two floating point values, treating NaN as smallest.
+/// Orders two floating point values as a total order, treating NaN as smallest.
 ///
 /// Sensor values never legitimately become NaN, but ranking code should not panic if a
-/// corrupted value sneaks in; it is simply ranked last.
+/// corrupted value sneaks in; it is simply ranked last, and all NaN payloads compare
+/// equal to each other. Built on `f64::total_cmp` (R1, ADR-008) by canonicalising
+/// every NaN to one negative bit pattern, which `total_cmp` orders below every real
+/// value. Inherits `total_cmp`'s one visible quirk: `-0.0` sorts before `+0.0`.
 pub fn cmp_value(a: Value, b: Value) -> std::cmp::Ordering {
-    a.partial_cmp(&b).unwrap_or_else(|| {
-        if a.is_nan() && b.is_nan() {
-            std::cmp::Ordering::Equal
-        } else if a.is_nan() {
-            std::cmp::Ordering::Less
-        } else {
-            std::cmp::Ordering::Greater
-        }
-    })
+    let canon = |v: Value| if v.is_nan() { -Value::NAN } else { v };
+    canon(a).total_cmp(&canon(b))
 }
 
 #[cfg(test)]

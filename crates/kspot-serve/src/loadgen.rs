@@ -279,7 +279,9 @@ fn ms_since(start: Instant) -> f64 {
 }
 
 fn op_stats(name: &'static str, mut samples_ms: Vec<f64>) -> OpStats {
-    samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // Total order instead of "latencies are finite" + panic: a corrupted sample
+    // must not kill the report mid-run (R1, ADR-008).
+    samples_ms.sort_by(f64::total_cmp);
     let percentile = |q: f64| -> f64 {
         if samples_ms.is_empty() {
             return 0.0;
