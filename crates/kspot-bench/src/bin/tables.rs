@@ -1,4 +1,4 @@
-//! Prints the experiment tables (E1–E16) that regenerate the paper's quantitative
+//! Prints the experiment tables (E1–E17) that regenerate the paper's quantitative
 //! claims and the engine's perf trajectory.
 //!
 //! Usage:
@@ -6,13 +6,14 @@
 //! ```text
 //! cargo run --release -p kspot-bench --bin tables -- all
 //! cargo run --release -p kspot-bench --bin tables -- e1 e2 e9
-//! cargo run --release -p kspot-bench --bin tables -- e12 e13 e14 e15 e16  # also writes BENCH_engine.json
+//! cargo run --release -p kspot-bench --bin tables -- e12 e13 e14 e15 e16 e17  # also writes BENCH_engine.json
 //! ```
 //!
 //! `e12` (engine throughput), `e13` (frame-batching savings), `e14`
-//! (historic-session amortisation), `e15` (fleet scaling) and `e16` (serve latency)
-//! additionally write their machine-readable results to `BENCH_engine.json` in the
-//! current directory — one merged `{"schema": 5, "experiments": [...]}` document
+//! (historic-session amortisation), `e15` (fleet scaling), `e16` (serve latency) and
+//! `e17` (durable windows / AS OF time travel) additionally write their
+//! machine-readable results to `BENCH_engine.json` in the
+//! current directory — one merged `{"schema": 6, "experiments": [...]}` document
 //! that the `bench-smoke` CI job uploads per merge
 //! and `scripts/bench_trend_check.py` compares across runs.  Override the path with
 //! the `BENCH_ENGINE_OUT` environment variable, and set `KSPOT_BENCH_SMOKE=1` for
@@ -20,7 +21,7 @@
 
 use kspot_bench::{
     e12_engine_throughput, e13_frame_batching, e14_historic_sessions, e15_fleet_scaling,
-    e16_serve_latency, run, ALL_EXPERIMENTS,
+    e16_serve_latency, e17_store_timetravel, run, ALL_EXPERIMENTS,
 };
 
 fn main() {
@@ -66,6 +67,12 @@ fn main() {
             artifacts.push(json.trim().to_string());
             continue;
         }
+        if id.eq_ignore_ascii_case("e17") {
+            let (table, json) = e17_store_timetravel();
+            println!("{table}");
+            artifacts.push(json.trim().to_string());
+            continue;
+        }
         match run(id) {
             Some(table) => println!("{table}"),
             None => unknown.push(id.clone()),
@@ -73,7 +80,7 @@ fn main() {
     }
     if !artifacts.is_empty() {
         let json = format!(
-            "{{\n\"schema\": 5,\n\"experiments\": [\n{}\n]\n}}\n",
+            "{{\n\"schema\": 6,\n\"experiments\": [\n{}\n]\n}}\n",
             artifacts.join(",\n")
         );
         let path = std::env::var("BENCH_ENGINE_OUT")

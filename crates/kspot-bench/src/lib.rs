@@ -1,15 +1,16 @@
 //! # kspot-bench — the experiment harness of the KSpot reproduction
 //!
 //! The crate regenerates every quantitative claim of the demonstration paper as a
-//! printable table (experiments E1–E16, see `DESIGN.md` for the index) and hosts the
+//! printable table (experiments E1–E17, see `DESIGN.md` for the index) and hosts the
 //! criterion micro-benchmarks:
 //!
 //! * `cargo run -p kspot-bench --bin tables -- all` prints every table;
 //! * `cargo run -p kspot-bench --bin tables -- e4 e6` prints a selection;
-//! * `cargo run -p kspot-bench --bin tables -- e12 e13 e14 e15 e16` also writes the
-//!   schema-5 `BENCH_engine.json` perf-trajectory artifact (engine throughput,
+//! * `cargo run -p kspot-bench --bin tables -- e12 e13 e14 e15 e16 e17` also writes
+//!   the schema-6 `BENCH_engine.json` perf-trajectory artifact (engine throughput,
 //!   frame-batching savings, historic-session amortisation, fleet scaling, serve
-//!   latency) that the `bench-smoke` CI job uploads and trend-checks;
+//!   latency, durable-window time travel) that the `bench-smoke` CI job uploads and
+//!   trend-checks;
 //! * `cargo bench` runs the criterion counterparts (snapshot, sweep_k, sweep_n,
 //!   historic).
 
@@ -21,6 +22,6 @@ pub mod table;
 
 pub use experiments::{
     e12_engine_throughput, e13_frame_batching, e14_historic_sessions, e15_fleet_scaling,
-    e16_serve_latency, run, run_all, ALL_EXPERIMENTS,
+    e16_serve_latency, e17_store_timetravel, run, run_all, ALL_EXPERIMENTS,
 };
 pub use table::Table;

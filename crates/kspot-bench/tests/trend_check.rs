@@ -26,16 +26,16 @@ fn run_script(args: &[&str]) -> Output {
         .expect("python3 runs the trend-check script")
 }
 
-/// A healthy schema-5 artifact: a batch-8 throughput row, a fleet-scaling
-/// experiment that clears the 1.5x floor on a 4-core host, and a clean
-/// serve-latency record.
+/// A healthy schema-6 artifact: a batch-8 throughput row, a fleet-scaling
+/// experiment that clears the 1.5x floor on a 4-core host, a clean
+/// serve-latency record and a clean store-timetravel record.
 fn artifact(dir: &std::path::Path, name: &str, qps: f64) -> String {
     fleet_artifact(dir, name, qps, 4, 50.0, 100.0)
 }
 
-/// Schema-5 artifact with explicit fleet-scaling numbers (`cores` on the host,
+/// Schema-6 artifact with explicit fleet-scaling numbers (`cores` on the host,
 /// `single` qps at 4 deployments / 1 thread, `pooled` qps at 4 deployments / 4
-/// threads) and a clean serve-latency experiment.
+/// threads) and clean serve-latency and store-timetravel experiments.
 fn fleet_artifact(
     dir: &std::path::Path,
     name: &str,
@@ -47,7 +47,8 @@ fn fleet_artifact(
     serve_artifact(dir, name, qps, cores, single, pooled, 0)
 }
 
-/// The full schema-5 fixture, down to the serve-latency protocol-error count.
+/// Schema-6 fixture with the serve-latency protocol-error count pinned and a
+/// clean store-timetravel record.
 #[allow(clippy::too_many_arguments)]
 fn serve_artifact(
     dir: &std::path::Path,
@@ -58,9 +59,26 @@ fn serve_artifact(
     pooled: f64,
     protocol_errors: u32,
 ) -> String {
+    store_artifact(dir, name, qps, cores, single, pooled, protocol_errors, true, true)
+}
+
+/// The full schema-6 fixture, down to the E17 identity verdicts
+/// (`as_of_matches_live` per row, `answers_identical` on the baseline record).
+#[allow(clippy::too_many_arguments)]
+fn store_artifact(
+    dir: &std::path::Path,
+    name: &str,
+    qps: f64,
+    cores: u32,
+    single: f64,
+    pooled: f64,
+    protocol_errors: u32,
+    as_of_matches_live: bool,
+    answers_identical: bool,
+) -> String {
     let path = dir.join(name);
     let json = format!(
-        "{{\"schema\": 5, \"experiments\": [\
+        "{{\"schema\": 6, \"experiments\": [\
          {{\"experiment\": \"engine-throughput\", \
           \"rows\": [{{\"batch\": 8, \"shared_loop_qps\": {qps}}}]}}, \
          {{\"experiment\": \"fleet-scaling\", \"cores\": {cores}, \
@@ -72,7 +90,15 @@ fn serve_artifact(
           \"protocol_errors\": {protocol_errors}, \
           \"rows\": [\
            {{\"op\": \"register\", \"count\": 320, \"p50_ms\": 1.5, \"p99_ms\": 9.0}}, \
-           {{\"op\": \"poll\", \"count\": 2560, \"p50_ms\": 2.0, \"p99_ms\": 12.0}}]}}]}}"
+           {{\"op\": \"poll\", \"count\": 2560, \"p50_ms\": 2.0, \"p99_ms\": 12.0}}]}}, \
+         {{\"experiment\": \"store-timetravel\", \"window_epochs\": 64, \
+          \"baseline_serving\": {{\"session_uj\": 4000.0, \"replay_uj\": 9000.0, \
+           \"saved_energy_pct\": 55.6, \"session_s\": 0.2, \"replay_s\": 0.5, \
+           \"answers_identical\": {answers_identical}}}, \
+          \"rows\": [\
+           {{\"cadence\": 8, \"snapshots\": 8, \"stored_bytes\": 65536, \
+            \"pages_written\": 256, \"as_of_ms\": 1.2, \
+            \"as_of_matches_live\": {as_of_matches_live}}}]}}]}}"
     );
     std::fs::write(&path, json).expect("write artifact");
     path.to_string_lossy().into_owned()
@@ -178,6 +204,10 @@ fn a_fleet_that_clears_the_scaling_floor_passes_without_warnings() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(!stdout.contains("::warning"), "both gates really ran: {stdout}");
     assert!(stdout.contains("fleet qps"), "the scaling gate reports its numbers: {stdout}");
+    assert!(
+        stdout.contains("store time travel"),
+        "the store check logs its trajectory numbers too: {stdout}"
+    );
 }
 
 #[test]
@@ -250,6 +280,67 @@ fn serve_latency_with_protocol_errors_warns_but_does_not_fail() {
         "recorded protocol errors are called out: {stdout}"
     );
     assert!(stdout.contains("::warning"), "as a warning annotation: {stdout}");
+}
+
+#[test]
+fn an_artifact_without_store_timetravel_warns_but_does_not_fail() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_store_missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    // A schema-5 era artifact: everything up to serve-latency, no E17 record.
+    let old = dir.join("no_store.json");
+    std::fs::write(
+        &old,
+        "{\"schema\": 5, \"experiments\": [{\"experiment\": \"engine-throughput\", \
+         \"rows\": [{\"batch\": 8, \"shared_loop_qps\": 95.0}]}, \
+         {\"experiment\": \"fleet-scaling\", \"cores\": 4, \
+         \"rows\": [{\"deployments\": 4, \"threads\": 1, \"qps\": 50.0}, \
+         {\"deployments\": 4, \"threads\": 4, \"qps\": 90.0}]}, \
+         {\"experiment\": \"serve-latency\", \"connections\": 320, \
+         \"admitted\": 256, \"rejected\": 64, \"protocol_errors\": 0, \"rows\": []}]}",
+    )
+    .unwrap();
+
+    let out = run_script(&[&previous, &old.to_string_lossy()]);
+    assert!(out.status.success(), "a missing E17 is warn-only, never a failure: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no store-timetravel experiment"),
+        "the skip names the missing experiment: {stdout}"
+    );
+    assert!(stdout.contains("::warning"), "the skip is announced: {stdout}");
+}
+
+#[test]
+fn a_diverged_as_of_answer_warns_but_does_not_fail() {
+    if !python_available() {
+        eprintln!("skipping: no python3 in this environment");
+        return;
+    }
+    let dir = std::env::temp_dir().join("kspot_trend_check_store_diverged");
+    std::fs::create_dir_all(&dir).unwrap();
+    let previous = artifact(&dir, "previous.json", 100.0);
+    // An AS OF answer that failed to reproduce the live one, and baseline
+    // sessions that diverged from the per-submit replay: loud warnings, exit 0
+    // (the byte-identity test suites are the hard gates on those properties).
+    let diverged = store_artifact(&dir, "diverged.json", 95.0, 4, 50.0, 90.0, 0, false, false);
+
+    let out = run_script(&[&previous, &diverged]);
+    assert!(out.status.success(), "identity divergence is warn-only here: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("AS OF answer diverged from live"),
+        "the AS OF divergence is called out: {stdout}"
+    );
+    assert!(
+        stdout.contains("baseline sessions diverged from replay"),
+        "the baseline divergence is called out: {stdout}"
+    );
+    assert!(stdout.contains("::warning"), "as warning annotations: {stdout}");
 }
 
 #[test]

@@ -125,8 +125,9 @@ use crate::panel::{StrategyReport, SystemPanel};
 use crate::server::{QueryExecution, WorkloadSpec};
 use kspot_algos::historic::HistoricAlgorithm;
 use kspot_algos::{
-    BankWindows, CentralizedCollection, FilaMonitor, HistoricSpec, LocalAggregateHistoric,
-    MintViews, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult,
+    BankWindows, CentralizedCollection, CentralizedHistoric, FilaMonitor, HistoricSpec,
+    LocalAggregateHistoric, MintViews, SnapshotAlgorithm, SnapshotSpec, TagTopK, Tja, TopKResult,
+    Tput,
 };
 use kspot_net::{
     Epoch, Network, NetworkConfig, NetworkMetrics, PhaseTotals, RoomModelParams, WindowBank,
@@ -134,6 +135,7 @@ use kspot_net::{
 };
 use kspot_query::plan::{classify, ExecutionStrategy, QueryClass, QueryPlan};
 use kspot_query::{parse, AggFunc, QueryError};
+use kspot_store::CheckpointStore;
 use std::collections::BTreeMap;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -279,6 +281,12 @@ pub(crate) struct EngineCore {
     /// sessions' cancellations — the feed is a deterministic substrate duty, so a
     /// session's view of the windows never depends on the other sessions' lifecycle).
     windows: Option<WindowBank>,
+    /// The durable checkpoint store (ADR-009), when checkpointing is enabled: every
+    /// [`CheckpointStore::cadence`] fed epochs the shared windows are snapshotted
+    /// onto the modeled flash device, and `AS OF` sessions answer from the retained
+    /// images.  `None` keeps the engine exactly as it was before kspot-store existed
+    /// — no page traffic, no retained state.
+    store: Option<CheckpointStore>,
     /// Total node-local energy spent feeding the shared windows (µJ), charged
     /// unscoped once per epoch — the amortised maintenance cost ADR-005 documents.
     maintenance_energy_uj: f64,
@@ -330,10 +338,15 @@ impl EngineCore {
             )));
         }
         let exec = self.executor_for(&plan)?;
-        if let SessionExec::Historic { window, .. } = &exec {
-            match self.windows.as_mut() {
-                Some(bank) => bank.grow_capacity(*window),
-                None => self.windows = Some(WindowBank::new(*window)),
+        self.validate_as_of(&plan)?;
+        // An `AS OF` session answers from a retained checkpoint image, not from the
+        // live windows, so it neither creates nor grows the shared bank.
+        if plan.as_of_epoch.is_none() {
+            if let SessionExec::Historic { window, .. } = &exec {
+                match self.windows.as_mut() {
+                    Some(bank) => bank.grow_capacity(*window),
+                    None => self.windows = Some(WindowBank::new(*window)),
+                }
             }
         }
         let id = self.next_id;
@@ -344,6 +357,74 @@ impl EngineCore {
                 sql,
                 plan,
                 exec,
+                results: Vec::new(),
+                registered_at: self.epochs_run,
+                status: SessionStatus::Active,
+                depleted_during_run: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Admission-time validation of an `AS OF` clause: the engine must checkpoint at
+    /// all, and the named epoch must be a *retained* snapshot.  Rejecting here (the
+    /// SQL may have arrived over the wire) turns a stale or fabricated epoch into a
+    /// typed 400-style error instead of a session that silently never answers.
+    fn validate_as_of(&self, plan: &QueryPlan) -> Result<(), QueryError> {
+        let Some(epoch) = plan.as_of_epoch else { return Ok(()) };
+        let store = self.store.as_ref().ok_or_else(|| {
+            QueryError::semantic(
+                "AS OF requires a checkpointing engine, and this engine keeps no \
+                 durable snapshots (enable checkpointing when booting it)",
+            )
+        })?;
+        if !store.snapshot_epochs().contains(&epoch) {
+            return Err(QueryError::semantic(format!(
+                "AS OF {epoch} names no retained checkpoint; retained snapshot epochs \
+                 are {:?}",
+                store.snapshot_epochs()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Registers a System-Panel comparison strategy as a session of its own: the
+    /// baseline runs inside the shared epoch loop, answers from the very same windows
+    /// (or checkpoint image, for `AS OF` plans) as the session it is compared
+    /// against, and its traffic accrues under its own metrics scope.  This replaces
+    /// the historic solo-replay baselines (fresh network + per-submission dataset
+    /// collection) — the execution model the shared windows superseded (ADR-005).
+    ///
+    /// Baselines bypass the admission cap: they are bookkeeping the *server* asked
+    /// for, and letting them compete with user queries for slots would make a
+    /// query's admissibility depend on whether its panel wants comparisons.
+    pub(crate) fn register_baseline(
+        &mut self,
+        algorithm: Box<dyn HistoricAlgorithm + Send>,
+        plan: QueryPlan,
+    ) -> Result<QueryId, QueryError> {
+        let window = plan.history_epochs.unwrap_or(0) as usize;
+        if window == 0 {
+            return Err(QueryError::semantic(
+                "a historic baseline needs a positive WITH HISTORY window",
+            ));
+        }
+        self.validate_as_of(&plan)?;
+        let sql = format!("baseline: {}", algorithm.name());
+        if plan.as_of_epoch.is_none() {
+            match self.windows.as_mut() {
+                Some(bank) => bank.grow_capacity(window),
+                None => self.windows = Some(WindowBank::new(window)),
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            id,
+            SessionState {
+                sql,
+                plan,
+                exec: SessionExec::Historic { algorithm, window },
                 results: Vec::new(),
                 registered_at: self.epochs_run,
                 status: SessionStatus::Active,
@@ -442,6 +523,15 @@ impl EngineCore {
                     self.net.charge_cpu(r.node, 1);
                     self.maintenance_energy_uj += per_sample;
                 }
+                // Durable checkpoint (ADR-009): every `cadence` fed epochs the bank
+                // is snapshotted onto the modeled flash.  Like the feed itself this
+                // is unscoped substrate duty — each window-owning node pays the page
+                // writes for persisting its own column, whoever later time-travels.
+                if let Some(store) = self.store.as_mut() {
+                    if store.due(bank.epochs_fed()) {
+                        store.checkpoint(bank, epoch, &mut self.net);
+                    }
+                }
             }
             let now = self.epochs_run;
             let mut executed: Vec<QueryId> = Vec::new();
@@ -457,6 +547,27 @@ impl EngineCore {
                         executed.push(id);
                     }
                     SessionExec::Historic { algorithm, window } => {
+                        if let Some(at) = session.plan.as_of_epoch {
+                            // Time travel: restore the named snapshot from its
+                            // encoded image — page reads and all protocol traffic
+                            // under this session's scope — answer once, complete.
+                            let store = self
+                                .store
+                                .as_ref()
+                                .expect("AS OF sessions are admitted only with a store");
+                            self.net.set_query_scope(Some(id));
+                            // On Err the ring evicted the snapshot between admission
+                            // and this tick.  The session completes unanswered (zero
+                            // results), like a lifetime-expired historic session: the
+                            // epoch is wire-reachable, so a stale AS OF must never
+                            // panic the engine.
+                            if let Ok(mut view) = store.restore(at, *window, &mut self.net) {
+                                session.results.push(algorithm.execute(&mut self.net, &mut view));
+                            }
+                            session.status = SessionStatus::Completed;
+                            executed.push(id);
+                            continue;
+                        }
                         let bank =
                             self.windows.as_mut().expect("historic sessions imply a window bank");
                         // Readiness is on the *buffered span*, not on how many epochs
@@ -642,6 +753,7 @@ impl QueryEngine {
                 injected_substrate,
                 sessions: BTreeMap::new(),
                 windows: None,
+                store: None,
                 maintenance_energy_uj: 0.0,
                 next_id: 0,
                 epochs_run: 0,
@@ -733,6 +845,112 @@ impl QueryEngine {
     /// True while cross-query frame batching is enabled.
     pub fn frame_batching(&self) -> bool {
         lock_core(&self.core).frame_batching
+    }
+
+    /// Enables durable window checkpointing (ADR-009): every `cadence` epochs fed
+    /// into the shared windows, the bank is snapshotted onto the modeled flash
+    /// device, each window-owning node paying the page writes for its own record.
+    /// Retained snapshots are what `WITH HISTORY … AS OF epoch` queries answer from.
+    ///
+    /// Checkpoints only happen while the shared windows exist (i.e. once a historic
+    /// session has registered): an engine serving only continuous queries stays
+    /// byte-identical to a non-checkpointing one.  Unlike the substrate builders
+    /// this may be combined with [`Self::from_substrate`].
+    pub fn with_checkpointing(self, cadence: u64) -> Self {
+        lock_core(&self.core).store = Some(CheckpointStore::new(cadence));
+        self
+    }
+
+    /// Adopts a previously serialised checkpoint store ([`Self::checkpoint_store_bytes`]
+    /// → [`CheckpointStore::from_bytes`]) — the restore-on-construct path.  The
+    /// engine re-creates its shared windows from the newest retained snapshot
+    /// (uncharged: crash recovery is not billed to any query) and **resumes** the
+    /// epoch stream right after that snapshot — the workload is deterministic in the
+    /// seed, so fast-forwarding past the epochs the previous life already served is
+    /// exact.  Those epochs' substrate costs were charged in the previous life; the
+    /// restarted ledger covers only its own epochs.  Call before registering
+    /// queries, on an engine built from the same scenario and seed.
+    pub fn with_checkpoint_store(self, store: CheckpointStore) -> Self {
+        {
+            let mut core = lock_core(&self.core);
+            assert!(
+                core.sessions.is_empty() && core.epochs_run == 0,
+                "a checkpoint store must be adopted before any query registers or runs"
+            );
+            if let Some(bank) = store
+                .restore_latest_bank()
+                .expect("a store rebuilt via from_bytes is fully validated")
+            {
+                let resume_at = store.latest_epoch().expect("a non-empty store has a newest epoch") + 1;
+                while core.workload.upcoming_epoch() < resume_at {
+                    let _ = core.workload.next_epoch();
+                }
+                core.epochs_run = resume_at;
+                core.windows = Some(bank);
+            }
+            core.store = Some(store);
+        }
+        self
+    }
+
+    /// Snapshot epochs currently retained by the checkpoint store, oldest first
+    /// (empty when checkpointing is disabled) — the epochs `AS OF` may name.
+    pub fn checkpoint_epochs(&self) -> Vec<Epoch> {
+        lock_core(&self.core).store.as_ref().map(CheckpointStore::snapshot_epochs).unwrap_or_default()
+    }
+
+    /// Total encoded snapshot bytes currently on the modeled flash device.
+    pub fn checkpoint_storage_bytes(&self) -> u64 {
+        lock_core(&self.core).store.as_ref().map(CheckpointStore::stored_bytes).unwrap_or(0)
+    }
+
+    /// Serialises the whole checkpoint store (manifest + image log) for persistence
+    /// across engine restarts, or `None` when checkpointing is disabled.  Feed the
+    /// bytes back through [`CheckpointStore::from_bytes`] and
+    /// [`Self::with_checkpoint_store`] to restart durably.
+    pub fn checkpoint_store_bytes(&self) -> Option<Vec<u8>> {
+        lock_core(&self.core).store.as_ref().map(CheckpointStore::to_bytes)
+    }
+
+    /// Registers the System-Panel comparison strategies of a historic plan as
+    /// baseline *sessions* — TPUT and centralized window collection for vertically
+    /// fragmented plans, centralized window collection for horizontal ones —
+    /// returning `(algorithm name, session id)` pairs.  Each baseline runs inside
+    /// the shared epoch loop under its own metrics scope, answering from the same
+    /// windows (or, for `AS OF` plans, the same checkpoint image) as the session it
+    /// is compared against; baselines bypass the admission cap (module docs).
+    pub fn register_historic_baselines(
+        &mut self,
+        plan: &QueryPlan,
+    ) -> Result<Vec<(String, QueryId)>, QueryError> {
+        let mut core = lock_core(&self.core);
+        let window = plan
+            .history_epochs
+            .ok_or_else(|| QueryError::semantic("a historic query needs a WITH HISTORY window"))?
+            as usize;
+        let domain = core.scenario.domain;
+        let algorithms: Vec<Box<dyn HistoricAlgorithm + Send>> = match plan.strategy {
+            ExecutionStrategy::HistoricVerticalTopK => {
+                let func = plan.aggregate.ok_or_else(|| {
+                    QueryError::semantic("a historic ranked query needs an aggregate")
+                })?;
+                let spec = HistoricSpec::new(plan.k.max(1) as usize, func, domain, window);
+                vec![Box::new(Tput::new(spec)), Box::new(CentralizedHistoric::new(spec))]
+            }
+            ExecutionStrategy::HistoricHorizontalTopK => {
+                let spec = SnapshotSpec::from_plan(plan, domain)?;
+                let hist = HistoricSpec::new(spec.k, AggFunc::Avg, domain, window);
+                vec![Box::new(CentralizedHistoric::new(hist))]
+            }
+            _ => Vec::new(),
+        };
+        let mut out = Vec::with_capacity(algorithms.len());
+        for algorithm in algorithms {
+            let name = algorithm.name().to_string();
+            let id = core.register_baseline(algorithm, plan.clone())?;
+            out.push((name, id));
+        }
+        Ok(out)
     }
 
     /// The configured scenario.  (A lock guard — see [`Self::metrics`] for the
@@ -1340,6 +1558,148 @@ mod tests {
         let net = Network::new(scenario.deployment.clone(), NetworkConfig::ideal());
         let workload = WorkloadSpec::UniformIid.build(&scenario, 1);
         let _ = QueryEngine::from_substrate(scenario, net, workload).with_seed(9);
+    }
+
+    #[test]
+    fn checkpoints_follow_the_cadence_only_once_windows_exist() {
+        let mut engine = engine(21).with_checkpointing(4);
+        // No historic session yet: no windows, so no checkpoints and no page traffic
+        // — a checkpointing engine serving only continuous queries stays identical
+        // to a plain one.
+        engine.register(EIGHT_QUERIES[0]).unwrap();
+        engine.run_epochs(8);
+        assert!(engine.checkpoint_epochs().is_empty());
+        assert_eq!(engine.metrics().storage_totals().pages_written, 0);
+        assert_eq!(engine.checkpoint_storage_bytes(), 0);
+
+        // A historic registration creates the windows; snapshots then land every 4
+        // *fed* epochs (the bank started feeding at engine epoch 8).
+        let hist = engine.register(HISTORIC_VERTICAL).unwrap();
+        engine.run_epochs(16);
+        assert_eq!(hist.status(), SessionStatus::Completed);
+        assert_eq!(engine.checkpoint_epochs(), vec![11, 15, 19, 23]);
+        assert!(engine.checkpoint_storage_bytes() > 0);
+        let st = engine.metrics().storage_totals();
+        assert!(st.pages_written > 0, "checkpoint writes are on the ledger");
+        assert!(st.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn as_of_sessions_answer_from_the_named_snapshot_under_their_own_scope() {
+        let mut engine = engine(21).with_checkpointing(4);
+        let live = engine.register(HISTORIC_VERTICAL).unwrap();
+        engine.run_epochs(16);
+        assert_eq!(engine.checkpoint_epochs(), vec![3, 7, 11, 15]);
+
+        let sql = "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch \
+                   WITH HISTORY 8 epochs AS OF 11";
+        let time_travel = engine.register(sql).expect("a retained epoch admits");
+        let read_before = engine.metrics().storage_totals().pages_read;
+        engine.run_epochs(1);
+        assert_eq!(time_travel.status(), SessionStatus::Completed);
+        let results = time_travel.results();
+        assert_eq!(results.len(), 1, "AS OF answers exactly once");
+        assert_eq!(results[0].epoch, 11, "the answer is stamped with the snapshot epoch");
+        assert_eq!(results[0].items.len(), 3);
+        assert!(
+            time_travel.totals().messages > 0,
+            "the historic protocol ran under the AS OF session's scope"
+        );
+        let read_after = engine.metrics().storage_totals().pages_read;
+        assert!(read_after > read_before, "restore page reads are on the ledger");
+        assert!(
+            results[0] != live.results()[0],
+            "the 8-epoch AS OF answer differs from the live 16-epoch one"
+        );
+    }
+
+    #[test]
+    fn as_of_admission_requires_a_store_and_a_retained_epoch() {
+        let sql = "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch \
+                   WITH HISTORY 8 epochs AS OF 3";
+        let mut plain = engine(22);
+        let err = plain.register(sql).unwrap_err();
+        assert!(err.to_string().contains("no durable snapshots"), "{err}");
+
+        let mut checkpointing = engine(22).with_checkpointing(4);
+        let err = checkpointing.register(sql).unwrap_err();
+        assert!(err.to_string().contains("no retained checkpoint"), "{err}");
+        // Once epoch 3 is actually retained the same SQL admits — and the AS OF
+        // session never touches the live windows.
+        checkpointing.register(HISTORIC_VERTICAL).unwrap();
+        checkpointing.run_epochs(4);
+        checkpointing.register(sql).expect("epoch 3 is now a retained snapshot");
+    }
+
+    #[test]
+    fn an_as_of_session_whose_snapshot_was_evicted_completes_unanswered() {
+        use kspot_store::DEFAULT_RETENTION;
+        let mut engine = engine(23).with_checkpointing(1);
+        engine.register(HISTORIC_VERTICAL).unwrap();
+        engine.run_epochs(16 + DEFAULT_RETENTION);
+        let oldest = engine.checkpoint_epochs()[0];
+        let stale = engine
+            .register(&format!(
+                "SELECT TOP 2 epoch, AVG(sound) FROM sensors GROUP BY epoch \
+                 WITH HISTORY 4 epochs AS OF {oldest}"
+            ))
+            .expect("the oldest snapshot is retained at admission time");
+        // The very next epoch checkpoints again (cadence 1), evicting the oldest
+        // image before the session's tick: the restore misses, and the session
+        // completes unanswered instead of panicking (the epoch is wire-reachable).
+        engine.run_epochs(1);
+        assert!(!engine.checkpoint_epochs().contains(&oldest), "the ring moved on");
+        assert_eq!(stale.status(), SessionStatus::Completed);
+        assert!(stale.results().is_empty(), "no answer, no panic");
+    }
+
+    #[test]
+    fn historic_baselines_run_as_sessions_in_the_shared_loop_beyond_the_cap() {
+        let mut engine = engine(24).with_max_sessions(1);
+        let session = engine.register(HISTORIC_VERTICAL).unwrap();
+        let plan = session.plan();
+        let baselines =
+            engine.register_historic_baselines(&plan).expect("baselines bypass the cap");
+        let names: Vec<&str> = baselines.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["TPUT (flat)", "centralized window collection"]);
+        engine.run_epochs(16);
+        assert_eq!(session.status(), SessionStatus::Completed);
+        let tja_bytes = session.totals().bytes;
+        for (name, id) in &baselines {
+            let handle = engine.session(*id).expect("baseline sessions are real sessions");
+            assert_eq!(handle.status(), SessionStatus::Completed, "{name}");
+            assert_eq!(handle.results().len(), 1, "{name} answered from the shared windows");
+            assert!(handle.totals().bytes > 0, "{name} moved scoped traffic");
+            assert!(handle.sql().starts_with("baseline: "), "{name}");
+        }
+        let central = engine.session(baselines[1].1).unwrap().totals().bytes;
+        assert!(
+            tja_bytes < central,
+            "TJA must beat shipping whole windows: {tja_bytes} vs {central}"
+        );
+    }
+
+    #[test]
+    fn a_restarted_engine_adopts_the_durable_store_and_answers_identically() {
+        let seed = 25;
+        let mut first = engine(seed).with_checkpointing(4);
+        first.register(HISTORIC_VERTICAL).unwrap();
+        first.run_epochs(16);
+        let as_of_sql = "SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch \
+                         WITH HISTORY 8 epochs AS OF 15";
+        let original = first.register(as_of_sql).unwrap();
+        first.run_epochs(1);
+        let bytes = first.checkpoint_store_bytes().expect("checkpointing is on");
+
+        // Restart: a fresh engine over the same scenario adopts the serialised
+        // store.  The round trip goes through encoded pages, not live memory, and
+        // the restored AS OF answer is byte-identical.
+        let store = kspot_store::CheckpointStore::from_bytes(&bytes).expect("rebuilds");
+        let mut second = engine(seed).with_checkpoint_store(store);
+        assert_eq!(second.checkpoint_epochs(), vec![3, 7, 11, 15]);
+        let restored = second.register(as_of_sql).unwrap();
+        second.run_epochs(1);
+        assert_eq!(restored.results(), original.results());
     }
 
     #[test]

@@ -356,6 +356,17 @@ impl EngineFleet {
         self
     }
 
+    /// Enables durable window checkpointing on every deployment (ADR-009): each
+    /// shard gets its own independent checkpoint store with the given cadence, so
+    /// `WITH HISTORY … AS OF epoch` sessions can be served on whichever deployment
+    /// they are routed to (the wire front-end exposes this over TCP).
+    pub fn with_checkpointing(self, cadence: u64) -> Self {
+        for core in &self.shards {
+            let _ = QueryEngine::from_core(Arc::clone(core)).with_checkpointing(cadence);
+        }
+        self
+    }
+
     /// Number of deployments (shards).
     pub fn deployments(&self) -> usize {
         self.shards.len()

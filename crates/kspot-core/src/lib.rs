@@ -16,6 +16,11 @@
 //! * [`fleet::EngineFleet`] — M independent engine deployments driven concurrently by
 //!   a fixed thread pool, with session routing by deployment id and a fleet-level
 //!   admission cap; every shard stays byte-identical to a solo engine — see ADR-006;
+//! * durable windows — an engine built [`engine::QueryEngine::with_checkpointing`]
+//!   snapshots its shared window bank into a [`kspot_store::CheckpointStore`] ring on
+//!   the modeled flash every `cadence` epochs, serving `AS OF epoch e` time-travel
+//!   sessions and surviving restarts via [`engine::QueryEngine::with_checkpoint_store`]
+//!   — see ADR-009;
 //! * [`server::KSpotServer`] — the base station: parses Query Panel SQL, routes it to
 //!   MINT / TJA / TAG / FILA based on the query semantics, executes it over the engine
 //!   and produces the ranked answers and the Display Panel bullets, serially or as a
@@ -53,3 +58,8 @@ pub use engine::{EngineRef, QueryEngine, QueryId, Session, SessionStatus};
 pub use fleet::{AdmissionScope, DeploymentId, EngineFleet, FleetError, ShardHealth};
 pub use panel::{StrategyReport, SystemPanel};
 pub use server::{BatchMode, BatchQuery, KSpotBullet, KSpotServer, QueryExecution, WorkloadSpec};
+
+// The durable-store handles an embedder needs to persist and resume an engine
+// (ADR-009), re-exported so `with_checkpoint_store(CheckpointStore::from_bytes(..)?)`
+// works without a direct kspot-store dependency.
+pub use kspot_store::{CheckpointStore, StoreError, DEFAULT_RETENTION};

@@ -12,11 +12,7 @@ use crate::config::ScenarioConfig;
 use crate::engine::QueryEngine;
 use crate::fleet::EngineFleet;
 use crate::panel::{StrategyReport, SystemPanel};
-use kspot_algos::historic::HistoricAlgorithm;
-use kspot_algos::{
-    CentralizedCollection, CentralizedHistoric, HistoricDataset, HistoricSpec, SnapshotAlgorithm,
-    SnapshotSpec, TagTopK, TopKResult, Tput,
-};
+use kspot_algos::{CentralizedCollection, SnapshotAlgorithm, TagTopK, TopKResult};
 use kspot_net::{
     Epoch, GroupId, Network, NetworkConfig, PhaseTag, RoomModelParams, Workload,
 };
@@ -350,31 +346,41 @@ impl KSpotServer {
         Ok(execution)
     }
 
-    /// Runs one `WITH HISTORY` query as the only [`crate::Session`] of a throwaway
+    /// Runs one `WITH HISTORY` query as a [`crate::Session`] of a throwaway
     /// [`QueryEngine`]: the engine buffers the shared sliding windows for the span of
     /// the query, the session answers once from them and completes.  Unless lazy
     /// baselines are selected, the conventional historic comparison strategies run as
-    /// dedicated replays (fresh network + per-submission dataset — exactly the
-    /// execution model the engine's shared windows supersede).
+    /// baseline *sessions* inside the same shared epoch loop — each under its own
+    /// metrics scope, answering from the very windows the primary session answers
+    /// from.  (They used to run as dedicated replays over a fresh network plus a
+    /// per-submission dataset collection; the baseline-session path kills that last
+    /// solo-replay holdout, and bench E17 prices the difference.)
     fn run_historic_via_engine(&self, plan: QueryPlan) -> Result<QueryExecution, QueryError> {
         let window = plan.history_epochs.ok_or_else(|| {
             QueryError::semantic("a historic query needs a WITH HISTORY window")
         })? as usize;
         let mut engine = self.engine();
         let session = engine.register_plan(plan)?;
-        engine.run_epochs(window);
-        let baselines = if self.lazy_baselines {
+        let baseline_ids = if self.lazy_baselines {
             Vec::new()
         } else {
-            self.historic_baselines(&session.plan(), window)?
+            engine.register_historic_baselines(&session.plan())?
+        };
+        engine.run_epochs(window);
+        // Every report on the panel — the primary session's and the baselines' —
+        // is a *scoped* slice of the one shared ledger: each strategy's own radio,
+        // CPU and storage work, without the per-epoch substrate baseline or the
+        // shared window maintenance (genuinely shared infrastructure, attributable
+        // to no single strategy).  Booking the whole engine ledger against TJA
+        // alone would skew the savings read-out.
+        let baselines = {
+            let metrics = engine.metrics();
+            baseline_ids
+                .into_iter()
+                .map(|(name, id)| StrategyReport::from_scope(name, &metrics, id, window))
+                .collect()
         };
         let mut execution = session.finalize();
-        // The panel's KSpot side is the session's *scoped* slice (its own radio and
-        // CPU work), which is like-for-like with the baseline replays: those run the
-        // comparison algorithm on a fresh network without the engine's per-epoch
-        // substrate baseline or window-maintenance charges.  Using the whole engine
-        // ledger here would book `window` epochs of sampling/idle cost against TJA
-        // alone and skew the savings read-out.
         execution.panel.kspot.name = execution.algorithm.clone();
         execution.panel.baselines = baselines;
         Ok(execution)
@@ -437,49 +443,6 @@ impl KSpotServer {
         })
     }
 
-    fn collect_history(&self, window: usize) -> HistoricDataset {
-        let mut workload = self.fresh_workload();
-        HistoricDataset::collect(&mut workload, window)
-    }
-
-    /// The System Panel baselines of a historic strategy, run as dedicated
-    /// per-submission replays over the same scenario/workload/seed: TPUT and
-    /// centralized window collection for vertically fragmented queries, centralized
-    /// window collection for horizontally fragmented ones.
-    fn historic_baselines(
-        &self,
-        plan: &QueryPlan,
-        window: usize,
-    ) -> Result<Vec<StrategyReport>, QueryError> {
-        let data = self.collect_history(window);
-        let run = |algo: &mut dyn HistoricAlgorithm| {
-            let mut net = self.fresh_network();
-            let mut data = data.clone();
-            algo.execute(&mut net, &mut data);
-            StrategyReport::from_metrics(algo.name(), net.metrics(), window)
-        };
-        Ok(match plan.strategy {
-            ExecutionStrategy::HistoricVerticalTopK => {
-                let func = plan.aggregate.ok_or_else(|| {
-                    QueryError::semantic("a historic ranked query needs an aggregate")
-                })?;
-                let spec =
-                    HistoricSpec::new(plan.k.max(1) as usize, func, self.scenario.domain, window);
-                vec![run(&mut Tput::new(spec)), run(&mut CentralizedHistoric::new(spec))]
-            }
-            ExecutionStrategy::HistoricHorizontalTopK => {
-                let spec = SnapshotSpec::from_plan(plan, self.scenario.domain)?;
-                let hist_spec = HistoricSpec::new(
-                    spec.k,
-                    kspot_query::AggFunc::Avg,
-                    self.scenario.domain,
-                    window,
-                );
-                vec![run(&mut CentralizedHistoric::new(hist_spec))]
-            }
-            _ => Vec::new(),
-        })
-    }
 }
 
 #[cfg(test)]

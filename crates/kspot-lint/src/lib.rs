@@ -15,7 +15,7 @@
 //! | R3 | `order-leak` | deterministic paths (net/core/algos `src/`) |
 //! | R4 | `raw-rng` | everywhere except `kspot-net/src/rng.rs` |
 //! | R5 | `lock-discipline` | non-test library code |
-//! | R6 | `alloc-before-validate` | wire-facing code (`kspot-serve/src/`) |
+//! | R6 | `alloc-before-validate` | untrusted decoders (`kspot-serve/src/`, `kspot-store/src/`) |
 //!
 //! Suppression is explicit and audited: `// lint: allow(<rule>, <reason>)`
 //! silences a finding on the marker's line or the line below;
@@ -160,7 +160,8 @@ pub struct FileContext {
     pub test_code: bool,
     /// Deterministic engine paths (net/core/algos `src/`): R3 applies.
     pub deterministic: bool,
-    /// Wire-facing parsing (kspot-serve `src/`): R6 applies.
+    /// Untrusted-input decoders — wire frames (kspot-serve `src/`) and on-disk
+    /// checkpoint images (kspot-store `src/`, ADR-008/009): R6 applies.
     pub untrusted_decode: bool,
     /// The one module allowed to construct RNGs (R4 exemption).
     pub rng_module: bool,
@@ -182,7 +183,8 @@ impl FileContext {
         ]
         .iter()
         .any(|pre| p.starts_with(pre));
-        let untrusted_decode = p.starts_with("crates/kspot-serve/src/");
+        let untrusted_decode = p.starts_with("crates/kspot-serve/src/")
+            || p.starts_with("crates/kspot-store/src/");
         let rng_module = p == "crates/kspot-net/src/rng.rs";
         FileContext {
             path: p,

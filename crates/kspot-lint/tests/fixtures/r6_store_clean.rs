@@ -1,0 +1,14 @@
+// Fixture: the checkpoint decoder pattern the store actually uses passes —
+// every declared count is clamped against the bytes the image still holds
+// before it sizes anything.
+pub fn decode_manifest(image: &[u8]) -> Vec<u64> {
+    let declared = u32::from_le_bytes([image[0], image[1], image[2], image[3]]) as usize;
+    let snapshots = declared.min(image.len().saturating_sub(4) / 8);
+    let mut epochs = Vec::with_capacity(snapshots);
+    for record in image[4..].chunks_exact(8).take(snapshots) {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(record);
+        epochs.push(u64::from_le_bytes(raw));
+    }
+    epochs
+}

@@ -1,0 +1,10 @@
+// Fixture: R6 fires in the on-disk checkpoint decoder too — a manifest's
+// declared snapshot count reaching an allocation before any bound against the
+// bytes the image actually holds is exactly the class ADR-008 bans.
+pub fn decode_manifest(image: &[u8]) -> Vec<u64> {
+    let snapshots = u32::from_le_bytes([image[0], image[1], image[2], image[3]]) as usize;
+    let mut epochs = Vec::with_capacity(snapshots);
+    let pages = vec![0u64; snapshots];
+    epochs.extend_from_slice(&pages);
+    epochs
+}

@@ -116,8 +116,26 @@ fn r6_fires_on_unvalidated_lengths_in_wire_code_only() {
     assert_eq!(r6.len(), 2, "with_capacity and vec![..; n] both fire: {fire:?}");
 
     assert!(fired(&serve_ctx(), include_str!("fixtures/r6_clean.rs")).is_empty());
-    // Outside the wire-facing crate the rule does not apply.
+    // Outside the untrusted-decode crates the rule does not apply.
     assert!(fired(&lib_ctx(), include_str!("fixtures/r6_fire.rs")).is_empty());
+}
+
+#[test]
+fn r6_covers_the_checkpoint_store_decoder() {
+    // The on-disk checkpoint image is untrusted input exactly like a wire frame
+    // (ADR-008/009): the same rule polices `kspot-store/src/`.
+    let store_ctx = FileContext::from_path("crates/kspot-store/src/fixture.rs");
+    let fire = lint_source(&store_ctx, include_str!("fixtures/r6_store_fire.rs"));
+    let r6: Vec<_> = fire
+        .iter()
+        .filter(|f| f.rule == Rule::AllocBeforeValidate)
+        .collect();
+    assert_eq!(r6.len(), 2, "with_capacity and vec![..; n] both fire: {fire:?}");
+
+    assert!(fired(&store_ctx, include_str!("fixtures/r6_store_clean.rs")).is_empty());
+    // The store's own tests/ tree (fuzz corpus drivers) stays out of scope.
+    let store_test_ctx = FileContext::from_path("crates/kspot-store/tests/fixture.rs");
+    assert!(fired(&store_test_ctx, include_str!("fixtures/r6_store_fire.rs")).is_empty());
 }
 
 #[test]

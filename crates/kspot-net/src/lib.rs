@@ -53,11 +53,15 @@ pub mod workload;
 pub use energy::{Battery, BatteryBank, EnergyModel};
 pub use fault::{DutyCycle, FaultPlan};
 pub use message::{Message, MessageKind};
-pub use metrics::{NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, QueryScope, Savings};
+pub use metrics::{
+    NetworkMetrics, NodeCounters, PhaseTag, PhaseTotals, QueryScope, Savings, StorageTotals,
+};
 pub use radio::RadioModel;
 pub use schedule::{FrameScheduler, FrameSlice, ReportIntent};
 pub use sim::{Network, NetworkConfig};
-pub use storage::{SlidingWindow, WindowBank};
+pub use storage::{
+    SlidingWindow, WindowBank, FLASH_PAGE_BYTES, FLASH_PAGE_READ_UJ, FLASH_PAGE_WRITE_UJ,
+};
 pub use topology::{Deployment, DeploymentKind, Position};
 pub use tree::RoutingTree;
 pub use types::{Epoch, GroupId, NodeId, Reading, Value, ValueDomain, SINK};

@@ -112,6 +112,37 @@ pub struct PhaseTotals {
 /// scope, so N queries sharing one substrate still get individual System-Panel numbers.
 pub type QueryScope = u32;
 
+/// Flash page-I/O counters for one node, one scope, or the whole network.
+///
+/// The checkpoint store persists window snapshots to each node's local flash
+/// (ADR-009); every page written or read there is booked here so the ledger
+/// conservation law extends to storage: per-node storage counters sum exactly to
+/// [`NetworkMetrics::storage_totals`], and scoped storage reads are a subset of them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageTotals {
+    /// Flash pages written.
+    pub pages_written: u64,
+    /// Flash pages read.
+    pub pages_read: u64,
+    /// Payload bytes written to flash (page-aligned images may pad beyond this).
+    pub bytes_written: u64,
+    /// Energy drawn by the flash chip, µJ (also included in the energy ledgers).
+    pub energy_uj: f64,
+}
+
+impl StorageTotals {
+    fn add_write(&mut self, pages: u64, bytes: u64, uj: f64) {
+        self.pages_written += pages;
+        self.bytes_written += bytes;
+        self.energy_uj += uj;
+    }
+
+    fn add_read(&mut self, pages: u64, uj: f64) {
+        self.pages_read += pages;
+        self.energy_uj += uj;
+    }
+}
+
 /// Full accounting of a simulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkMetrics {
@@ -123,6 +154,9 @@ pub struct NetworkMetrics {
     per_scope_phase: BTreeMap<(QueryScope, PhaseTag), PhaseTotals>,
     current_scope: Option<QueryScope>,
     totals: PhaseTotals,
+    storage_per_node: Vec<StorageTotals>,
+    storage_per_scope: BTreeMap<QueryScope, StorageTotals>,
+    storage_totals: StorageTotals,
 }
 
 impl NetworkMetrics {
@@ -137,6 +171,9 @@ impl NetworkMetrics {
             per_scope_phase: BTreeMap::new(),
             current_scope: None,
             totals: PhaseTotals::default(),
+            storage_per_node: vec![StorageTotals::default(); n],
+            storage_per_scope: BTreeMap::new(),
+            storage_totals: StorageTotals::default(),
         }
     }
 
@@ -483,6 +520,65 @@ impl NetworkMetrics {
                 self.per_scope.entry(scope).or_default().energy_uj += uj;
             }
         }
+    }
+
+    /// Records `pages` flash pages (`bytes` of payload) written on `node`'s local
+    /// storage.  The flash energy is booked to the same ledgers as
+    /// [`Self::record_local_energy`] — per-node, per-epoch, grand total and the
+    /// installed scope — so storage work participates in the energy conservation law;
+    /// the page and byte counts additionally land in the storage ledgers.  The sink is
+    /// mains-powered and keeps no modeled flash, so it is never charged.
+    pub fn record_page_writes(
+        &mut self,
+        node: NodeId,
+        epoch: Epoch,
+        pages: u64,
+        bytes: u64,
+        uj: f64,
+    ) {
+        if node == crate::types::SINK {
+            return;
+        }
+        self.record_local_energy(node, epoch, uj);
+        self.storage_per_node[(node - 1) as usize].add_write(pages, bytes, uj);
+        self.storage_totals.add_write(pages, bytes, uj);
+        if let Some(scope) = self.current_scope {
+            self.storage_per_scope.entry(scope).or_default().add_write(pages, bytes, uj);
+        }
+    }
+
+    /// Records `pages` flash pages read back from `node`'s local storage (snapshot
+    /// restore).  Booked like [`Self::record_page_writes`].
+    pub fn record_page_reads(&mut self, node: NodeId, epoch: Epoch, pages: u64, uj: f64) {
+        if node == crate::types::SINK {
+            return;
+        }
+        self.record_local_energy(node, epoch, uj);
+        self.storage_per_node[(node - 1) as usize].add_read(pages, uj);
+        self.storage_totals.add_read(pages, uj);
+        if let Some(scope) = self.current_scope {
+            self.storage_per_scope.entry(scope).or_default().add_read(pages, uj);
+        }
+    }
+
+    /// Storage counters of a specific sensor node.
+    pub fn node_storage(&self, id: NodeId) -> StorageTotals {
+        self.storage_per_node[(id - 1) as usize]
+    }
+
+    /// Storage counters attributed to a scope (zero if it never touched flash).
+    pub fn storage_scope(&self, scope: QueryScope) -> StorageTotals {
+        self.storage_per_scope.get(&scope).copied().unwrap_or_default()
+    }
+
+    /// All scopes that actually touched flash, with their storage totals, in order.
+    pub fn storage_scopes(&self) -> impl Iterator<Item = (QueryScope, StorageTotals)> + '_ {
+        self.storage_per_scope.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Storage counters over the whole run.
+    pub fn storage_totals(&self) -> StorageTotals {
+        self.storage_totals
     }
 
     /// Counters of a specific sensor node.
@@ -844,6 +940,39 @@ mod tests {
         assert_eq!(u.node(1).rx_messages, 0, "nobody heard it");
         assert!((u.totals().energy_uj - 340.0).abs() < 1e-12);
         assert_eq!(u.scope(0).bytes + u.scope(1).bytes, 34);
+    }
+
+    #[test]
+    fn page_io_lands_in_storage_and_energy_ledgers() {
+        let mut m = NetworkMetrics::new(3);
+        m.record_page_writes(1, 4, 2, 480, 152.4);
+        m.set_scope(Some(7));
+        m.record_page_reads(1, 9, 2, 48.0);
+        m.set_scope(None);
+        m.record_page_writes(SINK, 4, 99, 9999, 9999.0);
+
+        let s1 = m.node_storage(1);
+        assert_eq!(s1.pages_written, 2);
+        assert_eq!(s1.pages_read, 2);
+        assert_eq!(s1.bytes_written, 480);
+        assert!((s1.energy_uj - 200.4).abs() < 1e-9);
+
+        let t = m.storage_totals();
+        assert_eq!(t.pages_written, 2, "sink flash is not modeled");
+        assert_eq!(t.pages_read, 2);
+        assert_eq!(t.bytes_written, 480);
+
+        // Scoped reads are attributed; unscoped writes are not.
+        assert_eq!(m.storage_scope(7).pages_read, 2);
+        assert_eq!(m.storage_scope(7).pages_written, 0);
+        assert_eq!(m.storage_scopes().count(), 1);
+
+        // Flash energy participates in the ordinary energy conservation law.
+        assert!((m.node(1).energy_uj - 200.4).abs() < 1e-9);
+        assert!((m.totals().energy_uj - 200.4).abs() < 1e-9);
+        assert!((m.epoch(4).energy_uj - 152.4).abs() < 1e-9);
+        assert!((m.epoch(9).energy_uj - 48.0).abs() < 1e-9);
+        assert!((m.scope(7).energy_uj - 48.0).abs() < 1e-9);
     }
 
     #[test]

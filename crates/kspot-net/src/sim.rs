@@ -323,6 +323,31 @@ impl Network {
         self.batteries.drain(node, cost);
     }
 
+    /// Charges `pages` flash-page writes of `bytes` checkpoint payload on `node`'s
+    /// local storage: the flash energy drains the node's battery and the page I/O is
+    /// booked to the metrics storage ledger (see
+    /// [`NetworkMetrics::record_page_writes`]).  The sink is mains-powered and keeps
+    /// no modeled flash.
+    pub fn charge_page_writes(&mut self, node: NodeId, pages: u64, bytes: u64) {
+        if node == SINK {
+            return;
+        }
+        let cost = crate::storage::FLASH_PAGE_WRITE_UJ * pages as f64;
+        self.metrics.record_page_writes(node, self.current_epoch, pages, bytes, cost);
+        self.batteries.drain(node, cost);
+    }
+
+    /// Charges `pages` flash-page reads on `node`'s local storage (snapshot restore).
+    /// Counterpart of [`Self::charge_page_writes`].
+    pub fn charge_page_reads(&mut self, node: NodeId, pages: u64) {
+        if node == SINK {
+            return;
+        }
+        let cost = crate::storage::FLASH_PAGE_READ_UJ * pages as f64;
+        self.metrics.record_page_reads(node, self.current_epoch, pages, cost);
+        self.batteries.drain(node, cost);
+    }
+
     /// Transmits a single-hop [`Message`] under the configured recovery policy,
     /// charging the endpoints and recording every attempt under `phase`.  Returns
     /// `true` if the payload was delivered.

@@ -24,6 +24,20 @@ use crate::types::{cmp_value, Epoch, NodeId, Reading, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
+/// Bytes per flash page of the modeled storage device (AT45DB-class serial flash,
+/// rounded to a power of two).  Checkpoint images are charged in whole pages of this
+/// size.
+pub const FLASH_PAGE_BYTES: usize = 256;
+
+/// Energy to program one [`FLASH_PAGE_BYTES`]-byte flash page, µJ — the MicroHash
+/// measurements the paper leans on put a page write at roughly 76 µJ on the MICA2's
+/// AT45DB041B.
+pub const FLASH_PAGE_WRITE_UJ: f64 = 76.0;
+
+/// Energy to read one flash page back, µJ (reads are ~3× cheaper than writes and both
+/// are orders of magnitude cheaper than shipping the same bytes over the radio).
+pub const FLASH_PAGE_READ_UJ: f64 = 24.0;
+
 /// A bounded, epoch-ordered buffer of `(epoch, value)` samples.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SlidingWindow {

@@ -292,6 +292,9 @@ pub struct Query {
     pub epoch_duration: Option<Duration>,
     /// WITH HISTORY clause, if any (makes the query historic).
     pub history: Option<Duration>,
+    /// `AS OF` epoch, if any (answers the historic window as it stood at that epoch,
+    /// served from a durable checkpoint rather than the live window).
+    pub as_of: Option<u64>,
     /// LIFETIME clause, if any (how long the continuous query should run).
     pub lifetime: Option<Duration>,
 }
@@ -305,6 +308,11 @@ impl Query {
     /// True when the query addresses locally buffered history.
     pub fn is_historic(&self) -> bool {
         self.history.is_some()
+    }
+
+    /// True when the query asks for a time-travel answer (`AS OF epoch`).
+    pub fn is_time_travel(&self) -> bool {
+        self.as_of.is_some()
     }
 
     /// The single aggregate of the select list, if there is exactly one.
@@ -349,6 +357,9 @@ impl fmt::Display for Query {
         }
         if let Some(h) = self.history {
             write!(f, " WITH HISTORY {h}")?;
+        }
+        if let Some(e) = self.as_of {
+            write!(f, " AS OF {e}")?;
         }
         if let Some(l) = self.lifetime {
             write!(f, " LIFETIME {l}")?;
@@ -421,6 +432,7 @@ mod tests {
             group_by: Some("roomid".into()),
             epoch_duration: Some(Duration::new(1, TimeUnit::Minutes)),
             history: None,
+            as_of: None,
             lifetime: Some(Duration::new(1, TimeUnit::Hours)),
         };
         assert!(q.is_top_k());
@@ -446,6 +458,7 @@ mod tests {
             group_by: None,
             epoch_duration: None,
             history: None,
+            as_of: None,
             lifetime: None,
         };
         assert_eq!(q.aggregate(), None);
@@ -461,6 +474,7 @@ mod tests {
             group_by: Some("epoch".into()),
             epoch_duration: Some(Duration::new(30, TimeUnit::Seconds)),
             history: Some(Duration::new(10, TimeUnit::Minutes)),
+            as_of: None,
             lifetime: None,
         };
         assert!(q.is_historic());

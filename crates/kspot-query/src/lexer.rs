@@ -55,6 +55,7 @@ pub enum Keyword {
     Lifetime,
     And,
     As,
+    Of,
 }
 
 impl Keyword {
@@ -73,6 +74,7 @@ impl Keyword {
             "LIFETIME" => Some(Keyword::Lifetime),
             "AND" => Some(Keyword::And),
             "AS" => Some(Keyword::As),
+            "OF" => Some(Keyword::Of),
             _ => None,
         }
     }
@@ -93,6 +95,7 @@ impl Keyword {
             Keyword::Lifetime => "LIFETIME",
             Keyword::And => "AND",
             Keyword::As => "AS",
+            Keyword::Of => "OF",
         }
     }
 }

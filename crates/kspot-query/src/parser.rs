@@ -7,7 +7,7 @@
 //!                   [WHERE predicate (AND predicate)*]
 //!                   [GROUP BY identifier]
 //!                   [EPOCH DURATION duration]
-//!                   [WITH HISTORY duration]
+//!                   [WITH HISTORY duration [AS OF number]]
 //!                   [LIFETIME duration]
 //! select_list    := select_item (',' select_item)* | '*'
 //! select_item    := identifier | identifier '(' identifier ')'
@@ -184,9 +184,30 @@ impl Parser {
         }
 
         let mut history = None;
+        let mut as_of = None;
         if self.take_keyword(Keyword::With) {
             self.expect_keyword(Keyword::History)?;
             history = Some(self.duration("a history window such as `90 epochs`")?);
+            // AS OF pins the historic answer to a checkpointed epoch; it only makes
+            // sense directly after the window it time-travels (validate() also rejects
+            // AS OF without WITH HISTORY on hand-built ASTs).
+            if self.take_keyword(Keyword::As) {
+                self.expect_keyword(Keyword::Of)?;
+                let n = self.expect_number("the epoch of AS OF")?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(QueryError::semantic(format!(
+                        "AS OF requires a non-negative integer epoch, got {n}"
+                    )));
+                }
+                // `n as u64` saturates at or beyond 2^64 (see `duration` below).
+                if n >= u64::MAX as f64 {
+                    return Err(QueryError::DurationOverflow {
+                        clause: "AS OF".to_string(),
+                        duration: format!("{n}"),
+                    });
+                }
+                as_of = Some(n as u64);
+            }
         }
 
         let mut lifetime = None;
@@ -202,6 +223,7 @@ impl Parser {
             group_by,
             epoch_duration,
             history,
+            as_of,
             lifetime,
         })
     }
@@ -313,6 +335,34 @@ mod tests {
         assert_eq!(q.top_k, Some(4));
         assert!(q.is_historic());
         assert_eq!(q.history, Some(Duration::new(30, TimeUnit::Epochs)));
+    }
+
+    #[test]
+    fn parses_as_of_after_the_history_window() {
+        let q = parse("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8 epochs AS OF 24 LIFETIME 1 h").unwrap();
+        assert_eq!(q.as_of, Some(24));
+        assert!(q.is_time_travel());
+        let spelled = q.to_string();
+        assert!(spelled.contains("WITH HISTORY 8 epochs AS OF 24 LIFETIME"), "{spelled}");
+        assert_eq!(parse(&spelled).unwrap(), q, "AS OF must round-trip through Display");
+    }
+
+    #[test]
+    fn as_of_requires_a_history_window_to_travel() {
+        // Without WITH HISTORY the AS OF tokens are trailing garbage.
+        let err = parse("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid AS OF 24").unwrap_err();
+        assert!(err.to_string().contains("end of query"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_as_of_epochs() {
+        let base = "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8 epochs AS OF";
+        assert!(parse(&format!("{base} -3")).is_err());
+        assert!(parse(&format!("{base} 2.5")).is_err());
+        assert!(parse(base).is_err());
+        assert!(parse(&format!("{base} 24 epochs")).is_err(), "no unit after an AS OF epoch");
+        let err = parse(&format!("{base} 20000000000000000000")).unwrap_err();
+        assert!(matches!(err, QueryError::DurationOverflow { ref clause, .. } if clause == "AS OF"), "{err:?}");
     }
 
     #[test]

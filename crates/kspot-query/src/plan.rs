@@ -113,6 +113,8 @@ pub struct QueryPlan {
     pub epoch_seconds: u64,
     /// History window in epochs, if the query is historic.
     pub history_epochs: Option<u64>,
+    /// The checkpoint epoch to answer `AS OF`, if the query time-travels.
+    pub as_of_epoch: Option<u64>,
     /// Lifetime of the continuous query in epochs, if bounded.
     pub lifetime_epochs: Option<u64>,
     /// The original query (kept for display and re-dissemination).
@@ -168,6 +170,7 @@ pub fn classify(query: &Query) -> QueryResult<QueryPlan> {
         group_by: query.group_by.clone(),
         epoch_seconds,
         history_epochs: query.history_epochs(),
+        as_of_epoch: query.as_of,
         lifetime_epochs: query.lifetime.map(|l| l.to_epochs(epoch_seconds)),
         query: query.clone(),
     })
@@ -225,6 +228,18 @@ mod tests {
         let p = plan("SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 16 epochs");
         assert_eq!(p.class(), QueryClass::Historic);
         assert_eq!(plan("SELECT * FROM sensors").class(), QueryClass::Continuous);
+    }
+
+    #[test]
+    fn as_of_rides_the_historic_strategies_into_the_plan() {
+        let p = plan("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8 epochs AS OF 24");
+        assert_eq!(p.strategy, ExecutionStrategy::HistoricHorizontalTopK);
+        assert_eq!(p.as_of_epoch, Some(24));
+        let p = plan("SELECT TOP 5 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 8 epochs AS OF 16");
+        assert_eq!(p.strategy, ExecutionStrategy::HistoricVerticalTopK);
+        assert_eq!(p.as_of_epoch, Some(16));
+        assert_eq!(p.class(), QueryClass::Historic, "AS OF never changes the class");
+        assert_eq!(plan("SELECT * FROM sensors").as_of_epoch, None);
     }
 
     #[test]

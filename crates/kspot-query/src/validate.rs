@@ -133,6 +133,11 @@ pub fn validate(query: &Query) -> QueryResult<()> {
             }
         }
     }
+    if query.as_of.is_some() && !query.is_historic() {
+        return Err(QueryError::semantic(
+            "AS OF time-travels a buffered window and therefore requires a WITH HISTORY clause",
+        ));
+    }
     if query.group_by.as_deref() == Some("epoch") && !query.is_historic() {
         return Err(QueryError::semantic(
             "GROUP BY epoch ranks time instances and therefore requires a WITH HISTORY window",
@@ -225,6 +230,20 @@ mod tests {
     fn rejects_group_by_epoch_without_history() {
         let err = check("SELECT TOP 3 epoch, AVG(sound) FROM sensors GROUP BY epoch").unwrap_err();
         assert!(err.to_string().contains("WITH HISTORY"));
+    }
+
+    #[test]
+    fn rejects_as_of_without_history() {
+        // The grammar cannot produce this shape, but classify() revalidates ASTs that
+        // may have been built or mutated by hand.
+        let mut q = parse_unvalidated(
+            "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8 epochs AS OF 24",
+        )
+        .expect("query should parse");
+        assert!(validate(&q).is_ok());
+        q.history = None;
+        let err = validate(&q).unwrap_err();
+        assert!(err.to_string().contains("WITH HISTORY"), "{err}");
     }
 
     #[test]

@@ -99,6 +99,11 @@ const FRAGMENTS: &[&str] = &[
     "WITH HISTORY 30 epochs",
     "WITH HISTORY 20000000000000000000 epochs",
     "WITH HISTORY 99999999999999999 h",
+    "AS OF",
+    "AS OF 24",
+    "AS OF -1",
+    "AS OF 2.5",
+    "AS OF 20000000000000000000",
     "LIFETIME",
     "LIFETIME 99999999999 h",
     "LIFETIME 999999999999999999 d",
@@ -140,7 +145,7 @@ proptest! {
 
     #[test]
     fn mutated_near_sql_never_panics(
-        picks in prop::collection::vec(0usize..46, 0usize..16),
+        picks in prop::collection::vec(0usize..51, 0usize..16),
         truncate_at in 0usize..400,
     ) {
         let mut text = picks

@@ -66,7 +66,7 @@ impl proptest::strategy::Strategy for QueryStrategy {
                 value: f64::from(rng.gen_range(0..2000u32)) / 4.0 - 100.0,
             })
             .collect();
-        Query {
+        let mut q = Query {
             select,
             top_k: if rng.gen_range(0..3u8) > 0 { Some(rng.gen_range(1..20u32)) } else { None },
             source: pick(rng, SOURCES).to_string(),
@@ -78,8 +78,14 @@ impl proptest::strategy::Strategy for QueryStrategy {
             },
             epoch_duration: if rng.gen_range(0..2u8) == 0 { Some(gen_duration(rng)) } else { None },
             history: if rng.gen_range(0..3u8) == 0 { Some(gen_duration(rng)) } else { None },
+            // AS OF only prints after WITH HISTORY, so only generate it there.
+            as_of: None,
             lifetime: if rng.gen_range(0..3u8) == 0 { Some(gen_duration(rng)) } else { None },
+        };
+        if q.history.is_some() && rng.gen_range(0..2u8) == 0 {
+            q.as_of = Some(rng.gen_range(0..500u64));
         }
+        q
     }
 
     /// Drops one clause at a time (and shortens lists), so the reported counterexample
@@ -99,8 +105,15 @@ impl proptest::strategy::Strategy for QueryStrategy {
         if q.lifetime.is_some() {
             drop_clause(&|c| c.lifetime = None);
         }
+        if q.as_of.is_some() {
+            drop_clause(&|c| c.as_of = None);
+        }
         if q.history.is_some() {
-            drop_clause(&|c| c.history = None);
+            // AS OF cannot outlive the window it time-travels.
+            drop_clause(&|c| {
+                c.history = None;
+                c.as_of = None;
+            });
         }
         if q.epoch_duration.is_some() {
             drop_clause(&|c| c.epoch_duration = None);

@@ -4,7 +4,7 @@
 
 use kspot_core::{EngineFleet, ScenarioConfig, ShardHealth, WorkloadSpec};
 use kspot_net::{NetworkConfig, RoomModelParams};
-use kspot_serve::proto::{STATUS_ACTIVE, STATUS_CANCELLED};
+use kspot_serve::proto::{STATUS_ACTIVE, STATUS_CANCELLED, STATUS_COMPLETED};
 use kspot_serve::{ClientError, Request, Response, ServeConfig, WireClient, WireServer};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -397,6 +397,141 @@ fn a_connection_dropped_without_bye_releases_its_quota() {
     }
     assert!(admitted, "the dropped connection's quota slot was never released");
     server.shutdown();
+}
+
+const HISTORIC_SQL: &str =
+    "SELECT TOP 2 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 8 epochs";
+const AS_OF_SQL: &str =
+    "SELECT TOP 2 epoch, AVG(sound) FROM sensors GROUP BY epoch WITH HISTORY 8 epochs AS OF 7";
+
+#[test]
+fn as_of_time_travel_is_served_over_the_wire() {
+    // A fleet that keeps no durable snapshots refuses AS OF with a wire-safe 400
+    // (never a panic — the SQL is attacker-controlled).
+    let server = WireServer::start(fleet(1), ServeConfig::default()).expect("bind loopback");
+    let mut client = WireClient::connect(server.addr(), TIMEOUT).expect("connect");
+    match client.register(0, AS_OF_SQL).expect("answered") {
+        Response::Error { code: 400, reason } => {
+            assert!(reason.contains("no durable snapshots"), "{reason}");
+        }
+        other => panic!("expected a 400, got {other:?}"),
+    }
+    client.bye().expect("bye");
+    server.shutdown();
+
+    // A checkpointing fleet serves time travel end to end.
+    let server = WireServer::start(fleet(1).with_checkpointing(4), ServeConfig::default())
+        .expect("bind loopback");
+    let mut client = WireClient::connect(server.addr(), TIMEOUT).expect("connect");
+
+    // Before any snapshot is retained the same SQL is still a 400...
+    match client.register(0, AS_OF_SQL).expect("answered") {
+        Response::Error { code: 400, reason } => {
+            assert!(reason.contains("no retained checkpoint"), "{reason}");
+        }
+        other => panic!("expected a 400, got {other:?}"),
+    }
+
+    // ...so buffer the window first: a live historic session creates the shared
+    // bank, and the cadence-4 store retains snapshots at epochs 3 and 7.
+    let live = match client.register(0, HISTORIC_SQL).expect("register") {
+        Response::Registered { session, .. } => session,
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    assert!(matches!(client.advance(8).expect("advance"), Response::Advanced { .. }));
+    let live_outcome = client.poll(live, 8).expect("poll");
+    assert_eq!(live_outcome.status, STATUS_COMPLETED);
+    assert_eq!(live_outcome.answers.len(), 1, "the window filled, the session answered");
+
+    // Now AS OF 7 admits, answers on the next tick, and the answer is stamped with
+    // the snapshot epoch.  The snapshot taken at epoch 7 holds exactly the window
+    // the live session answered from, so on this lossless substrate the travelled
+    // answer reproduces the live one item for item.
+    let travel = match client.register(0, AS_OF_SQL).expect("register") {
+        Response::Registered { session, algorithm, .. } => {
+            assert!(!algorithm.is_empty());
+            session
+        }
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    assert!(matches!(client.advance(1).expect("advance"), Response::Advanced { .. }));
+    let outcome = client.poll(travel, 8).expect("poll");
+    assert_eq!(outcome.status, STATUS_COMPLETED);
+    assert_eq!(outcome.answers.len(), 1, "an AS OF session answers exactly once");
+    let Response::Answer { epoch, ref items, .. } = outcome.answers[0] else {
+        panic!("expected Answer, got {:?}", outcome.answers[0])
+    };
+    assert_eq!(epoch, 7, "the answer carries the snapshot epoch, not the tick epoch");
+    let Response::Answer { items: ref live_items, .. } = live_outcome.answers[0] else {
+        panic!("expected Answer, got {:?}", live_outcome.answers[0])
+    };
+    assert_eq!(items, live_items, "time travel reproduces the live answer");
+
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn a_self_ticking_server_produces_byte_identical_answers_to_advance_driven_ticks() {
+    const WANT: usize = 5;
+
+    // The paced server ticks itself: no Advance request is ever sent, yet answers
+    // accumulate on their own.
+    let paced = WireServer::start(
+        fleet(1),
+        ServeConfig { pacer: Some(Duration::from_millis(20)), ..ServeConfig::default() },
+    )
+    .expect("bind loopback");
+    let mut client = WireClient::connect(paced.addr(), TIMEOUT).expect("connect");
+    let session = match client.register(0, SQL).expect("register") {
+        Response::Registered { session, .. } => session,
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    let mut paced_answers = Vec::new();
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while paced_answers.len() < WANT && std::time::Instant::now() < deadline {
+        let outcome = client.poll(session, 32).expect("poll");
+        paced_answers.extend(outcome.answers);
+        if paced_answers.len() < WANT {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert!(
+        paced_answers.len() >= WANT,
+        "the pacer thread must advance the fleet without any Advance request"
+    );
+    assert!(matches!(client.cancel(session).expect("cancel"), Response::Cancelled { .. }));
+    client.bye().expect("bye");
+    paced.shutdown();
+    paced_answers.truncate(WANT);
+    let Response::Answer { epoch: first_epoch, .. } = paced_answers[0] else {
+        panic!("expected Answer, got {:?}", paced_answers[0])
+    };
+
+    // The Advance-driven twin: spin a fresh fleet to the epoch the paced session
+    // registered at (the pacer had already ticked by then), register the same SQL —
+    // same first session, same scope — and drive the same window by hand.
+    let manual = WireServer::start(fleet(1), ServeConfig::default()).expect("bind loopback");
+    let mut client = WireClient::connect(manual.addr(), TIMEOUT).expect("connect");
+    let mut remaining = first_epoch;
+    while remaining > 0 {
+        let chunk = remaining.min(1024) as u32;
+        assert!(matches!(client.advance(chunk).expect("advance"), Response::Advanced { .. }));
+        remaining -= u64::from(chunk);
+    }
+    let manual_session = match client.register(0, SQL).expect("register") {
+        Response::Registered { session, .. } => session,
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    assert_eq!(manual_session, session, "first registration on both servers");
+    assert!(matches!(client.advance(WANT as u32).expect("advance"), Response::Advanced { .. }));
+    let outcome = client.poll(manual_session, 32).expect("poll");
+    assert_eq!(
+        outcome.answers, paced_answers,
+        "tick-driven and Advance-driven epochs must produce byte-identical answers"
+    );
+    client.bye().expect("bye");
+    manual.shutdown();
 }
 
 #[test]

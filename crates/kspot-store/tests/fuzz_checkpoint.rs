@@ -1,0 +1,97 @@
+//! Panic-hardening properties for the checkpoint decoder over **untrusted bytes**.
+//!
+//! A restored engine may be fed pages that survived a crash, came off another
+//! machine, or were tampered with, so `decode_image`/`decode_manifest` and the
+//! whole-store `CheckpointStore::from_bytes` path must return `Ok`/`Err` for *any*
+//! input — never panic, never overflow-abort, and never allocate for a declared
+//! count the bytes cannot back (the mirror of `kspot-query`'s `fuzz_untrusted.rs`
+//! for the second untrusted-input boundary, ADR-009).  Three generators probe
+//! different failure surfaces:
+//!
+//! 1. raw byte soup (framing and bounds checks),
+//! 2. bit-flipped valid images (checksum and structural invariants behind a valid
+//!    prefix),
+//! 3. mutated valid images: truncated, duplicated-tail and spliced (deep per-node
+//!    record paths behind a re-sealed checksum).
+//!
+//! Every error must also `Display` without panicking — the serve layer stringifies
+//! decode failures into wire error frames.
+
+use kspot_net::{Reading, WindowBank};
+use kspot_store::{checksum_seal, decode_image, decode_manifest, CheckpointStore};
+use proptest::prelude::*;
+
+/// Drives every untrusted decode entry point; the property is "this returns".
+fn exercise_decoders(bytes: &[u8]) {
+    if let Err(e) = decode_image(bytes) {
+        let _ = e.to_string();
+    }
+    if let Err(e) = decode_manifest(bytes) {
+        let _ = e.to_string();
+    }
+    if let Err(e) = CheckpointStore::from_bytes(bytes) {
+        let _ = e.to_string();
+    }
+}
+
+/// A well-formed image to mutate: 4 nodes, 6 epochs in a capacity-8 bank.
+fn valid_image() -> Vec<u8> {
+    let mut bank = WindowBank::new(8);
+    for epoch in 0..6u64 {
+        let readings: Vec<Reading> = (1..=4)
+            .map(|node| Reading::new(node, 0, epoch, f64::from(node) * 7.5 + epoch as f64))
+            .collect();
+        bank.feed(&readings);
+    }
+    kspot_store::encode_image(&mut bank, 5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn raw_byte_soup_never_panics(bytes in prop::collection::vec(0u32..256, 0usize..160)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        exercise_decoders(&bytes);
+    }
+
+    #[test]
+    fn bit_flipped_images_never_decode_silently(
+        flips in prop::collection::vec((0usize..4096, 0u32..8), 1usize..6),
+    ) {
+        let good = valid_image();
+        let mut bad = good.clone();
+        for &(pos, bit) in &flips {
+            let i = pos % bad.len();
+            bad[i] ^= 1 << bit;
+        }
+        match decode_image(&bad) {
+            // A flip set that cancels out reproduces the original image.
+            Ok(image) => prop_assert_eq!(bad, good, "epoch {}", image.epoch),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    #[test]
+    fn mutated_valid_images_never_panic(
+        cut in 0usize..4096,
+        splice_at in 0usize..4096,
+        dup_tail in 0usize..64,
+        reseal in prop_oneof![Just(true), Just(false)],
+    ) {
+        let good = valid_image();
+        // Truncate, splice a shifted copy of the body in, and duplicate a tail run —
+        // then optionally re-seal the checksum so the *structural* validators (not
+        // just the checksum) face the mutated bytes.
+        let mut bytes = good.clone();
+        bytes.truncate(cut % (good.len() + 1));
+        let at = splice_at % (bytes.len() + 1);
+        let shifted: Vec<u8> = good.iter().skip(dup_tail % good.len()).copied().collect();
+        bytes.splice(at..at, shifted.into_iter().take(dup_tail));
+        if reseal && bytes.len() >= 8 {
+            let len = bytes.len();
+            bytes = checksum_seal(bytes[..len - 8].to_vec());
+        }
+        exercise_decoders(&bytes);
+    }
+}

@@ -4,7 +4,7 @@
 //! matrix run can report every broken cell at once instead of stopping at the first.
 
 use kspot_algos::{SnapshotSpec, TopKResult};
-use kspot_net::{NetworkMetrics, PhaseTotals};
+use kspot_net::{NetworkMetrics, PhaseTotals, StorageTotals};
 use std::collections::BTreeSet;
 
 fn feq(a: f64, b: f64) -> bool {
@@ -165,6 +165,74 @@ pub fn check_scope_attribution(metrics: &NetworkMetrics, all_traffic_scoped: boo
     violations
 }
 
+/// Attribution conservation across the **storage** axis (ADR-009), the sibling of
+/// [`check_scope_attribution`] for flash page I/O:
+///
+/// * per-node storage counters must sum exactly to [`NetworkMetrics::storage_totals`]
+///   — no page write or read may appear or vanish, including checkpoint and restore
+///   traffic;
+/// * summed per-scope storage must never exceed the totals (unscoped maintenance
+///   writes are legal, phantom scoped I/O is not);
+/// * flash energy is part of the run's energy ledger, so the storage energy must be
+///   bounded by the global energy total.
+pub fn check_storage_attribution(metrics: &NetworkMetrics) -> Vec<String> {
+    let mut violations = Vec::new();
+    let totals = metrics.storage_totals();
+
+    let mut per_node = StorageTotals::default();
+    for id in 1..=metrics.num_nodes() as u32 {
+        let s = metrics.node_storage(id);
+        per_node.pages_written += s.pages_written;
+        per_node.pages_read += s.pages_read;
+        per_node.bytes_written += s.bytes_written;
+        per_node.energy_uj += s.energy_uj;
+    }
+    if per_node.pages_written != totals.pages_written
+        || per_node.pages_read != totals.pages_read
+        || per_node.bytes_written != totals.bytes_written
+    {
+        violations.push(format!(
+            "per-node storage ledger {per_node:?} does not partition the totals {totals:?}"
+        ));
+    }
+    if !feq(per_node.energy_uj, totals.energy_uj) {
+        violations.push(format!(
+            "per-node flash energy {} µJ != storage totals {} µJ",
+            per_node.energy_uj, totals.energy_uj
+        ));
+    }
+
+    let mut scoped = StorageTotals::default();
+    for (_, s) in metrics.storage_scopes() {
+        scoped.pages_written += s.pages_written;
+        scoped.pages_read += s.pages_read;
+        scoped.bytes_written += s.bytes_written;
+        scoped.energy_uj += s.energy_uj;
+    }
+    if scoped.pages_written > totals.pages_written
+        || scoped.pages_read > totals.pages_read
+        || scoped.bytes_written > totals.bytes_written
+    {
+        violations.push(format!(
+            "scoped storage {scoped:?} exceeds the storage totals {totals:?}"
+        ));
+    }
+    if scoped.energy_uj > totals.energy_uj * (1.0 + 1e-9) + 1e-6 {
+        violations.push(format!(
+            "scoped flash energy {} µJ exceeds the storage total {} µJ",
+            scoped.energy_uj, totals.energy_uj
+        ));
+    }
+    if totals.energy_uj > metrics.totals().energy_uj * (1.0 + 1e-9) + 1e-6 {
+        violations.push(format!(
+            "flash energy {} µJ exceeds the run's energy ledger {} µJ",
+            totals.energy_uj,
+            metrics.totals().energy_uj
+        ));
+    }
+    violations
+}
+
 /// Structural sanity of a ranked answer: at most K items, distinct keys drawn from the
 /// legal key space, values finite, inside the domain and sorted best-first.  This is
 /// the unconditional floor every answer must meet, including degraded (lossy) ones.
@@ -271,6 +339,29 @@ mod tests {
         assert!(check_scope_attribution(&m, false).is_empty(), "inequality mode tolerates it");
         let strict = check_scope_attribution(&m, true);
         assert_eq!(strict.len(), 1, "unscoped traffic breaks the exact decomposition: {strict:?}");
+    }
+
+    #[test]
+    fn storage_attribution_checker_accepts_checkpoint_and_restore_traffic() {
+        let mut m = NetworkMetrics::new(3);
+        // Unscoped maintenance writes (the engine's checkpoint pass)...
+        m.record_page_writes(1, 3, 2, 136, 90.0);
+        m.record_page_writes(2, 3, 1, 72, 45.0);
+        // ...and a scoped restore (an AS OF session reading the image back).
+        m.set_scope(Some(4));
+        m.record_page_reads(1, 4, 2, 40.0);
+        m.record_page_reads(2, 4, 1, 20.0);
+        m.set_scope(None);
+        let clean = check_storage_attribution(&m);
+        assert!(clean.is_empty(), "the public API keeps storage conserved: {clean:?}");
+        assert!(check_ledger(&m).is_empty(), "flash energy lands in the run ledgers too");
+    }
+
+    #[test]
+    fn storage_attribution_is_trivially_conserved_on_a_flashless_run() {
+        let mut m = NetworkMetrics::new(3);
+        m.record_transmission(2, 1, 0, PhaseTag::Update, 19, 1, 380.0, 285.0);
+        assert!(check_storage_attribution(&m).is_empty());
     }
 
     #[test]

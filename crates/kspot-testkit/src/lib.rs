@@ -35,6 +35,6 @@ pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
-pub use invariants::{check_ledger, check_scope_attribution};
+pub use invariants::{check_ledger, check_scope_attribution, check_storage_attribution};
 pub use runner::{run_historic_cell, run_snapshot_cell, CellOutcome};
 pub use scenario::{matrix, FaultProfile, ScenarioCell, TopologyKind, WorkloadProfile};

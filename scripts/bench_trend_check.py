@@ -14,12 +14,18 @@ the previous merge's artifact:
    runs where it can physically pass: the artifact records the host's core
    count, and hosts with fewer than 2 cores skip it (announced, see below).
 
-Plus one **warn-only** check:
+Plus two **warn-only** checks:
 
 3. **Serve latency** (schema 5) — never fails the build; prints the E16
    serve-latency numbers for the trajectory log, warns if the experiment is
    missing (pre-schema-5 artifact) and warns loudly if the run recorded any
    wire protocol errors (the loadgen's own exit code is the hard gate there).
+4. **Store time travel** (schema 6) — never fails the build; prints the E17
+   durable-window numbers (per-cadence snapshot footprint, AS OF latency,
+   baseline-serving savings), warns if the experiment is missing
+   (pre-schema-6 artifact) and warns loudly if the recorded run's AS OF or
+   baseline answers diverged from the live ones (the `store_cells` and bench
+   unit suites are the hard gates there).
 
 Everything else passes (exit 0), but the skip paths are **announced**, never
 silent: each one emits a GitHub Actions `::warning::` annotation so a
@@ -32,9 +38,10 @@ instead of looking like a pass:
 * no batch-8 row (smoke-sized PR runs only sweep small batches),
 * no fleet-scaling experiment (pre-schema-4 artifact),
 * missing 4-deployment rows, or a single-core host,
-* no serve-latency experiment (pre-schema-5 artifact).
+* no serve-latency experiment (pre-schema-5 artifact),
+* no store-timetravel experiment (pre-schema-6 artifact).
 
-Understands the schema-2/3/4/5 merged documents ({"schema": N, "experiments":
+Understands the schema-2/3/4/5/6 merged documents ({"schema": N, "experiments":
 [...]}) and the original flat e12 document ({"experiment":
 "engine-throughput", ...}).
 """
@@ -220,6 +227,56 @@ def check_serve_latency(current_path):
     return 0
 
 
+def check_store_timetravel(current_path):
+    """Check 4 (schema 6, warn-only): the E17 durable-window / AS OF record.
+
+    Never fails the build — the `store_cells` byte-identity suite and the bench
+    unit test are the hard gates on correctness; this check keeps the trajectory
+    log honest: print the per-cadence snapshot footprint and AS OF latency plus
+    the baseline-serving savings, and warn (not fail) when the experiment is
+    missing or the recorded run saw any answer diverge from the live one."""
+    doc = load(current_path)
+    entry = experiment(doc, "store-timetravel")
+    if entry is None:
+        warn_skip(
+            f"current artifact {current_path} has no store-timetravel experiment "
+            "(pre-schema-6 artifact, or e17 was not run)"
+        )
+        return 0
+    rows = experiment_rows(doc, "store-timetravel") or []
+    for row in rows:
+        if isinstance(row, dict):
+            print(
+                "trend check: store time travel "
+                f"cadence {row.get('cadence')}: {row.get('snapshots')} snapshots, "
+                f"{row.get('stored_bytes')} stored bytes, "
+                f"{row.get('pages_written')} pages written, "
+                f"as-of {row.get('as_of_ms')} ms"
+            )
+            if row.get("as_of_matches_live") is not True:
+                print(
+                    "::warning title=AS OF answer diverged from live::"
+                    f"E17 cadence {row.get('cadence')} recorded "
+                    f"as_of_matches_live={row.get('as_of_matches_live')!r}; "
+                    "checkpointed time travel must reproduce the live answer"
+                )
+    serving = entry.get("baseline_serving")
+    if isinstance(serving, dict):
+        print(
+            "trend check: baseline serving saved "
+            f"{serving.get('saved_energy_pct')}% substrate energy "
+            f"(sessions {serving.get('session_uj')} uJ vs replay "
+            f"{serving.get('replay_uj')} uJ)"
+        )
+        if serving.get("answers_identical") is not True:
+            print(
+                "::warning title=baseline sessions diverged from replay::"
+                f"E17 recorded answers_identical={serving.get('answers_identical')!r}; "
+                "engine-served baselines must match the per-submit replay"
+            )
+    return 0
+
+
 def main(argv):
     if len(argv) != 3:
         print(f"usage: {argv[0]} PREVIOUS_JSON CURRENT_JSON", file=sys.stderr)
@@ -227,6 +284,7 @@ def main(argv):
     status = check_regression(argv[1], argv[2])
     status = check_fleet_scaling(argv[2]) or status
     status = check_serve_latency(argv[2]) or status
+    status = check_store_timetravel(argv[2]) or status
     return status
 
 
